@@ -1,0 +1,102 @@
+"""Fig. 5 reproduction: query performance on DBLP data, Q1-Q10.
+
+The paper's systems: *Our Solution*, *Bidirect* (Kacholia), and the four
+BLINKS-style partition-index variants *1000 BFS / 1000 METIS / 300 BFS /
+300 METIS*.  For our solution the measured time follows the paper's
+protocol exactly — top-10 query computation **plus** processing of the top
+queries until ≥10 answers; the baselines are timed to their top-10 answer
+trees.
+
+Shape to reproduce: ours beats Bidirect by ~an order of magnitude on most
+queries and is competitive with the partition indexes, winning as the
+keyword count grows (Q7-Q10).
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import BidirectionalSearch, PartitionedIndexSearch
+from repro.datasets import dblp_performance_queries
+
+QUERIES = dblp_performance_queries()
+_TIMES = {}
+
+
+@pytest.fixture(scope="module")
+def systems(performance_view):
+    return {
+        "Bidirect": BidirectionalSearch(performance_view),
+        "1000 BFS": PartitionedIndexSearch(
+            performance_view, blocks=1000, partitioner="bfs"
+        ),
+        "1000 METIS": PartitionedIndexSearch(
+            performance_view, blocks=1000, partitioner="metis"
+        ),
+        "300 BFS": PartitionedIndexSearch(
+            performance_view, blocks=300, partitioner="bfs"
+        ),
+        "300 METIS": PartitionedIndexSearch(
+            performance_view, blocks=300, partitioner="metis"
+        ),
+    }
+
+
+@pytest.mark.parametrize("entry", QUERIES, ids=[q.qid for q in QUERIES])
+def test_fig5_our_solution(benchmark, performance_engine, entry):
+    outcome = benchmark.pedantic(
+        lambda: performance_engine.search_and_execute(
+            entry.keywords, k=10, min_answers=10
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    _TIMES[("Our Solution", entry.qid)] = outcome["total_seconds"]
+    assert outcome["result"].candidates
+
+
+@pytest.mark.parametrize("entry", QUERIES, ids=[q.qid for q in QUERIES])
+@pytest.mark.parametrize(
+    "system_name", ["Bidirect", "1000 BFS", "1000 METIS", "300 BFS", "300 METIS"]
+)
+def test_fig5_baseline(benchmark, systems, system_name, entry):
+    system = systems[system_name]
+    started = time.perf_counter()
+    benchmark.pedantic(lambda: system.search(entry.keywords, k=10), rounds=3, iterations=1)
+    _TIMES[(system_name, entry.qid)] = time.perf_counter() - started
+
+
+def test_fig5_emit_table(benchmark, performance_engine, systems, report):
+    """Re-measure once in a controlled pass and emit the Fig. 5 table."""
+    names = ["Our Solution", "Bidirect", "1000 BFS", "1000 METIS", "300 BFS", "300 METIS"]
+    rows = []
+    ours_vs_bidirect = []
+    for entry in QUERIES:
+        row = [entry.qid]
+        started = time.perf_counter()
+        performance_engine.search_and_execute(entry.keywords, k=10, min_answers=10)
+        ours = time.perf_counter() - started
+        row.append(f"{1000 * ours:.1f}")
+        for name in names[1:]:
+            started = time.perf_counter()
+            systems[name].search(entry.keywords, k=10)
+            elapsed = time.perf_counter() - started
+            row.append(f"{1000 * elapsed:.1f}")
+            if name == "Bidirect":
+                ours_vs_bidirect.append(elapsed / ours)
+        rows.append(tuple(row))
+
+    rep = report("fig5_comparison")
+    rep.line("Query performance on DBLP data, milliseconds (paper Fig. 5):")
+    rep.table(("query", *names), rows)
+    rep.line()
+    rep.line(
+        "Bidirect/Ours speedup per query: "
+        + ", ".join(f"{s:.1f}x" for s in ours_vs_bidirect)
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Shape assertions: ours faster than Bidirect on the long queries
+    # (Q7-Q10), where the paper reports the largest advantage.
+    long_speedups = ours_vs_bidirect[6:]
+    assert sum(long_speedups) / len(long_speedups) > 1.0, long_speedups

@@ -1,0 +1,125 @@
+"""Fig. 6a reproduction: search time vs. k and vs. query length.
+
+The paper runs 30 DBLP queries of length 2-4 under C3 and reports average
+search (query computation) time at different k.  Shape to reproduce:
+
+* time grows roughly linearly with k;
+* at k=10 the impact of query length is minimal;
+* at large k the impact of query length is substantial.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import vocab
+
+K_VALUES = (1, 10, 20, 50, 100)
+LENGTHS = (2, 3, 4)
+
+
+def build_length_workload():
+    """30 queries: ten each of length 2, 3, 4, over anchor vocabulary."""
+    anchors = ["cimiano", "tran", "rudolph", "wang", "turing", "codd"]
+    venues = ["icde", "sigmod", "vldb"]
+    topics = list(vocab.TITLE_TOPICS[:8])
+    years = ["1999", "2001", "2003", "2005", "2006", "2007"]
+
+    by_length = {2: [], 3: [], 4: []}
+    for i in range(10):
+        by_length[2].append([topics[i % len(topics)], years[i % len(years)]])
+        by_length[3].append(
+            [anchors[i % len(anchors)], topics[(i + 2) % len(topics)], years[(i + 1) % len(years)]]
+        )
+        by_length[4].append(
+            [
+                anchors[(i + 3) % len(anchors)],
+                venues[i % len(venues)],
+                topics[(i + 5) % len(topics)],
+                years[(i + 4) % len(years)],
+            ]
+        )
+    return by_length
+
+
+_WORKLOAD = build_length_workload()
+_RESULTS = {}
+
+
+def _average_search_seconds(engine, queries, k):
+    total = 0.0
+    for keywords in queries:
+        started = time.perf_counter()
+        engine.search(keywords, k=k)
+        total += time.perf_counter() - started
+    return total / len(queries)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig6a_search_time_vs_k(benchmark, performance_engine, k):
+    """Average search time across all 30 queries at a given k."""
+    all_queries = [q for queries in _WORKLOAD.values() for q in queries]
+    mean_seconds = benchmark.pedantic(
+        lambda: _average_search_seconds(performance_engine, all_queries, k),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[("all", k)] = mean_seconds
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("k", (10, 100))
+def test_fig6a_search_time_vs_length(benchmark, performance_engine, length, k):
+    queries = _WORKLOAD[length]
+    mean_seconds = benchmark.pedantic(
+        lambda: _average_search_seconds(performance_engine, queries, k),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS[(length, k)] = mean_seconds
+
+
+def test_fig6a_emit_table(benchmark, performance_engine, report):
+    rep = report("fig6a_topk")
+    rep.line("Average search time (ms) for 30 DBLP queries under C3 (paper Fig. 6a):")
+
+    rows = []
+    for k in K_VALUES:
+        mean = _RESULTS.get(("all", k))
+        if mean is None:
+            mean = _average_search_seconds(
+                performance_engine,
+                [q for qs in _WORKLOAD.values() for q in qs],
+                k,
+            )
+        rows.append((f"k={k}", f"{1000 * mean:.1f}"))
+    rep.table(("k", "avg search ms"), rows)
+
+    rep.line()
+    rep.line("Search time by query length (ms):")
+    rows = []
+    for k in (10, 100):
+        row = [f"k={k}"]
+        for length in LENGTHS:
+            mean = _RESULTS.get((length, k))
+            if mean is None:
+                mean = _average_search_seconds(performance_engine, _WORKLOAD[length], k)
+                _RESULTS[(length, k)] = mean
+            row.append(f"{1000 * mean:.1f}")
+        rows.append(tuple(row))
+    rep.table(("", "len 2", "len 3", "len 4"), rows)
+
+    # Shape assertions.
+    t_small = _RESULTS.get(("all", K_VALUES[0]))
+    t_large = _RESULTS.get(("all", K_VALUES[-1]))
+    if t_small and t_large:
+        assert t_large >= t_small, "search time should not shrink with k"
+    # Length impact grows with k: spread at k=100 exceeds spread at k=10.
+    spread_10 = _RESULTS[(4, 10)] - _RESULTS[(2, 10)]
+    spread_100 = _RESULTS[(4, 100)] - _RESULTS[(2, 100)]
+    rep.line()
+    rep.line(
+        f"length-impact spread: {1000 * spread_10:.1f} ms at k=10 vs "
+        f"{1000 * spread_100:.1f} ms at k=100"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Our query-computation engine vs. the answer-computation baselines.
+
+Runs the same keyword queries through four systems — our top-k query
+computation (summary-graph exploration + database execution), BANKS
+backward search, Kacholia bidirectional search, and the BLINKS-style
+partition-index search — and reports wall-clock time and what each
+returns.  This is a scaled-down interactive version of the Fig. 5
+benchmark (``benchmarks/test_fig5_comparison.py`` regenerates the full
+figure).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import time
+
+from repro import KeywordSearchEngine
+from repro.baselines import (
+    BackwardSearch,
+    BidirectionalSearch,
+    EntityGraphView,
+    PartitionedIndexSearch,
+)
+from repro.datasets import DblpConfig, generate_dblp
+
+
+def main() -> None:
+    graph = generate_dblp(DblpConfig(publications=1500))
+    print(f"Dataset: {graph.stats()['triples']} triples\n")
+
+    engine = KeywordSearchEngine(graph, cost_model="c3", k=10)
+    view = EntityGraphView(graph)
+    systems = {
+        "backward (BANKS)": BackwardSearch(view),
+        "bidirectional": BidirectionalSearch(view),
+        "300-BFS (BLINKS-style)": PartitionedIndexSearch(view, blocks=300, partitioner="bfs"),
+        "300-METIS (BLINKS-style)": PartitionedIndexSearch(view, blocks=300, partitioner="metis"),
+    }
+
+    queries = ["cimiano 2006", "icde database index 2000", "wang tran keyword search 2006 icde"]
+    for q in queries:
+        print(f"== keyword query: {q!r}")
+
+        started = time.perf_counter()
+        ours = engine.search_and_execute(q, k=10, min_answers=10)
+        our_time = time.perf_counter() - started
+        print(f"  {'ours (query computation)':28s} {1000 * our_time:8.1f} ms   "
+              f"{len(ours['result'])} queries, {len(ours['answers'])} answers")
+        best = ours["result"].best()
+        if best is not None:
+            print(f"    top query: {best.query}")
+
+        for name, system in systems.items():
+            started = time.perf_counter()
+            result = system.search(q.split(), k=10)
+            elapsed = time.perf_counter() - started
+            print(f"  {name:28s} {1000 * elapsed:8.1f} ms   "
+                  f"{len(result)} answer trees, visited {result.nodes_visited} nodes")
+        print()
+
+    print("Note the structural difference: the baselines return answer")
+    print("*trees* rooted at single nodes; our system returns *queries*")
+    print("whose execution retrieves every matching answer, including ones")
+    print("the distinct-root assumption cannot produce (Section VI-D).")
+
+
+if __name__ == "__main__":
+    main()

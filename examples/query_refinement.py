@@ -1,0 +1,74 @@
+"""Query refinement: the workflow the paper's demo (SearchWebDB) supports.
+
+Section I argues that presenting *queries* (not answers) lets the user
+refine precisely.  This example scripts that interaction: search, inspect
+the ranked interpretations as NL + SPARQL, then refine the chosen query
+programmatically — adding a constraint, swapping a constant, projecting
+variables — and re-execute, all without another keyword round-trip.
+
+Run:  python examples/query_refinement.py
+"""
+
+from repro import Atom, ConjunctiveQuery, KeywordSearchEngine, Literal
+from repro.datasets import DblpConfig, generate_dblp
+from repro.datasets.dblp import DBLP
+
+
+def main() -> None:
+    graph = generate_dblp(DblpConfig(publications=1200))
+    engine = KeywordSearchEngine(graph, cost_model="c3", k=8)
+
+    print("Step 1 — keyword search: 'database 2003'")
+    result = engine.search("database 2003")
+    for candidate in list(result)[:4]:
+        print(f"  rank {candidate.rank}: {candidate.verbalize()}")
+    print()
+
+    chosen = result.best()
+    print("Step 2 — user picks rank 1; the system shows the structured query:")
+    print(f"  {chosen.to_sparql()}\n")
+
+    answers = engine.execute(chosen)
+    print(f"Step 3 — execute: {len(answers)} answers\n")
+
+    # Refinement 1: restrict to ICDE (add presentedAt + name atoms).
+    print("Step 4 — refine: 'only results presented at ICDE'")
+    query = chosen.query
+    x = query.atoms[0].variables[0]  # the publication variable
+    from repro.rdf.terms import Variable
+
+    venue = Variable("venue")
+    refined = ConjunctiveQuery(
+        list(query.atoms)
+        + [
+            Atom(DBLP.presentedAt, x, venue),
+            Atom(DBLP.name, venue, Literal("ICDE")),
+        ],
+        distinguished=query.distinguished,
+    )
+    print(f"  {refined}")
+    refined_answers = engine.execute(refined)
+    print(f"  -> {len(refined_answers)} answers after refinement\n")
+
+    # Refinement 2: swap the year constant (2003 -> 2004) without re-search.
+    print("Step 5 — refine: change the year constant to 2004")
+    swapped_atoms = [
+        Atom(a.predicate, a.arg1, Literal("2004"))
+        if a.predicate == DBLP.year
+        else a
+        for a in query.atoms
+    ]
+    swapped = ConjunctiveQuery(swapped_atoms, distinguished=query.distinguished)
+    print(f"  {swapped}")
+    print(f"  -> {len(engine.execute(swapped))} answers\n")
+
+    # Refinement 3: project to just the publication variable.
+    print("Step 6 — project: return only the publication")
+    projected = query.project([x])
+    sample = engine.execute(projected, limit=5)
+    for answer in sample:
+        print(f"  -> {graph.label_of(answer.values[0])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments without the ``wheel`` package (plain
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

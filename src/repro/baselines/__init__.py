@@ -1,0 +1,31 @@
+"""Baseline keyword-search systems the paper compares against (Fig. 5).
+
+All baselines share the *answer-computation* paradigm the paper contrasts
+with: they search the **data graph** directly for answer trees with distinct
+roots, instead of computing queries over a summary.
+
+* :mod:`~repro.baselines.backward` — BANKS backward search [Bhalotia+ 02]
+* :mod:`~repro.baselines.bidirectional` — bidirectional expansion with
+  activation spreading [Kacholia+ 05]
+* :mod:`~repro.baselines.blinks` — partition-index guided search in the
+  style of BLINKS [He+ 07], with BFS or METIS-like partitioners and
+  configurable block counts (the paper's "300/1000 BFS/METIS" variants)
+"""
+
+from repro.baselines.graph_adapter import EntityGraphView
+from repro.baselines.answer_trees import AnswerTree
+from repro.baselines.backward import BackwardSearch
+from repro.baselines.bidirectional import BidirectionalSearch
+from repro.baselines.partitioning import bfs_partition, metis_like_partition, partition_quality
+from repro.baselines.blinks import PartitionedIndexSearch
+
+__all__ = [
+    "EntityGraphView",
+    "AnswerTree",
+    "BackwardSearch",
+    "BidirectionalSearch",
+    "bfs_partition",
+    "metis_like_partition",
+    "partition_quality",
+    "PartitionedIndexSearch",
+]

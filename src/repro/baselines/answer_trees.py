@@ -1,0 +1,79 @@
+"""Answer trees: the result model of the distinct-root baselines.
+
+Under the distinct-root assumption (Section VI-A of the paper), an answer is
+a tree rooted at some node with a directed path from the root to at least
+one node per keyword; its cost is the sum of the path lengths — the basic
+metric the BANKS family ranks by.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+
+class AnswerTree:
+    """One distinct-root answer: root + one root→keyword path per keyword."""
+
+    __slots__ = ("root", "paths", "cost")
+
+    def __init__(self, root: int, paths: Sequence[Tuple[int, ...]]):
+        cost = float(sum(max(len(p) - 1, 0) for p in paths))
+        object.__setattr__(self, "root", root)
+        object.__setattr__(self, "paths", tuple(tuple(p) for p in paths))
+        object.__setattr__(self, "cost", cost)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("AnswerTree is immutable")
+
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        out = {self.root}
+        for path in self.paths:
+            out.update(path)
+        return frozenset(out)
+
+    @property
+    def keyword_nodes(self) -> Tuple[int, ...]:
+        """The leaf (keyword-matching) node of each path."""
+        return tuple(p[-1] for p in self.paths)
+
+    @property
+    def canonical_key(self) -> Tuple:
+        """Distinct-root identity: the root plus the matched keyword nodes."""
+        return (self.root, self.keyword_nodes)
+
+    def __eq__(self, other):
+        return isinstance(other, AnswerTree) and other.canonical_key == self.canonical_key
+
+    def __hash__(self):
+        return hash(self.canonical_key)
+
+    def __repr__(self):
+        return f"AnswerTree(root={self.root}, cost={self.cost:.0f}, paths={len(self.paths)})"
+
+
+class BaselineResult:
+    """Top-k answer trees plus exploration statistics."""
+
+    __slots__ = ("trees", "nodes_visited", "edges_traversed", "terminated_by")
+
+    def __init__(
+        self,
+        trees: List[AnswerTree],
+        nodes_visited: int,
+        edges_traversed: int,
+        terminated_by: str,
+    ):
+        self.trees = trees
+        self.nodes_visited = nodes_visited
+        self.edges_traversed = edges_traversed
+        self.terminated_by = terminated_by
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __repr__(self):
+        return (
+            f"BaselineResult(trees={len(self.trees)}, visited={self.nodes_visited}, "
+            f"terminated_by={self.terminated_by!r})"
+        )

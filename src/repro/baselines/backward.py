@@ -1,0 +1,95 @@
+"""BANKS backward search [Bhalotia et al., ICDE 2002].
+
+Concurrent single-source shortest-path iterators run *backward* (along
+incoming edges) from every keyword node, always expanding the globally
+nearest frontier node ("equi-distance expansion").  A node reached by
+iterators of every keyword is an answer root; answers are emitted in
+discovery order, which approximates ascending cost — BANKS provides no
+exact top-k guarantee, which is precisely the gap the paper's Algorithm 2
+closes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.answer_trees import AnswerTree, BaselineResult
+from repro.baselines.graph_adapter import EntityGraphView
+
+
+class BackwardSearch:
+    """The BANKS algorithm over an :class:`EntityGraphView`."""
+
+    name = "backward"
+
+    def __init__(self, view: EntityGraphView, max_distance: int = 6):
+        self._view = view
+        self._max_distance = max_distance
+
+    def search(self, keywords: Sequence[str], k: int = 10) -> BaselineResult:
+        """Find up to k distinct-root answer trees."""
+        keyword_sets = [s for s in self._view.keyword_nodes_all(keywords) if s]
+        m = len(keyword_sets)
+        if m == 0:
+            return BaselineResult([], 0, 0, "no-keywords")
+
+        # dist[i] maps node -> (distance, successor-toward-keyword).
+        dist: List[Dict[int, Tuple[int, Optional[int]]]] = [{} for _ in range(m)]
+        heap: List[Tuple[int, int, int, int]] = []  # (distance, seq, keyword, node)
+        seq = 0
+        for i, nodes in enumerate(keyword_sets):
+            for node in sorted(nodes):
+                dist[i][node] = (0, None)
+                heap.append((0, seq, i, node))
+                seq += 1
+        heapq.heapify(heap)
+
+        trees: List[AnswerTree] = []
+        seen_roots = set()
+        nodes_visited = 0
+        edges = 0
+        terminated_by = "exhausted"
+
+        while heap:
+            d, _, i, node = heapq.heappop(heap)
+            if dist[i].get(node, (None,))[0] != d:
+                continue  # stale entry
+            nodes_visited += 1
+
+            # Answer-root check: reached by every keyword iterator.
+            if node not in seen_roots and all(node in dist[j] for j in range(m)):
+                seen_roots.add(node)
+                trees.append(self._build_tree(node, dist))
+                if len(trees) >= k:
+                    terminated_by = "k-found"
+                    break
+
+            if d >= self._max_distance:
+                continue
+            for neighbor, _label in self._view.in_edges(node):
+                edges += 1
+                nd = d + 1
+                current = dist[i].get(neighbor)
+                if current is None or nd < current[0]:
+                    dist[i][neighbor] = (nd, node)
+                    seq += 1
+                    heapq.heappush(heap, (nd, seq, i, neighbor))
+
+        trees.sort(key=lambda t: t.cost)
+        return BaselineResult(trees, nodes_visited, edges, terminated_by)
+
+    @staticmethod
+    def _build_tree(root: int, dist: List[Dict[int, Tuple[int, Optional[int]]]]) -> AnswerTree:
+        paths = []
+        for table in dist:
+            path = [root]
+            node = root
+            while True:
+                _, successor = table[node]
+                if successor is None:
+                    break
+                path.append(successor)
+                node = successor
+            paths.append(tuple(path))
+        return AnswerTree(root, paths)

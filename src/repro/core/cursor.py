@@ -1,0 +1,108 @@
+"""The cursor ``c(n, k, p, d, w)`` of Algorithm 1.
+
+A cursor represents one distinct path from a keyword element to the element
+it currently visits.  The path itself is recovered by recursive traversal of
+parent cursors, exactly as the paper describes; cursors are immutable, so a
+parent can be shared by many children without copying.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Optional, Tuple
+
+
+class Cursor:
+    """One explored path, addressed by its tip.
+
+    Attributes
+    ----------
+    element:
+        ``n`` — the graph element (vertex or edge key) just visited.
+    keyword:
+        The index *i* of the keyword this path originates from.
+    origin:
+        ``k`` — the keyword element the path started at.
+    parent:
+        ``p`` — the cursor this one was expanded from (None at the origin).
+    distance:
+        ``d`` — number of elements on the path after the origin.
+    cost:
+        ``w`` — accumulated path cost, including the origin's own cost.
+    """
+
+    __slots__ = ("element", "keyword", "origin", "parent", "distance", "cost")
+
+    def __init__(
+        self,
+        element: Hashable,
+        keyword: int,
+        origin: Hashable,
+        parent: Optional["Cursor"],
+        distance: int,
+        cost: float,
+    ):
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "keyword", keyword)
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "distance", distance)
+        object.__setattr__(self, "cost", cost)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Cursor is immutable")
+
+    @classmethod
+    def origin_cursor(cls, element: Hashable, keyword: int, cost: float) -> "Cursor":
+        """The initial cursor placed on a keyword element (Alg 1 line 4)."""
+        return cls(element, keyword, element, None, 0, cost)
+
+    def expand(self, neighbor: Hashable, neighbor_cost: float) -> "Cursor":
+        """A child cursor visiting ``neighbor`` (Alg 1 line 20)."""
+        return Cursor(
+            neighbor,
+            self.keyword,
+            self.origin,
+            self,
+            self.distance + 1,
+            self.cost + neighbor_cost,
+        )
+
+    def visits(self, element: Hashable) -> bool:
+        """True if ``element`` lies on this cursor's path (cycle check,
+        Alg 1 line 17).  Walks the parent chain — paths are short (≤ dmax),
+        and avoiding a per-cursor set allocation matters: cursor creation
+        is the exploration's hot path."""
+        cursor: Optional[Cursor] = self
+        while cursor is not None:
+            if cursor.element == element:
+                return True
+            cursor = cursor.parent
+        return False
+
+    @property
+    def parent_element(self) -> Optional[Hashable]:
+        """The element of the parent cursor, ``(c.p).n`` (Alg 1 line 13)."""
+        return self.parent.element if self.parent is not None else None
+
+    def path(self) -> List[Hashable]:
+        """The path from the origin to the current element."""
+        out: List[Hashable] = []
+        cursor: Optional[Cursor] = self
+        while cursor is not None:
+            out.append(cursor.element)
+            cursor = cursor.parent
+        out.reverse()
+        return out
+
+    def path_elements(self) -> FrozenSet[Hashable]:
+        """The set of elements on the path."""
+        return frozenset(self.path())
+
+    def __len__(self) -> int:
+        return self.distance + 1
+
+    def __repr__(self):
+        return (
+            f"Cursor(element={self.element!r}, keyword={self.keyword}, "
+            f"d={self.distance}, w={self.cost:.3f})"
+        )

@@ -1,0 +1,514 @@
+"""The end-to-end keyword-search engine (Fig. 2's full pipeline).
+
+Offline, the constructor builds the keyword index, the summary graph, and
+the triple store.  Per query, :meth:`KeywordSearchEngine.search` performs
+the five tasks of Section VI — keyword-to-element mapping, augmentation,
+exploration, top-k, query mapping — and returns ranked
+:class:`QueryCandidate` objects carrying the conjunctive query, its cost,
+its subgraph, and presentation renderings (SPARQL, SQL, natural language).
+:meth:`KeywordSearchEngine.execute` then runs a chosen query on the store,
+completing the paper's search paradigm: *compute queries, let the user pick,
+let the database answer*.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.exploration import DEFAULT_DMAX, ExplorationResult, explore_top_k
+from repro.core.query_mapping import QueryMappingError, map_to_query
+from repro.core.subgraph import MatchingSubgraph
+from repro.keyword.keyword_index import (
+    AttributeMatch,
+    KeywordIndex,
+    KeywordMatch,
+    ValueMatch,
+)
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.query.filters import (
+    _COMPARISON_WORDS,
+    Filter,
+    FilteredQuery,
+    FilterKeyword,
+    parse_filter_keyword,
+)
+from repro.rdf.terms import Literal, Variable
+from repro.query.evaluator import Answer, QueryEvaluator
+from repro.query.isomorphism import canonical_form
+from repro.query.nlg import verbalize
+from repro.query.sparql import to_sparql
+from repro.query.sql import to_sql
+from repro.rdf.graph import DataGraph
+from repro.rdf.triples import Triple
+from repro.scoring.cost import CostModel, make_cost_model
+from repro.store.triple_store import TripleStore
+from repro.summary.augmentation import augment
+from repro.summary.summary_graph import SummaryGraph
+
+
+class QueryCandidate:
+    """One computed interpretation: a ranked conjunctive query."""
+
+    __slots__ = ("query", "cost", "subgraph", "rank")
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        cost: float,
+        subgraph: MatchingSubgraph,
+        rank: int,
+    ):
+        self.query = query
+        self.cost = cost
+        self.subgraph = subgraph
+        self.rank = rank
+
+    def to_sparql(self) -> str:
+        return to_sparql(self.query)
+
+    def to_sql(self) -> str:
+        return to_sql(self.query)
+
+    def verbalize(self) -> str:
+        return verbalize(self.query)
+
+    def __repr__(self):
+        return f"QueryCandidate(rank={self.rank}, cost={self.cost:.3f}, query={self.query})"
+
+
+class SearchResult:
+    """The outcome of one keyword search: ranked queries + diagnostics."""
+
+    def __init__(
+        self,
+        keywords: Sequence[str],
+        candidates: List[QueryCandidate],
+        matches: List[List[KeywordMatch]],
+        ignored_keywords: List[str],
+        exploration: Optional[ExplorationResult],
+        timings: Dict[str, float],
+    ):
+        self.keywords = list(keywords)
+        self.candidates = candidates
+        self.matches = matches
+        self.ignored_keywords = ignored_keywords
+        self.exploration = exploration
+        self.timings = timings
+
+    @property
+    def queries(self) -> List[ConjunctiveQuery]:
+        return [c.query for c in self.candidates]
+
+    def best(self) -> Optional[QueryCandidate]:
+        return self.candidates[0] if self.candidates else None
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def __repr__(self):
+        return (
+            f"SearchResult(keywords={self.keywords!r}, "
+            f"candidates={len(self.candidates)}, "
+            f"total_ms={1000 * self.timings.get('total', 0):.1f})"
+        )
+
+
+def _looks_numeric(text: str) -> bool:
+    try:
+        float(text.strip())
+        return True
+    except ValueError:
+        return False
+
+
+def split_keywords(query: str) -> List[str]:
+    """Whitespace keyword segmentation with double-quoted phrase support.
+
+    >>> split_keywords('cimiano "x media" 2006')
+    ['cimiano', 'x media', '2006']
+    """
+    out: List[str] = []
+    buffer: List[str] = []
+    in_quotes = False
+    for ch in query:
+        if ch == '"':
+            in_quotes = not in_quotes
+            if not in_quotes and buffer:
+                out.append("".join(buffer))
+                buffer = []
+        elif ch.isspace() and not in_quotes:
+            if buffer:
+                out.append("".join(buffer))
+                buffer = []
+        else:
+            buffer.append(ch)
+    if buffer:
+        out.append("".join(buffer))
+    return out
+
+
+class KeywordSearchEngine:
+    """Keyword search through top-k query computation over RDF data.
+
+    Parameters
+    ----------
+    graph:
+        The RDF data graph.
+    cost_model:
+        ``"c1"`` / ``"c2"`` / ``"c3"`` / ``"pagerank"`` or a
+        :class:`~repro.scoring.cost.CostModel` instance.  C3 (popularity ÷
+        matching score) is the paper's best performer and the default.
+    k:
+        Default number of queries to compute.
+    dmax:
+        Default exploration depth, in elements.
+    max_matches_per_keyword:
+        Branching bound handed to the keyword index.
+    strict_keywords:
+        If true, a keyword with no matching element fails the search; if
+        false (default) such keywords are ignored and reported in
+        ``SearchResult.ignored_keywords``.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        cost_model: Union[str, CostModel] = "c3",
+        k: int = 10,
+        dmax: int = DEFAULT_DMAX,
+        max_matches_per_keyword: int = 8,
+        strict_keywords: bool = False,
+        guided: bool = False,
+        keyword_index: Optional[KeywordIndex] = None,
+        summary: Optional[SummaryGraph] = None,
+    ):
+        self.graph = graph
+        self.cost_model = (
+            make_cost_model(cost_model) if isinstance(cost_model, str) else cost_model
+        )
+        self.k = k
+        self.dmax = dmax
+        self.strict_keywords = strict_keywords
+        self.guided = guided
+
+        started = time.perf_counter()
+        self.summary = summary or SummaryGraph.from_data_graph(graph)
+        self.keyword_index = keyword_index or KeywordIndex(
+            graph, max_matches_per_keyword=max_matches_per_keyword
+        )
+        self.store = TripleStore.from_graph(graph)
+        self.evaluator = QueryEvaluator(self.store)
+        self.preprocessing_seconds = time.perf_counter() - started
+
+    @classmethod
+    def from_triples(cls, triples: Sequence[Triple], **kwargs) -> "KeywordSearchEngine":
+        return cls(DataGraph(triples), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Search (Fig. 2, online part)
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[str, Sequence[str]],
+        k: Optional[int] = None,
+        dmax: Optional[int] = None,
+        max_cursors: Optional[int] = None,
+        matches: Optional[List[List[KeywordMatch]]] = None,
+    ) -> SearchResult:
+        """Compute the top-k conjunctive queries for a keyword query.
+
+        ``matches`` overrides the keyword-to-element mapping (one match
+        list per keyword) — used by extensions such as the filter operator
+        support, which inject attribute-level interpretations.
+        """
+        keywords = split_keywords(query) if isinstance(query, str) else list(query)
+        k = k or self.k
+        dmax = dmax or self.dmax
+        timings: Dict[str, float] = {}
+        total_started = time.perf_counter()
+
+        # Task 1: keyword-to-element mapping.
+        step = time.perf_counter()
+        if matches is None:
+            matches = self.keyword_index.lookup_all(keywords)
+        elif len(matches) != len(keywords):
+            raise ValueError("matches must align one list per keyword")
+        timings["keyword_mapping"] = time.perf_counter() - step
+
+        ignored = [kw for kw, m in zip(keywords, matches) if not m]
+        if ignored and self.strict_keywords:
+            raise KeyError(f"keywords with no matching element: {ignored}")
+        effective = [m for m in matches if m]
+
+        if not effective:
+            timings["total"] = time.perf_counter() - total_started
+            return SearchResult(keywords, [], matches, ignored, None, timings)
+
+        # Task 2: augmentation of the graph index.
+        step = time.perf_counter()
+        augmented = augment(self.summary, effective)
+        costs = self.cost_model.element_costs(augmented)
+        timings["augmentation"] = time.perf_counter() - step
+
+        # Tasks 3+4: exploration and top-k.
+        step = time.perf_counter()
+        exploration = explore_top_k(
+            augmented,
+            costs,
+            k=k,
+            dmax=dmax,
+            max_cursors=max_cursors,
+            guided=self.guided,
+        )
+        timings["exploration"] = time.perf_counter() - step
+
+        # Task 5: query mapping.
+        step = time.perf_counter()
+        candidates = self._map_candidates(exploration.subgraphs, augmented.graph)
+        timings["query_mapping"] = time.perf_counter() - step
+
+        timings["total"] = time.perf_counter() - total_started
+        return SearchResult(keywords, candidates, matches, ignored, exploration, timings)
+
+    def _map_candidates(self, subgraphs, augmented_graph) -> List[QueryCandidate]:
+        type_pred = self.graph.preferred_type_predicate
+        subclass_pred = self.graph.preferred_subclass_predicate
+        candidates: List[QueryCandidate] = []
+        seen_forms = {}
+        for subgraph in subgraphs:
+            try:
+                query = map_to_query(
+                    subgraph,
+                    augmented_graph,
+                    type_predicate=type_pred,
+                    subclass_predicate=subclass_pred,
+                )
+            except QueryMappingError:
+                continue
+            form = canonical_form(query)
+            if form in seen_forms:  # cheaper duplicate already ranked
+                continue
+            seen_forms[form] = True
+            candidates.append(
+                QueryCandidate(query, subgraph.cost, subgraph, rank=len(candidates) + 1)
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Filter extension (the paper's Section IX future work)
+    # ------------------------------------------------------------------
+
+    def search_with_filters(
+        self,
+        query: Union[str, Sequence[str]],
+        k: Optional[int] = None,
+    ) -> List[FilteredQuery]:
+        """Keyword search where comparison keywords become FILTER operators.
+
+        Keywords like ``"before 2005"``, ``"since 2000"`` or ``"2000-2005"``
+        are recognized as operators (``repro.query.filters``), the remaining
+        keywords are interpreted as usual, and each computed query gets the
+        filters bound to the matching attribute's variable — generalizing a
+        pinned constant to a constrained variable where needed.
+
+        Returns the ranked filtered queries (candidates where a filter
+        could not be bound to any attribute are dropped).
+        """
+        keywords = split_keywords(query) if isinstance(query, str) else list(query)
+        # Merge a bare comparison word with its operand ("before", "2005" →
+        # "before 2005") so whitespace splitting doesn't hide the operator.
+        merged: List[str] = []
+        skip = False
+        for i, keyword in enumerate(keywords):
+            if skip:
+                skip = False
+                continue
+            if keyword.lower() in _COMPARISON_WORDS and i + 1 < len(keywords):
+                merged.append(f"{keyword} {keywords[i + 1]}")
+                skip = True
+            else:
+                merged.append(keyword)
+
+        filter_keywords: List[FilterKeyword] = []
+        plain: List[str] = []
+        for keyword in merged:
+            recognized = parse_filter_keyword(keyword)
+            if recognized is not None:
+                filter_keywords.append(recognized)
+            else:
+                plain.append(keyword)
+        if not plain:
+            raise ValueError("a filtered search needs at least one plain keyword")
+
+        # Each filter operand participates in the exploration as the
+        # A-edge(s) its values occur under (an AttributeMatch), so the
+        # computed subgraphs contain e.g. a `year(?x, ?value)` edge the
+        # filter can then constrain.
+        plain_matches = self.keyword_index.lookup_all(plain)
+        filter_attr_labels: List[frozenset] = []
+        filter_matches: List[List[KeywordMatch]] = []
+        for fk in filter_keywords:
+            labels = self._operand_attributes(fk)
+            filter_attr_labels.append(labels)
+            filter_matches.append(
+                [
+                    AttributeMatch(
+                        label, self.keyword_index.attribute_classes(label), 1.0
+                    )
+                    for label in sorted(labels, key=lambda u: u.value)
+                ]
+            )
+
+        keywords = plain + [fk.source for fk in filter_keywords]
+        result = self.search(
+            keywords, k=k, matches=plain_matches + filter_matches
+        )
+        out: List[FilteredQuery] = []
+        for candidate in result.candidates:
+            bound = self._bind_filters(
+                candidate.query, filter_keywords, filter_attr_labels
+            )
+            if bound is not None:
+                out.append(bound)
+        return out
+
+    def _operand_attributes(self, fk: FilterKeyword) -> frozenset:
+        """The A-edge labels a filter operand plausibly constrains.
+
+        Primary route: the operand's value matches reveal the attributes it
+        occurs under (``2005`` → ``year``).  Fallback for out-of-data
+        operands (``before 2050``): every attribute whose stored values are
+        of the same kind (numeric vs. text).
+        """
+        labels = {
+            occurrence[0]
+            for match in self.keyword_index.lookup(fk.value.lexical)
+            if isinstance(match, ValueMatch)
+            for occurrence in match.occurrences
+        }
+        if labels:
+            return frozenset(labels)
+        operand_numeric = _looks_numeric(fk.value.lexical)
+        fallback = set()
+        for label in self.keyword_index.attribute_labels():
+            sample = next(iter(self.graph.attribute_triples(label)), None)
+            if sample is not None and _looks_numeric(sample.object.lexical) == operand_numeric:
+                fallback.add(label)
+        return frozenset(fallback)
+
+    def _bind_filters(
+        self,
+        query: ConjunctiveQuery,
+        filter_keywords: List[FilterKeyword],
+        filter_attr_labels: List[frozenset],
+    ) -> Optional[FilteredQuery]:
+        """Attach every filter to the matching attribute variable, creating
+        one (by generalizing a pinned constant) when necessary."""
+        atoms = list(query.atoms)
+        filters: List[Filter] = []
+        fresh = 0
+
+        for fk, attr_labels in zip(filter_keywords, filter_attr_labels):
+            target_index = None
+            # Prefer an atom with a free (artificial-value) variable.
+            for i, atom in enumerate(atoms):
+                if atom.predicate in attr_labels and isinstance(atom.arg2, Variable):
+                    target_index = i
+                    break
+            if target_index is None:
+                for i, atom in enumerate(atoms):
+                    if atom.predicate in attr_labels:
+                        target_index = i
+                        break
+            if target_index is None:
+                return None
+
+            atom = atoms[target_index]
+            if isinstance(atom.arg2, Variable):
+                filters.append(fk.bind(atom.arg2))
+            else:
+                fresh += 1
+                variable = Variable(f"f{fresh}")
+                atoms[target_index] = Atom(atom.predicate, atom.arg1, variable)
+                filters.append(fk.bind(variable))
+
+        return FilteredQuery(ConjunctiveQuery(atoms), filters)
+
+    def execute_filtered(
+        self, filtered: FilteredQuery, limit: Optional[int] = None
+    ):
+        """Run a filtered query on the underlying store."""
+        return filtered.evaluate(self.evaluator, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Query processing (the database side of the paradigm)
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        candidate: Union[QueryCandidate, ConjunctiveQuery],
+        limit: Optional[int] = None,
+    ) -> List[Answer]:
+        """Run one computed query on the underlying store."""
+        query = candidate.query if isinstance(candidate, QueryCandidate) else candidate
+        return self.evaluator.evaluate(query, limit=limit)
+
+    def search_and_execute(
+        self,
+        query: Union[str, Sequence[str]],
+        k: Optional[int] = None,
+        min_answers: int = 10,
+    ) -> Dict[str, object]:
+        """The Fig. 5 measurement protocol: compute the top-k queries, then
+        process them best-first until at least ``min_answers`` answers are
+        collected.  Returns answers, the queries used, and wall-clock
+        timings for both phases.
+        """
+        started = time.perf_counter()
+        result = self.search(query, k=k)
+        computation_seconds = time.perf_counter() - started
+
+        answers: List[Answer] = []
+        used: List[QueryCandidate] = []
+        started = time.perf_counter()
+        for candidate in result.candidates:
+            remaining = min_answers - len(answers)
+            if remaining <= 0:
+                break
+            batch = self.execute(candidate, limit=remaining)
+            if batch:
+                used.append(candidate)
+                answers.extend(batch)
+        processing_seconds = time.perf_counter() - started
+
+        return {
+            "result": result,
+            "answers": answers,
+            "queries_used": used,
+            "computation_seconds": computation_seconds,
+            "processing_seconds": processing_seconds,
+            "total_seconds": computation_seconds + processing_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_stats(self) -> Dict[str, Dict[str, float]]:
+        """Index sizes and build times (the Fig. 6b quantities)."""
+        return {
+            "keyword_index": self.keyword_index.stats(),
+            "graph_index": self.summary.stats(),
+            "data_graph": {k: float(v) for k, v in self.graph.stats().items()},
+        }
+
+    def __repr__(self):
+        return (
+            f"KeywordSearchEngine(triples={len(self.graph)}, "
+            f"cost_model={self.cost_model.name!r}, k={self.k})"
+        )

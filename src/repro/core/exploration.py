@@ -1,0 +1,402 @@
+"""Algorithm 1: cost-ordered exploration for minimal matching subgraphs.
+
+Cursors start at every keyword element and expand outward over the augmented
+summary graph, always cheapest-first across all keyword queues (implemented
+as one global heap — taking the global minimum is exactly "the top element
+of each Q_i").  Both vertices and edges are visited; expansion skips the
+parent element and any element already on the path (distinct, acyclic
+paths).  Every registration triggers the Algorithm 2 top-k check, and the
+invariant behind the guarantee — cursors pop in non-decreasing cost order
+(Theorem 1) — holds because element costs are strictly positive.
+
+Implementation notes (performance, same semantics):
+
+* element keys are interned to integers for the duration of one query —
+  heap entries, cycle checks, and canonical subgraph keys then hash small
+  ints instead of nested URI tuples;
+* pushes are pruned when the target element already holds k registered
+  paths for the cursor's keyword (pop order is cost-monotone, so such a
+  cursor could never register);
+* new candidate combinations are enumerated best-first and cut off at the
+  candidate list's current k-th cost — combinations at the same element
+  that are worse than k existing candidates can never enter the top-k.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cursor import Cursor
+from repro.core.subgraph import MatchingSubgraph
+from repro.core.topk import CandidateList
+from repro.summary.augmentation import AugmentedSummaryGraph
+
+#: Default bound on path length, counted in *elements* (a vertex→vertex hop
+#: crosses two elements: the edge and the far vertex).
+DEFAULT_DMAX = 10
+
+
+class ExplorationResult:
+    """Top-k subgraphs plus diagnostics of one exploration run."""
+
+    __slots__ = (
+        "subgraphs",
+        "cursors_created",
+        "cursors_popped",
+        "cursors_pruned",
+        "candidates_offered",
+        "terminated_by",
+        "max_queue_size",
+    )
+
+    def __init__(
+        self,
+        subgraphs: List[MatchingSubgraph],
+        cursors_created: int,
+        cursors_popped: int,
+        cursors_pruned: int,
+        candidates_offered: int,
+        terminated_by: str,
+        max_queue_size: int,
+    ):
+        self.subgraphs = subgraphs
+        self.cursors_created = cursors_created
+        self.cursors_popped = cursors_popped
+        self.cursors_pruned = cursors_pruned
+        self.candidates_offered = candidates_offered
+        self.terminated_by = terminated_by
+        self.max_queue_size = max_queue_size
+
+    def __repr__(self):
+        return (
+            f"ExplorationResult(subgraphs={len(self.subgraphs)}, "
+            f"popped={self.cursors_popped}, terminated_by={self.terminated_by!r})"
+        )
+
+
+class _InternedGraph:
+    """Integer-id view of an augmented summary graph for one exploration."""
+
+    __slots__ = ("keys", "ids", "neighbors", "costs")
+
+    def __init__(self, augmented: AugmentedSummaryGraph, element_costs: Dict[Hashable, float]):
+        graph = augmented.graph
+        self.keys: List[Hashable] = []
+        self.ids: Dict[Hashable, int] = {}
+
+        def _intern(key: Hashable) -> int:
+            existing = self.ids.get(key)
+            if existing is not None:
+                return existing
+            new_id = len(self.keys)
+            self.ids[key] = new_id
+            self.keys.append(key)
+            return new_id
+
+        for vertex in graph.vertices:
+            _intern(vertex.key)
+        for edge in graph.edges:
+            _intern(edge.key)
+
+        n = len(self.keys)
+        self.neighbors: List[List[int]] = [[] for _ in range(n)]
+        self.costs: List[float] = [0.0] * n
+        for key, idx in self.ids.items():
+            cost = element_costs.get(key)
+            if cost is None:
+                raise KeyError(f"no cost assigned to element {key!r}")
+            if cost <= 0:
+                raise ValueError(f"element cost must be positive: {key!r} -> {cost}")
+            self.costs[idx] = cost
+            self.neighbors[idx] = [self.ids[nb] for nb in graph.neighbors(key)]
+
+
+class _ElementState:
+    """The per-element bookkeeping ``n(w, (C_1, ..., C_m))`` of Algorithm 1.
+
+    ``paths[i]`` holds the cursors that reached this element from keyword i,
+    in ascending cost order (pop order guarantees this), capped at k — the
+    paper's space bound of k cheapest paths per (element, keyword).
+    """
+
+    __slots__ = ("paths",)
+
+    def __init__(self, keyword_count: int):
+        self.paths: List[List[Cursor]] = [[] for _ in range(keyword_count)]
+
+    def register(self, cursor: Cursor, cap: int) -> bool:
+        """Record a path; False if the per-keyword cap is already reached."""
+        bucket = self.paths[cursor.keyword]
+        if len(bucket) >= cap:
+            return False
+        bucket.append(cursor)
+        return True
+
+    def is_connecting(self) -> bool:
+        """All C_i non-empty: at least one path per keyword meets here."""
+        return all(self.paths)
+
+
+def _best_combinations(
+    lists: Sequence[Sequence[Cursor]],
+) -> Iterator[Tuple[float, Tuple[Cursor, ...]]]:
+    """Cursor tuples across per-keyword lists, cheapest-sum first.
+
+    Each list is sorted ascending by cost, so this is the classic
+    k-smallest-sums frontier search from index vector (0, …, 0); the caller
+    decides when to stop consuming.
+    """
+    if any(not lst for lst in lists):
+        return
+    m = len(lists)
+    start = (0,) * m
+    start_cost = sum(lst[0].cost for lst in lists)
+    heap: List[Tuple[float, Tuple[int, ...]]] = [(start_cost, start)]
+    seen = {start}
+    while heap:
+        cost, indices = heapq.heappop(heap)
+        yield cost, tuple(lists[i][indices[i]] for i in range(m))
+        for i in range(m):
+            if indices[i] + 1 < len(lists[i]):
+                successor = indices[:i] + (indices[i] + 1,) + indices[i + 1 :]
+                if successor not in seen:
+                    seen.add(successor)
+                    step = lists[i][successor[i]].cost - lists[i][indices[i]].cost
+                    heapq.heappush(heap, (cost + step, successor))
+
+
+def _dijkstra(
+    seeds: Dict[int, float], neighbors: List[List[int]], costs: List[float]
+) -> List[float]:
+    """Cheapest path cost to every element from weighted seed elements.
+
+    Seeds carry their initial path cost; relaxing an edge adds the cost of
+    the element being entered — matching the exploration's path-cost
+    definition (origin cost included).
+    """
+    n = len(costs)
+    dist = [float("inf")] * n
+    heap: List[Tuple[float, int]] = []
+    for node, cost in seeds.items():
+        if cost < dist[node]:
+            dist[node] = cost
+            heap.append((cost, node))
+    heapq.heapify(heap)
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d != dist[node]:
+            continue
+        for neighbor in neighbors[node]:
+            nd = d + costs[neighbor]
+            if nd < dist[neighbor]:
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return dist
+
+
+def _completion_bounds(
+    keyword_sets: List[List[int]],
+    seed_costs: List[Dict[int, float]],
+    neighbors: List[List[int]],
+    costs: List[float],
+) -> List[List[float]]:
+    """Per-keyword admissible completion bounds L_i(n) (guided exploration).
+
+    ``dist_j(n)`` = cheapest path cost from keyword j to element n.  The
+    raw table is a Dijkstra seeded with ``S_i(n*) = Σ_{j≠i} dist_j(n*)`` at
+    every element; since relaxation *enters* nodes (adding the entered
+    node's cost) while a cursor's own cost already covers its element, the
+    admissible per-cursor bound is ``L_i(n) − cost(n)``: a subgraph
+    completing a keyword-i path sitting at n with cost w costs at least
+    ``w + L_i(n) − cost(n)``.  Bounds also ignore the simple-path
+    constraint, so they only ever *under*estimate: pruning on them
+    preserves the exact top-k.
+    """
+    m = len(keyword_sets)
+    per_keyword_dist = [
+        _dijkstra(seed_costs[i], neighbors, costs) for i in range(m)
+    ]
+    bounds: List[List[float]] = []
+    for i in range(m):
+        seeds: Dict[int, float] = {}
+        for node in range(len(costs)):
+            total = 0.0
+            for j in range(m):
+                if j == i:
+                    continue
+                dj = per_keyword_dist[j][node]
+                if dj == float("inf"):
+                    total = float("inf")
+                    break
+                total += dj
+            if total != float("inf"):
+                seeds[node] = total
+        bounds.append(_dijkstra(seeds, neighbors, costs) if seeds else [float("inf")] * len(costs))
+    return bounds
+
+
+def explore_top_k(
+    augmented: AugmentedSummaryGraph,
+    element_costs: Dict[Hashable, float],
+    k: int = 10,
+    dmax: int = DEFAULT_DMAX,
+    max_cursors: Optional[int] = None,
+    guided: bool = False,
+) -> ExplorationResult:
+    """Run Algorithms 1+2 and return the k cheapest matching subgraphs.
+
+    Parameters
+    ----------
+    augmented:
+        The augmented summary graph with per-keyword element sets K_i.
+    element_costs:
+        Positive cost per element key (from a :class:`~repro.scoring.cost.CostModel`).
+    k:
+        Number of subgraphs to compute.
+    dmax:
+        Maximum path length in elements; cursors at distance ``dmax`` are
+        registered but not expanded.
+    max_cursors:
+        Optional safety bound on total cursor creations; exceeding it stops
+        exploration and returns the best candidates found so far
+        (``terminated_by == "budget"``).
+    guided:
+        Enable distance-information pruning (the Section VI-A/IX "indexing
+        connectivity" speed-up): per-keyword cheapest-completion bounds are
+        precomputed, and cursors that provably cannot contribute a
+        candidate better than the current k-th are discarded.  The result
+        is identical; only the work changes.
+    """
+    keyword_sets = [ks for ks in augmented.keyword_elements if ks]
+    m = len(keyword_sets)
+    candidates = CandidateList(k)
+
+    if m == 0:
+        return ExplorationResult([], 0, 0, 0, 0, "no-keywords", 0)
+
+    interned = _InternedGraph(augmented, element_costs)
+    neighbors = interned.neighbors
+    costs = interned.costs
+
+    heap: List[Tuple[float, int, Cursor]] = []
+    created = 0
+    popped = 0
+    pruned = 0
+    max_queue = 0
+    terminated_by = "exhausted"
+
+    def _push(cursor: Cursor) -> None:
+        nonlocal created
+        created += 1
+        heapq.heappush(heap, (cursor.cost, created, cursor))
+
+    # Deterministic seeding: K_i are sets, so fix an order (by key repr) to
+    # make tie-breaking — and therefore ranking among equal-cost subgraphs —
+    # reproducible across processes.
+    seed_costs: List[Dict[int, float]] = [dict() for _ in range(m)]
+    for i, elements in enumerate(keyword_sets):
+        for key in sorted(elements, key=repr):
+            element = interned.ids.get(key)
+            if element is None:
+                raise KeyError(f"keyword element {key!r} not in augmented graph")
+            seed_costs[i][element] = costs[element]
+            _push(Cursor.origin_cursor(element, i, costs[element]))
+
+    bounds: Optional[List[List[float]]] = None
+    if guided:
+        bounds = _completion_bounds(
+            [list(sc) for sc in seed_costs], seed_costs, neighbors, costs
+        )
+
+    states: Dict[int, _ElementState] = {}
+
+    while heap:
+        if len(heap) > max_queue:
+            max_queue = len(heap)
+        _, _, cursor = heapq.heappop(heap)
+        popped += 1
+        element = cursor.element
+
+        if cursor.distance > dmax:
+            continue
+
+        # Guided pruning: if even the cheapest completion of this path
+        # cannot beat the k-th candidate, the cursor is dead weight.
+        # (The raw bound enters `element` once more; the cursor's cost
+        # already covers it, hence the subtraction — see _completion_bounds.)
+        if bounds is not None:
+            completion = bounds[cursor.keyword][element] - costs[element]
+            if cursor.cost + completion >= candidates.kth_cost():
+                pruned += 1
+                continue
+
+        state = states.get(element)
+        if state is None:
+            state = _ElementState(m)
+            states[element] = state
+        if not state.register(cursor, cap=k):
+            pruned += 1
+            continue
+
+        # Expand to all neighbors except the parent, avoiding cycles
+        # (Alg 1 lines 13-22).  Registration happened, so paths of length
+        # dmax still contribute to connecting elements.
+        if cursor.distance < dmax:
+            parent_element = cursor.parent_element
+            kw = cursor.keyword
+            for neighbor in neighbors[element]:
+                if neighbor == parent_element:
+                    continue
+                if cursor.visits(neighbor):
+                    continue
+                neighbor_state = states.get(neighbor)
+                if neighbor_state is not None and len(neighbor_state.paths[kw]) >= k:
+                    pruned += 1
+                    continue
+                _push(cursor.expand(neighbor, costs[neighbor]))
+
+        # Algorithm 2: build the new candidate subgraphs this registration
+        # enables — combinations that use this cursor for its keyword and
+        # any registered path for every other keyword, enumerated
+        # best-first.  Enumeration stops when (a) the combination cost
+        # reaches the k-th candidate cost (ascending order: nothing later
+        # can enter the top-k), or (b) k *distinct element sets* have been
+        # produced here — any further combination is dominated by k
+        # already-offered candidates at this element that cost no more.
+        if state.is_connecting():
+            other_lists = [
+                state.paths[i] if i != cursor.keyword else [cursor] for i in range(m)
+            ]
+            distinct_sets = set()
+            for combo_cost, combo in _best_combinations(other_lists):
+                if len(candidates) >= k and combo_cost >= candidates.kth_cost():
+                    break
+                merged = MatchingSubgraph.from_cursors(element, combo)
+                candidates.offer(merged)
+                distinct_sets.add(merged.canonical_key)
+                if len(distinct_sets) >= k:
+                    break
+
+        # Termination check: cheapest outstanding cursor bounds every
+        # undiscovered subgraph from below.
+        lowest_remaining = heap[0][0] if heap else float("inf")
+        if candidates.should_terminate(lowest_remaining):
+            terminated_by = "threshold"
+            break
+
+        if max_cursors is not None and created >= max_cursors:
+            terminated_by = "budget"
+            break
+
+    decode = interned.keys.__getitem__
+    subgraphs = [sg.translated(decode) for sg in candidates.best()]
+    return ExplorationResult(
+        subgraphs=subgraphs,
+        cursors_created=created,
+        cursors_popped=popped,
+        cursors_pruned=pruned,
+        candidates_offered=candidates.offered,
+        terminated_by=terminated_by,
+        max_queue_size=max_queue,
+    )

@@ -1,0 +1,98 @@
+"""Matching subgraphs (Definition 6), merged from cursor paths.
+
+A K-matching subgraph contains at least one representative element per
+keyword and is connected.  Here it arises by merging one cursor path per
+keyword at a common connecting element; its cost is the sum of the merged
+paths' costs — shared elements deliberately count once **per path**
+(Section V), which both rewards tight connections and makes path costs
+locally computable for top-k.
+
+During exploration, elements are integer ids (interned per query for
+speed); :meth:`MatchingSubgraph.translated` converts a finished subgraph
+back to summary-graph element keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, List, Sequence, Tuple
+
+from repro.core.cursor import Cursor
+
+
+class MatchingSubgraph:
+    """A candidate result of the exploration: merged paths + their cost."""
+
+    __slots__ = ("connecting_element", "paths", "elements", "cost")
+
+    def __init__(
+        self,
+        connecting_element: Hashable,
+        paths: Sequence[Sequence[Hashable]],
+        cost: float,
+    ):
+        if not paths:
+            raise ValueError("a matching subgraph needs at least one path")
+        elements: FrozenSet[Hashable] = frozenset(
+            element for path in paths for element in path
+        )
+        object.__setattr__(self, "connecting_element", connecting_element)
+        object.__setattr__(self, "paths", tuple(tuple(p) for p in paths))
+        object.__setattr__(self, "elements", elements)
+        object.__setattr__(self, "cost", float(cost))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("MatchingSubgraph is immutable")
+
+    @classmethod
+    def from_cursors(
+        cls, connecting_element: Hashable, cursors: Sequence[Cursor]
+    ) -> "MatchingSubgraph":
+        """Merge one cursor path per keyword at a connecting element."""
+        return cls(
+            connecting_element,
+            [c.path() for c in cursors],
+            sum(c.cost for c in cursors),
+        )
+
+    @property
+    def canonical_key(self) -> FrozenSet[Hashable]:
+        """Identity for deduplication: the element set.
+
+        Different connecting elements or path decompositions can assemble
+        the same subgraph; the candidate list keeps only the cheapest.
+        """
+        return self.elements
+
+    @property
+    def keyword_origins(self) -> Tuple[Hashable, ...]:
+        """The origin element per merged path, in keyword order."""
+        return tuple(p[0] for p in self.paths)
+
+    def translated(self, decode: Callable[[Hashable], Hashable]) -> "MatchingSubgraph":
+        """A copy with every element mapped through ``decode``."""
+        return MatchingSubgraph(
+            decode(self.connecting_element),
+            [[decode(e) for e in path] for path in self.paths],
+            self.cost,
+        )
+
+    def edge_keys(self) -> List[Hashable]:
+        """Edge elements of the subgraph (4-tuple keys)."""
+        from repro.summary.elements import is_edge_key
+
+        return [key for key in self.elements if is_edge_key(key)]
+
+    def vertex_keys(self) -> List[Hashable]:
+        """Vertex elements of the subgraph."""
+        from repro.summary.elements import is_edge_key
+
+        return [key for key in self.elements if not is_edge_key(key)]
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self):
+        return (
+            f"MatchingSubgraph(connecting={self.connecting_element!r}, "
+            f"elements={len(self.elements)}, cost={self.cost:.3f})"
+        )

@@ -1,0 +1,42 @@
+"""Dataset generators and evaluation workloads.
+
+The paper evaluates on DBLP (26M triples), TAP (220k triples), and
+LUBM(50,0).  None of those dumps is available offline, so this package
+generates structurally equivalent data at configurable scale — see
+DESIGN.md §4 for the substitution argument — plus the keyword-query
+workloads with ground-truth intent used by the Fig. 4/5/6 benchmarks.
+"""
+
+from repro.datasets.example import running_example_graph
+from repro.datasets.dblp import generate_dblp, DblpConfig, DBLP
+from repro.datasets.lubm import generate_lubm, LubmConfig, UB
+from repro.datasets.tap import generate_tap, TapConfig, TAP
+from repro.datasets.workloads import (
+    WorkloadQuery,
+    IntentSpec,
+    Contains,
+    OneOf,
+    dblp_effectiveness_workload,
+    tap_effectiveness_workload,
+    dblp_performance_queries,
+)
+
+__all__ = [
+    "running_example_graph",
+    "generate_dblp",
+    "DblpConfig",
+    "DBLP",
+    "generate_lubm",
+    "LubmConfig",
+    "UB",
+    "generate_tap",
+    "TapConfig",
+    "TAP",
+    "WorkloadQuery",
+    "IntentSpec",
+    "Contains",
+    "OneOf",
+    "dblp_effectiveness_workload",
+    "tap_effectiveness_workload",
+    "dblp_performance_queries",
+]

@@ -1,0 +1,178 @@
+"""A LUBM-style university dataset generator.
+
+The Lehigh University Benchmark's Java generator cannot run offline, so this
+module re-implements its schema and cardinality ratios (scaled down by
+default) with a seeded PRNG: universities contain departments; departments
+employ full/associate/assistant professors and lecturers; students take
+courses, have advisors, and co-author publications with faculty — the same
+relation structure LUBM(50,0) exercises in the paper's Fig. 6b.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import Namespace, RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+#: Vocabulary namespace, mirroring LUBM's univ-bench ontology names.
+UB = Namespace("http://example.org/univ-bench/")
+
+
+@dataclass(frozen=True)
+class LubmConfig:
+    """Scaled-down LUBM cardinalities (original ranges in comments)."""
+
+    universities: int = 1
+    seed: int = 50
+    departments_per_university: Tuple[int, int] = (3, 5)  # LUBM: 15-25
+    full_professors: Tuple[int, int] = (2, 4)  # LUBM: 7-10
+    associate_professors: Tuple[int, int] = (3, 5)  # LUBM: 10-14
+    assistant_professors: Tuple[int, int] = (2, 4)  # LUBM: 8-11
+    lecturers: Tuple[int, int] = (2, 3)  # LUBM: 5-7
+    undergrad_per_faculty: Tuple[int, int] = (3, 5)  # LUBM: 8-14
+    grad_per_faculty: Tuple[int, int] = (1, 3)  # LUBM: 3-4
+    courses_per_faculty: Tuple[int, int] = (1, 2)
+    publications_per_faculty: Tuple[int, int] = (1, 5)
+
+
+_FACULTY_CLASSES = ("FullProfessor", "AssociateProfessor", "AssistantProfessor")
+
+
+def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
+    """Generate the dataset deterministically for a given config."""
+    rng = random.Random(config.seed)
+    triples: List[Triple] = []
+    t = RDF.type
+    sub = RDFS.subClassOf
+
+    # Class hierarchy (subset of univ-bench).
+    hierarchy = [
+        ("FullProfessor", "Professor"),
+        ("AssociateProfessor", "Professor"),
+        ("AssistantProfessor", "Professor"),
+        ("Professor", "Faculty"),
+        ("Lecturer", "Faculty"),
+        ("Faculty", "Employee"),
+        ("Employee", "Person"),
+        ("UndergraduateStudent", "Student"),
+        ("GraduateStudent", "Student"),
+        ("Student", "Person"),
+        ("GraduateCourse", "Course"),
+        ("Department", "Organization"),
+        ("University", "Organization"),
+        ("ResearchGroup", "Organization"),
+    ]
+    for child, parent in hierarchy:
+        triples.append(Triple(UB[child], sub, UB[parent]))
+
+    pub_index = 0
+    course_index = 0
+
+    for u in range(config.universities):
+        university = UB[f"university{u}"]
+        triples.append(Triple(university, t, UB.University))
+        triples.append(Triple(university, UB.name, Literal(f"University{u}")))
+
+        n_departments = rng.randint(*config.departments_per_university)
+        for d in range(n_departments):
+            department = UB[f"department{u}_{d}"]
+            triples.append(Triple(department, t, UB.Department))
+            triples.append(Triple(department, UB.name, Literal(f"Department{d} of University{u}")))
+            triples.append(Triple(department, UB.subOrganizationOf, university))
+
+            group = UB[f"group{u}_{d}"]
+            triples.append(Triple(group, t, UB.ResearchGroup))
+            triples.append(Triple(group, UB.subOrganizationOf, department))
+
+            faculty: List[URI] = []
+            counts = (
+                rng.randint(*config.full_professors),
+                rng.randint(*config.associate_professors),
+                rng.randint(*config.assistant_professors),
+            )
+            for cls_name, count in zip(_FACULTY_CLASSES, counts):
+                for i in range(count):
+                    prof = UB[f"{cls_name.lower()}{u}_{d}_{i}"]
+                    faculty.append(prof)
+                    triples.append(Triple(prof, t, UB[cls_name]))
+                    triples.append(
+                        Triple(prof, UB.name, Literal(f"{cls_name}{i} Dept{d} Univ{u}"))
+                    )
+                    triples.append(
+                        Triple(prof, UB.emailAddress, Literal(f"{cls_name.lower()}{i}@u{u}d{d}.edu"))
+                    )
+                    triples.append(Triple(prof, UB.worksFor, department))
+                    triples.append(
+                        Triple(prof, UB.doctoralDegreeFrom,
+                               UB[f"university{rng.randrange(max(config.universities, 1))}"])
+                    )
+            # The first full professor heads the department.
+            triples.append(Triple(faculty[0], UB.headOf, department))
+
+            for i in range(rng.randint(*config.lecturers)):
+                lecturer = UB[f"lecturer{u}_{d}_{i}"]
+                faculty.append(lecturer)
+                triples.append(Triple(lecturer, t, UB.Lecturer))
+                triples.append(Triple(lecturer, UB.name, Literal(f"Lecturer{i} Dept{d} Univ{u}")))
+                triples.append(Triple(lecturer, UB.worksFor, department))
+
+            # Courses taught by faculty.
+            courses: List[URI] = []
+            for member in faculty:
+                for _ in range(rng.randint(*config.courses_per_faculty)):
+                    is_grad = rng.random() < 0.3
+                    course = UB[f"course{course_index}"]
+                    course_index += 1
+                    courses.append(course)
+                    triples.append(
+                        Triple(course, t, UB.GraduateCourse if is_grad else UB.Course)
+                    )
+                    triples.append(Triple(course, UB.name, Literal(f"Course{course_index}")))
+                    triples.append(Triple(member, UB.teacherOf, course))
+
+            # Publications co-authored by faculty (and later grad students).
+            publications: List[URI] = []
+            for member in faculty:
+                for _ in range(rng.randint(*config.publications_per_faculty)):
+                    pub = UB[f"publication{pub_index}"]
+                    pub_index += 1
+                    publications.append(pub)
+                    triples.append(Triple(pub, t, UB.Publication))
+                    triples.append(Triple(pub, UB.name, Literal(f"Publication{pub_index}")))
+                    triples.append(Triple(pub, UB.publicationAuthor, member))
+
+            # Students.
+            n_faculty = len(faculty)
+            n_undergrad = rng.randint(*config.undergrad_per_faculty) * n_faculty
+            for i in range(n_undergrad):
+                student = UB[f"undergrad{u}_{d}_{i}"]
+                triples.append(Triple(student, t, UB.UndergraduateStudent))
+                triples.append(Triple(student, UB.name, Literal(f"UndergraduateStudent{i} Dept{d} Univ{u}")))
+                triples.append(Triple(student, UB.memberOf, department))
+                for course in rng.sample(courses, min(len(courses), rng.randint(1, 3))):
+                    triples.append(Triple(student, UB.takesCourse, course))
+
+            n_grad = rng.randint(*config.grad_per_faculty) * n_faculty
+            for i in range(n_grad):
+                student = UB[f"grad{u}_{d}_{i}"]
+                triples.append(Triple(student, t, UB.GraduateStudent))
+                triples.append(Triple(student, UB.name, Literal(f"GraduateStudent{i} Dept{d} Univ{u}")))
+                triples.append(Triple(student, UB.memberOf, department))
+                triples.append(Triple(student, UB.advisor, rng.choice(faculty)))
+                triples.append(
+                    Triple(student, UB.undergraduateDegreeFrom,
+                           UB[f"university{rng.randrange(max(config.universities, 1))}"])
+                )
+                for course in rng.sample(courses, min(len(courses), rng.randint(1, 2))):
+                    triples.append(Triple(student, UB.takesCourse, course))
+                if publications and rng.random() < 0.5:
+                    triples.append(
+                        Triple(rng.choice(publications), UB.publicationAuthor, student)
+                    )
+
+    return DataGraph(triples)

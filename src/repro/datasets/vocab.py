@@ -1,0 +1,104 @@
+"""Shared name/word pools for the dataset generators.
+
+All generators draw from these deterministic pools with seeded PRNGs, and
+each plants a fixed set of *anchor* entities (e.g. the author "Philipp
+Cimiano", the venue "ICDE") regardless of scale, so the evaluation workloads
+in :mod:`repro.datasets.workloads` resolve at every dataset size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+FIRST_NAMES: Sequence[str] = (
+    "Alice", "Bruno", "Carla", "Daniel", "Elena", "Felix", "Grace", "Hugo",
+    "Ines", "Jonas", "Katrin", "Lars", "Maria", "Nils", "Olga", "Pavel",
+    "Quinn", "Rosa", "Stefan", "Tara", "Ulrich", "Vera", "Walter", "Xenia",
+    "Yannick", "Zoe", "Amir", "Bianca", "Chen", "Dmitri", "Eva", "Farid",
+    "Gita", "Hans", "Irene", "Javier", "Keiko", "Liam", "Mona", "Nadia",
+)
+
+LAST_NAMES: Sequence[str] = (
+    "Abel", "Brandt", "Castro", "Dietrich", "Engel", "Fischer", "Gruber",
+    "Hoffmann", "Ivanov", "Jansen", "Keller", "Lehmann", "Maier", "Neumann",
+    "Otto", "Peters", "Quast", "Richter", "Schmidt", "Thaler", "Unger",
+    "Vogel", "Wagner", "Xu", "Yilmaz", "Zimmer", "Becker", "Conrad",
+    "Dorn", "Ebert", "Falk", "Gerber", "Hartmann", "Isenberg", "Jung",
+    "Krause", "Lorenz", "Moser", "Nagel", "Oswald",
+)
+
+#: Topic words for publication titles; evaluation keywords draw from the
+#: front of this list, so they always match several titles.
+TITLE_TOPICS: Sequence[str] = (
+    "algorithm", "database", "keyword", "search", "graph", "query", "index",
+    "semantic", "web", "data", "mining", "distributed", "parallel",
+    "optimization", "learning", "network", "stream", "cache", "storage",
+    "ranking", "retrieval", "schema", "transaction", "clustering",
+    "language", "logic", "model", "system", "analysis", "framework",
+)
+
+TITLE_CONNECTIVES: Sequence[str] = (
+    "efficient", "scalable", "adaptive", "incremental", "robust", "novel",
+    "approximate", "dynamic", "probabilistic", "declarative",
+)
+
+#: Conference anchors — always generated, at any scale.
+CONFERENCE_ANCHORS: Sequence[str] = ("ICDE", "SIGMOD", "VLDB")
+
+CONFERENCE_POOL: Sequence[str] = (
+    "EDBT", "CIKM", "WWW", "ISWC", "ESWC", "KDD", "ICDM", "SODA", "PODS",
+    "CIDR", "PVLDB", "SSDBM",
+)
+
+JOURNAL_ANCHORS: Sequence[str] = ("TKDE", "VLDB Journal")
+
+JOURNAL_POOL: Sequence[str] = (
+    "Information Systems", "Data Engineering Bulletin", "SIGMOD Record",
+    "Journal of Web Semantics", "Knowledge and Information Systems",
+)
+
+#: Author anchors — the effectiveness workload refers to these by name.
+AUTHOR_ANCHORS: Sequence[str] = (
+    "Philipp Cimiano",
+    "Thanh Tran",
+    "Sebastian Rudolph",
+    "Haofen Wang",
+    "Alan Turing",
+    "Edgar Codd",
+)
+
+RESEARCH_INTERESTS: Sequence[str] = (
+    "databases", "semantic web", "information retrieval", "graph theory",
+    "machine learning", "distributed systems", "query optimization",
+    "data integration", "knowledge representation", "stream processing",
+)
+
+
+def person_name(rng, used: set) -> str:
+    """A fresh deterministic person name."""
+    for _ in range(1000):
+        name = f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+        if name not in used:
+            used.add(name)
+            return name
+    # Pools exhausted: disambiguate with a counter.
+    base = f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+    i = 2
+    while f"{base} {i}" in used:
+        i += 1
+    name = f"{base} {i}"
+    used.add(name)
+    return name
+
+
+def publication_title(rng) -> str:
+    """A 3-5 word title over the topic vocabulary.
+
+    Every title contains at least one word from :data:`TITLE_TOPICS`, so
+    topic keywords ("algorithm", "database", ...) always have matches.
+    """
+    words: List[str] = [rng.choice(TITLE_CONNECTIVES), rng.choice(TITLE_TOPICS)]
+    extra = rng.randrange(1, 4)
+    for _ in range(extra):
+        words.append(rng.choice(TITLE_TOPICS))
+    return " ".join(words)

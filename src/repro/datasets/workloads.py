@@ -1,0 +1,552 @@
+"""Evaluation workloads: keyword queries with ground-truth intent.
+
+The paper's effectiveness study (Fig. 4) used 12 participants who provided
+30 DBLP and 9 TAP keyword queries *plus a natural-language description of
+the information need*; a generated query is "correct" if it matches that
+description.  Offline we operationalize the description as an
+:class:`IntentSpec` — a set of atom templates a candidate query must embed
+(injectively, modulo variable renaming), with ``type`` and ``subclass``
+atoms treated as free schema context.  Reciprocal rank is then the rank of
+the first candidate matching the spec.
+
+The performance set Q1–Q10 (Fig. 5) only needs keyword lists of growing
+length; no intent is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.datasets.dblp import DBLP
+from repro.datasets.tap import TAP
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.rdf.namespace import SUBCLASS_PREDICATES, TYPE_PREDICATES
+from repro.rdf.terms import Literal, Term, URI, Variable
+
+
+class Contains:
+    """Object spec: a literal whose lexical form contains all given words."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, *words: str):
+        self.words = tuple(w.lower() for w in words)
+
+    def matches(self, term) -> bool:
+        if not isinstance(term, Literal):
+            return False
+        lexical = term.lexical.lower()
+        return all(w in lexical for w in self.words)
+
+    def __repr__(self):
+        return f"Contains({', '.join(self.words)})"
+
+
+class OneOf:
+    """Constant spec: any of the given terms (e.g. alternative classes)."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Term):
+        self.terms = tuple(terms)
+
+    def matches(self, term) -> bool:
+        return term in self.terms
+
+    def __repr__(self):
+        return f"OneOf({', '.join(str(t) for t in self.terms)})"
+
+
+#: A template argument: a "?tag" variable, a constant, or a matcher object.
+TemplateArg = Union[str, Term, Contains, OneOf]
+
+#: One atom template: (predicate, subject spec, object spec).
+AtomTemplate = Tuple[URI, TemplateArg, TemplateArg]
+
+
+class IntentSpec:
+    """The ground-truth shape a correct interpretation must have.
+
+    ``templates`` must all be embedded into the candidate's atoms with a
+    consistent, injective variable assignment.  With ``exact`` (default),
+    every candidate atom that is *not* a type/subclass atom must be matched
+    by some template — extra constraining atoms mean a different intent.
+    """
+
+    def __init__(self, templates: Sequence[AtomTemplate], exact: bool = True):
+        if not templates:
+            raise ValueError("an intent needs at least one template")
+        self.templates = list(templates)
+        self.exact = exact
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def matches(self, query: ConjunctiveQuery) -> bool:
+        atoms = list(dict.fromkeys(query.atoms))
+        content_atoms = [
+            a
+            for a in atoms
+            if a.predicate not in TYPE_PREDICATES
+            and a.predicate not in SUBCLASS_PREDICATES
+        ]
+        content_templates = [
+            t
+            for t in self.templates
+            if t[0] not in TYPE_PREDICATES and t[0] not in SUBCLASS_PREDICATES
+        ]
+        if self.exact and len(content_atoms) != len(content_templates):
+            return False
+        return self._assign(list(self.templates), atoms, {})
+
+    def _assign(self, templates, atoms, mapping) -> bool:
+        if not templates:
+            return True
+        template = templates[0]
+        rest = templates[1:]
+        for i, atom in enumerate(atoms):
+            extension = self._unify(template, atom, mapping)
+            if extension is None:
+                continue
+            if self._assign(rest, atoms[:i] + atoms[i + 1 :], extension):
+                return True
+        return False
+
+    @staticmethod
+    def _unify(template: AtomTemplate, atom, mapping) -> Optional[dict]:
+        predicate, subj_spec, obj_spec = template
+        if atom.predicate != predicate:
+            return None
+        extension = dict(mapping)
+        used = set(extension.values())
+        for spec, actual in ((subj_spec, atom.arg1), (obj_spec, atom.arg2)):
+            if isinstance(spec, str) and spec.startswith("?"):
+                if not isinstance(actual, Variable):
+                    return None
+                bound = extension.get(spec)
+                if bound is None:
+                    if actual in used:
+                        return None
+                    extension[spec] = actual
+                    used.add(actual)
+                elif bound != actual:
+                    return None
+            elif isinstance(spec, (Contains, OneOf)):
+                if isinstance(actual, Variable) or not spec.matches(actual):
+                    return None
+            else:
+                if actual != spec:
+                    return None
+        return extension
+
+    def __repr__(self):
+        return f"IntentSpec({len(self.templates)} templates, exact={self.exact})"
+
+
+class WorkloadQuery:
+    """One workload entry: keywords, the NL description, and the intent."""
+
+    def __init__(
+        self,
+        qid: str,
+        keywords: Sequence[str],
+        description: str,
+        intent: Optional[IntentSpec] = None,
+    ):
+        self.qid = qid
+        self.keywords = list(keywords)
+        self.description = description
+        self.intent = intent
+
+    def __repr__(self):
+        return f"WorkloadQuery({self.qid}: {' '.join(self.keywords)!r})"
+
+
+# ----------------------------------------------------------------------
+# DBLP effectiveness workload (Fig. 4): 30 queries
+# ----------------------------------------------------------------------
+
+_PUBLICATION_CLASSES = OneOf(DBLP.Article, DBLP.InProceedings, DBLP.Publication)
+_T = URI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+
+def _topic_year(qid: str, topic: str, year: str) -> WorkloadQuery:
+    return WorkloadQuery(
+        qid,
+        [topic, year],
+        f"All papers about {topic} published in {year}",
+        IntentSpec(
+            [
+                (_T, "?x", _PUBLICATION_CLASSES),
+                (DBLP.title, "?x", Contains(topic)),
+                (DBLP.year, "?x", Literal(year)),
+            ]
+        ),
+    )
+
+
+def _author_pubs(qid: str, keyword: str, full_name: str) -> WorkloadQuery:
+    # The intent pins the anchor's *exact* name: interpretations using the
+    # decoy person ("Ana ... Rivera") or the `editor` relation are wrong.
+    return WorkloadQuery(
+        qid,
+        [keyword, "publications"],
+        f"All publications authored by {full_name}",
+        IntentSpec(
+            [
+                (_T, "?x", _PUBLICATION_CLASSES),
+                (DBLP.author, "?x", "?y"),
+                (DBLP.name, "?y", Literal(full_name)),
+            ]
+        ),
+    )
+
+
+def _venue_topic(qid: str, venue: str, topic: str, relation: URI) -> WorkloadQuery:
+    return WorkloadQuery(
+        qid,
+        [venue.lower(), topic],
+        f"Papers about {topic} at {venue}",
+        IntentSpec(
+            [
+                (relation, "?x", "?v"),
+                (DBLP.name, "?v", Literal(venue)),
+                (DBLP.title, "?x", Contains(topic)),
+            ]
+        ),
+    )
+
+
+def _venue_year(qid: str, venue: str, year: str, relation: URI) -> WorkloadQuery:
+    return WorkloadQuery(
+        qid,
+        [venue.lower(), year],
+        f"Papers at {venue} in {year}",
+        IntentSpec(
+            [
+                (relation, "?x", "?v"),
+                (DBLP.name, "?v", Literal(venue)),
+                (DBLP.year, "?x", Literal(year)),
+            ]
+        ),
+    )
+
+
+def _author_year(qid: str, keyword: str, full_name: str, year: str) -> WorkloadQuery:
+    return WorkloadQuery(
+        qid,
+        [keyword, year],
+        f"Publications by {full_name} in {year}",
+        IntentSpec(
+            [
+                (DBLP.author, "?x", "?y"),
+                (DBLP.name, "?y", Literal(full_name)),
+                (DBLP.year, "?x", Literal(year)),
+            ]
+        ),
+    )
+
+
+def _author_venue(qid: str, keyword: str, full_name: str, venue: str) -> WorkloadQuery:
+    return WorkloadQuery(
+        qid,
+        [keyword, venue.lower()],
+        f"Publications by {full_name} presented at {venue}",
+        IntentSpec(
+            [
+                (DBLP.author, "?x", "?y"),
+                (DBLP.name, "?y", Literal(full_name)),
+                (DBLP.presentedAt, "?x", "?v"),
+                (DBLP.name, "?v", Literal(venue)),
+            ]
+        ),
+    )
+
+
+def dblp_effectiveness_workload() -> List[WorkloadQuery]:
+    """The 30-query DBLP workload with ground-truth intents."""
+    queries: List[WorkloadQuery] = []
+
+    # D1-D6: topic + year ("algorithm 1999" — the paper's example).
+    topic_years = [
+        ("algorithm", "1999"), ("database", "2003"), ("graph", "2006"),
+        ("query", "2001"), ("mining", "2002"), ("stream", "2005"),
+    ]
+    for i, (topic, year) in enumerate(topic_years, start=1):
+        queries.append(_topic_year(f"D{i}", topic, year))
+
+    # D7-D10: venue + topic.
+    queries.append(_venue_topic("D7", "ICDE", "database", DBLP.presentedAt))
+    queries.append(_venue_topic("D8", "SIGMOD", "graph", DBLP.presentedAt))
+    queries.append(_venue_topic("D9", "VLDB", "query", DBLP.presentedAt))
+    queries.append(_venue_topic("D10", "TKDE", "ranking", DBLP.publishedIn))
+
+    # D11-D13: venue + year.
+    queries.append(_venue_year("D11", "ICDE", "2000", DBLP.presentedAt))
+    queries.append(_venue_year("D12", "SIGMOD", "2002", DBLP.presentedAt))
+    queries.append(_venue_year("D13", "VLDB", "2005", DBLP.presentedAt))
+
+    # D14-D19: author + "publications".
+    authors = [
+        ("cimiano", "Philipp Cimiano"), ("tran", "Thanh Tran"),
+        ("rudolph", "Sebastian Rudolph"), ("wang", "Haofen Wang"),
+        ("turing", "Alan Turing"), ("codd", "Edgar Codd"),
+    ]
+    for i, (kw, name) in enumerate(authors, start=14):
+        queries.append(_author_pubs(f"D{i}", kw, name))
+
+    # D20-D22: author + year.
+    queries.append(_author_year("D20", "cimiano", "Philipp Cimiano", "2006"))
+    queries.append(_author_year("D21", "turing", "Alan Turing", "2000"))
+    queries.append(_author_year("D22", "codd", "Edgar Codd", "1998"))
+
+    # D23-D24: author + venue.
+    queries.append(_author_venue("D23", "tran", "Thanh Tran", "ICDE"))
+    queries.append(_author_venue("D24", "rudolph", "Sebastian Rudolph", "SIGMOD"))
+
+    # D25: relation keyword ("cites").
+    queries.append(
+        WorkloadQuery(
+            "D25",
+            ["cites", "database"],
+            "Publications citing papers about databases",
+            IntentSpec(
+                [
+                    (DBLP.cites, "?x", "?y"),
+                    (DBLP.title, "?y", Contains("database")),
+                ]
+            ),
+        )
+    )
+
+    # Q26: attribute keyword ("year" as an edge).
+    queries.append(
+        WorkloadQuery(
+            "D26",
+            ["year", "algorithm"],
+            "The year of publications about algorithms",
+            IntentSpec(
+                [
+                    (DBLP.year, "?x", "?v"),
+                    (DBLP.title, "?x", Contains("algorithm")),
+                ]
+            ),
+        )
+    )
+
+    # Q27-Q28: two authors (co-authorship intent).
+    queries.append(
+        WorkloadQuery(
+            "D27",
+            ["cimiano", "tran"],
+            "Publications co-authored by Philipp Cimiano and Thanh Tran",
+            IntentSpec(
+                [
+                    (DBLP.author, "?x", "?y"),
+                    (DBLP.name, "?y", Literal("Philipp Cimiano")),
+                    (DBLP.author, "?x", "?z"),
+                    (DBLP.name, "?z", Literal("Thanh Tran")),
+                ]
+            ),
+        )
+    )
+    queries.append(
+        WorkloadQuery(
+            "D28",
+            ["rudolph", "wang"],
+            "Publications co-authored by Sebastian Rudolph and Haofen Wang",
+            IntentSpec(
+                [
+                    (DBLP.author, "?x", "?y"),
+                    (DBLP.name, "?y", Literal("Sebastian Rudolph")),
+                    (DBLP.author, "?x", "?z"),
+                    (DBLP.name, "?z", Literal("Haofen Wang")),
+                ]
+            ),
+        )
+    )
+
+    # Q29: the project query.
+    queries.append(
+        WorkloadQuery(
+            "D29",
+            ["x-media", "project"],
+            "The project named X-Media",
+            IntentSpec(
+                [
+                    (_T, "?p", OneOf(DBLP.Project)),
+                    (DBLP.name, "?p", Contains("media")),
+                ]
+            ),
+        )
+    )
+
+    # Q30: the paper's running example, three keywords.
+    queries.append(
+        WorkloadQuery(
+            "D30",
+            ["x-media", "cimiano", "publications"],
+            "Publications of the X-Media project authored by Cimiano",
+            IntentSpec(
+                [
+                    (_T, "?x", _PUBLICATION_CLASSES),
+                    (DBLP.hasProject, "?x", "?p"),
+                    (DBLP.name, "?p", Contains("media")),
+                    (DBLP.author, "?x", "?y"),
+                    (DBLP.name, "?y", Contains("Cimiano")),
+                ]
+            ),
+        )
+    )
+    return queries
+
+
+# ----------------------------------------------------------------------
+# TAP effectiveness workload: 9 queries
+# ----------------------------------------------------------------------
+
+
+def tap_effectiveness_workload() -> List[WorkloadQuery]:
+    """The 9-query TAP workload the paper reports alongside Fig. 4."""
+    return [
+        WorkloadQuery(
+            "T1",
+            ["jordan", "team"],
+            "The team Michael Jordan plays for",
+            IntentSpec(
+                [
+                    (TAP.playsFor, "?x", "?y"),
+                    (TAP.name, "?x", Contains("Jordan")),
+                    (_T, "?y", OneOf(TAP.Team)),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "T2",
+            ["kafka", "book"],
+            "Books written by Kafka",
+            IntentSpec(
+                [
+                    (TAP.wrote, "?x", "?y"),
+                    (TAP.name, "?x", Contains("Kafka")),
+                    (_T, "?y", OneOf(TAP.Book)),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "T3",
+            ["karlsruhe", "country"],
+            "The country Karlsruhe is located in",
+            IntentSpec(
+                [
+                    (TAP.locatedIn, "?x", "?y"),
+                    (TAP.name, "?x", Contains("Karlsruhe")),
+                    (_T, "?y", OneOf(TAP.Country)),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "T4",
+            ["athlete", "basketball"],
+            "Athletes playing basketball",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(TAP.Athlete)),
+                    (TAP.plays, "?x", "?y"),
+                    (_T, "?y", OneOf(TAP.Basketball)),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "T5",
+            ["bach", "band"],
+            "Bands Bach is a member of",
+            IntentSpec(
+                [
+                    (TAP.memberOf, "?x", "?y"),
+                    (TAP.name, "?x", Contains("Bach")),
+                    (_T, "?y", OneOf(TAP.Band)),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "T6",
+            ["movie", "director"],
+            "Movies and their directors",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(TAP.Movie)),
+                    (TAP.directedBy, "?x", "?y"),
+                    (_T, "?y", OneOf(TAP.Director)),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "T7",
+            ["river", "germany"],
+            "Rivers flowing through Germany",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(TAP.River)),
+                    (TAP.flowsThrough, "?x", "?y"),
+                    (TAP.name, "?y", Contains("Germany")),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "T8",
+            ["restaurant", "dish"],
+            "Restaurants and the dishes they serve",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(TAP.Restaurant)),
+                    (TAP.serves, "?x", "?y"),
+                    (_T, "?y", OneOf(TAP.Dish)),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "T9",
+            ["company", "city"],
+            "Companies and their headquarters cities",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(TAP.Company, TAP.TechCompany)),
+                    (TAP.headquarteredIn, "?x", "?y"),
+                    (_T, "?y", OneOf(TAP.City)),
+                ],
+                exact=False,
+            ),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# DBLP performance queries Q1-Q10 (Fig. 5)
+# ----------------------------------------------------------------------
+
+
+def dblp_performance_queries() -> List[WorkloadQuery]:
+    """Q1–Q10: keyword counts grow from 2 to 7, as in the paper's Fig. 5
+    discussion ("our approach achieves better performance when the number
+    of keywords is large, Q7–Q10")."""
+    specs = [
+        ("Q1", ["cimiano", "2006"]),
+        ("Q2", ["algorithm", "icde"]),
+        ("Q3", ["database", "1999", "journal"]),
+        ("Q4", ["turing", "graph", "sigmod"]),
+        ("Q5", ["cimiano", "tran", "keyword", "2006"]),
+        ("Q6", ["icde", "database", "index", "2000"]),
+        ("Q7", ["cimiano", "rudolph", "semantic", "2007", "vldb"]),
+        ("Q8", ["turing", "codd", "database", "1998", "journal"]),
+        ("Q9", ["wang", "tran", "keyword", "search", "2006", "icde"]),
+        ("Q10", ["cimiano", "rudolph", "wang", "semantic", "graph", "2007", "sigmod"]),
+    ]
+    return [
+        WorkloadQuery(qid, keywords, f"performance query {qid}")
+        for qid, keywords in specs
+    ]

@@ -1,0 +1,19 @@
+"""Evaluation harness: effectiveness (MRR), index statistics, timing."""
+
+from repro.eval.effectiveness import (
+    reciprocal_rank,
+    evaluate_effectiveness,
+    EffectivenessReport,
+)
+from repro.eval.index_stats import collect_index_stats, IndexStatsRow
+from repro.eval.timing import Timer, summarize_times
+
+__all__ = [
+    "reciprocal_rank",
+    "evaluate_effectiveness",
+    "EffectivenessReport",
+    "collect_index_stats",
+    "IndexStatsRow",
+    "Timer",
+    "summarize_times",
+]

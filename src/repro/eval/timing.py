@@ -1,0 +1,38 @@
+"""Small timing utilities shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Dict, List, Sequence
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable, repeat: int = 3) -> List[float]:
+    """Wall-clock seconds of ``repeat`` invocations of ``fn``."""
+    out = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - started)
+    return out
+
+
+def summarize_times(samples: Sequence[float]) -> Dict[str, float]:
+    """min/median/mean of a timing sample, in milliseconds."""
+    return {
+        "min_ms": 1000 * min(samples),
+        "median_ms": 1000 * statistics.median(samples),
+        "mean_ms": 1000 * statistics.fmean(samples),
+    }

@@ -1,0 +1,105 @@
+"""A generic inverted index: analyzed term → postings with TF weights.
+
+Elements are opaque hashable keys; the keyword-element map layers RDF
+semantics on top.  Document frequencies and IDF are exposed so callers can
+apply TF/IDF weighting to multi-term labels, as the paper suggests for
+improving the keyword-to-element mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+
+class Posting(NamedTuple):
+    """One indexed occurrence list entry."""
+
+    element: Hashable
+    term_frequency: int
+    label_terms: int  # total analyzed terms in the element's label
+
+
+class InvertedIndex:
+    """term → postings, with document-frequency bookkeeping."""
+
+    def __init__(self):
+        self._postings: Dict[str, Dict[Hashable, List[int]]] = {}
+        self._indexed_elements: set = set()
+
+    def index(self, element: Hashable, terms: Iterable[str]) -> None:
+        """Index an element under its analyzed label terms."""
+        terms = list(terms)
+        total = len(terms)
+        if total == 0:
+            return
+        counts: Dict[str, int] = {}
+        for t in terms:
+            counts[t] = counts.get(t, 0) + 1
+        for term, tf in counts.items():
+            bucket = self._postings.setdefault(term, {})
+            entry = bucket.get(element)
+            if entry is None:
+                bucket[element] = [tf, total]
+            else:
+                entry[0] += tf
+                entry[1] = max(entry[1], total)
+        self._indexed_elements.add(element)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, term: str) -> List[Posting]:
+        """All postings for an exact (already analyzed) term."""
+        bucket = self._postings.get(term)
+        if not bucket:
+            return []
+        return [Posting(el, tf, total) for el, (tf, total) in bucket.items()]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        """All indexed terms (the fuzzy-scan dictionary)."""
+        return tuple(self._postings.keys())
+
+    def iter_terms(self) -> Iterator[str]:
+        return iter(self._postings.keys())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency."""
+        n = max(len(self._indexed_elements), 1)
+        df = self.document_frequency(term)
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    @property
+    def element_count(self) -> int:
+        return len(self._indexed_elements)
+
+    @property
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    @property
+    def posting_count(self) -> int:
+        return sum(len(bucket) for bucket in self._postings.values())
+
+    def estimated_bytes(self) -> int:
+        """A rough, deterministic size estimate for Fig. 6b-style reporting:
+        term text plus a fixed 16 bytes per posting."""
+        return sum(
+            len(term.encode()) + 16 * len(bucket)
+            for term, bucket in self._postings.items()
+        )
+
+    def __len__(self) -> int:
+        return self.term_count

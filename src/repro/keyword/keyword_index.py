@@ -1,0 +1,345 @@
+"""The keyword-element map ``f : keyword → 2^(V_C ⊎ V_V ⊎ E)`` (Section IV-A).
+
+Keywords are matched against the labels of C-vertices, V-vertices and edge
+labels — *not* E-vertices, which the paper deliberately omits ("the user will
+enter keywords corresponding to attribute values … rather than the verbose
+URI").  Matching is imprecise: exact analyzed-term hits, synonym/hypernym
+expansion through the lexicon, and Levenshtein-bounded fuzzy hits all
+contribute, and each match carries the score ``sm(n) ∈ (0, 1]`` that the C3
+cost function divides by (Section V).
+
+Matches for V-vertices and A-edges carry the neighbor structures the paper
+requires for on-the-fly augmentation (Definition 5):
+
+* ``ValueMatch`` — ``[V-vertex, A-edge, (C-vertex_1..n)]``
+* ``AttributeMatch`` — ``[A-edge, (C-vertex_1..n)]``
+
+where ``None`` in a class set denotes "untyped" and augmentation maps it to
+the summary graph's ``Thing`` vertex.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.keyword.analysis import Analyzer
+from repro.keyword.inverted_index import InvertedIndex
+from repro.keyword.levenshtein import levenshtein, similarity
+from repro.keyword.synonyms import DEFAULT_LEXICON, SynonymLexicon
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import local_name
+from repro.rdf.terms import Literal, Term, URI
+
+
+class KeywordMatch:
+    """Base class for keyword-element matches; ``score`` is ``sm(n)``."""
+
+    __slots__ = ("score",)
+
+    def __init__(self, score: float):
+        object.__setattr__(self, "score", float(score))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @property
+    def element_key(self) -> Hashable:
+        """A hashable identity for the matched graph element."""
+        raise NotImplementedError
+
+    def with_score(self, score: float) -> "KeywordMatch":
+        raise NotImplementedError
+
+
+class ClassMatch(KeywordMatch):
+    """The keyword names a C-vertex (a class)."""
+
+    __slots__ = ("cls",)
+
+    def __init__(self, cls: Term, score: float):
+        super().__init__(score)
+        object.__setattr__(self, "cls", cls)
+
+    @property
+    def element_key(self) -> Hashable:
+        return ("class", self.cls)
+
+    def with_score(self, score: float) -> "ClassMatch":
+        return ClassMatch(self.cls, score)
+
+    def __repr__(self):
+        return f"ClassMatch({self.cls}, score={self.score:.3f})"
+
+
+class RelationMatch(KeywordMatch):
+    """The keyword names an R-edge label (a relation predicate)."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: URI, score: float):
+        super().__init__(score)
+        object.__setattr__(self, "label", label)
+
+    @property
+    def element_key(self) -> Hashable:
+        return ("relation", self.label)
+
+    def with_score(self, score: float) -> "RelationMatch":
+        return RelationMatch(self.label, score)
+
+    def __repr__(self):
+        return f"RelationMatch({local_name(self.label)}, score={self.score:.3f})"
+
+
+class AttributeMatch(KeywordMatch):
+    """The keyword names an A-edge label; carries ``[A-edge, (C-vertices)]``.
+
+    ``classes`` holds every class whose instances carry this attribute
+    (``None`` = untyped / Thing), per the paper's augmentation structure.
+    """
+
+    __slots__ = ("label", "classes")
+
+    def __init__(self, label: URI, classes: FrozenSet[Optional[Term]], score: float):
+        super().__init__(score)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "classes", frozenset(classes))
+
+    @property
+    def element_key(self) -> Hashable:
+        return ("attribute", self.label)
+
+    def with_score(self, score: float) -> "AttributeMatch":
+        return AttributeMatch(self.label, self.classes, score)
+
+    def __repr__(self):
+        return f"AttributeMatch({local_name(self.label)}, score={self.score:.3f})"
+
+
+class ValueMatch(KeywordMatch):
+    """The keyword matches a V-vertex; carries ``[V-vertex, A-edge, (C..)]``.
+
+    ``occurrences`` lists the distinct ``(A-edge label, subject class)``
+    contexts the literal occurs in (class ``None`` = untyped / Thing).
+    """
+
+    __slots__ = ("value", "occurrences")
+
+    def __init__(
+        self,
+        value: Literal,
+        occurrences: FrozenSet[Tuple[URI, Optional[Term]]],
+        score: float,
+    ):
+        super().__init__(score)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "occurrences", frozenset(occurrences))
+
+    @property
+    def element_key(self) -> Hashable:
+        return ("value", self.value)
+
+    def with_score(self, score: float) -> "ValueMatch":
+        return ValueMatch(self.value, self.occurrences, score)
+
+    def __repr__(self):
+        return f"ValueMatch({self.value.lexical!r}, score={self.score:.3f})"
+
+
+# Internal element-key kinds stored in the inverted index.
+_KIND_CLASS = "class"
+_KIND_RELATION = "relation"
+_KIND_ATTRIBUTE = "attribute"
+_KIND_VALUE = "value"
+
+
+class KeywordIndex:
+    """The IR engine over element labels: build once, look keywords up fast.
+
+    Parameters
+    ----------
+    graph:
+        The data graph whose C-vertices, V-vertices, and edge labels are
+        indexed.
+    analyzer:
+        Lexical analysis chain; defaults to tokenize+stopwords+Porter.
+    lexicon:
+        Synonym/hypernym table; defaults to the bundled offline lexicon.
+    fuzzy_max_distance:
+        Levenshtein bound for imprecise matching (0 disables fuzzy lookup).
+    max_matches_per_keyword:
+        Keeps only the best-scoring elements per keyword; bounds the
+        branching factor of the subsequent graph exploration.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        analyzer: Optional[Analyzer] = None,
+        lexicon: Optional[SynonymLexicon] = None,
+        fuzzy_max_distance: int = 1,
+        max_matches_per_keyword: int = 8,
+    ):
+        self._graph = graph
+        self._analyzer = analyzer or Analyzer()
+        self._lexicon = lexicon if lexicon is not None else DEFAULT_LEXICON
+        self._fuzzy_max_distance = fuzzy_max_distance
+        self._max_matches = max_matches_per_keyword
+
+        self._index = InvertedIndex()
+        # Attribute label -> classes of subjects using it (None = untyped).
+        self._attribute_classes: Dict[URI, Set[Optional[Term]]] = {}
+        # V-vertex -> {(attribute label, subject class or None)}.
+        self._value_occurrences: Dict[Literal, Set[Tuple[URI, Optional[Term]]]] = {}
+
+        started = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        graph = self._graph
+        analyze = self._analyzer.analyze
+
+        for cls in graph.classes:
+            self._index.index((_KIND_CLASS, cls), analyze(graph.label_of(cls)))
+
+        for label in graph.relation_labels:
+            self._index.index((_KIND_RELATION, label), analyze(local_name(label)))
+
+        for label in graph.attribute_labels:
+            self._index.index((_KIND_ATTRIBUTE, label), analyze(local_name(label)))
+            classes: Set[Optional[Term]] = set()
+            for triple in graph.attribute_triples(label):
+                types = graph.types_of(triple.subject)
+                if types:
+                    classes.update(types)
+                else:
+                    classes.add(None)
+            self._attribute_classes[label] = classes
+
+        for value in graph.values:
+            self._index.index((_KIND_VALUE, value), analyze(value.lexical))
+            occurrences: Set[Tuple[URI, Optional[Term]]] = set()
+            for attr_label, _entity, types in graph.attribute_occurrences(value):
+                if types:
+                    occurrences.update((attr_label, c) for c in types)
+                else:
+                    occurrences.add((attr_label, None))
+            self._value_occurrences[value] = occurrences
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, keyword: str) -> List[KeywordMatch]:
+        """All elements matching a keyword, best score first.
+
+        A keyword may analyze to several terms (e.g. ``"x-media"``); an
+        element matches only if *every* keyword term matches its label, and
+        the score combines per-term match quality with a coverage penalty
+        for labels longer than the keyword (the paper's TF/IDF remark).
+        """
+        terms = self._analyzer.analyze_unique(keyword)
+        if not terms:
+            return []
+
+        # element_key -> list of per-term best factors.
+        per_term: List[Dict[Hashable, Tuple[float, int]]] = []
+        for term in terms:
+            per_term.append(self._term_candidates(term))
+
+        # Intersect: every term must match.
+        common = set(per_term[0])
+        for candidates in per_term[1:]:
+            common &= set(candidates)
+        if not common:
+            return []
+
+        matches: List[KeywordMatch] = []
+        for key in common:
+            factor_product = 1.0
+            label_terms = 1
+            for candidates in per_term:
+                factor, label_len = candidates[key]
+                factor_product *= factor
+                label_terms = max(label_terms, label_len)
+            base = factor_product ** (1.0 / len(terms))
+            coverage = min(1.0, len(terms) / max(label_terms, 1))
+            score = max(1e-6, base * (coverage ** 0.5))
+            matches.append(self._materialize(key, score))
+
+        matches.sort(key=lambda m: -m.score)
+        if self._max_matches is not None:
+            matches = matches[: self._max_matches]
+        return matches
+
+    def _term_candidates(self, term: str) -> Dict[Hashable, Tuple[float, int]]:
+        """element_key -> (best factor, label length) for one analyzed term."""
+        out: Dict[Hashable, Tuple[float, int]] = {}
+
+        def _offer(key: Hashable, factor: float, label_len: int) -> None:
+            current = out.get(key)
+            if current is None or factor > current[0]:
+                out[key] = (factor, label_len)
+
+        for posting in self._index.lookup(term):
+            _offer(posting.element, 1.0, posting.label_terms)
+
+        for related_term, rel_factor in self._lexicon.related(term):
+            for posting in self._index.lookup(related_term):
+                _offer(posting.element, rel_factor, posting.label_terms)
+
+        if not out and self._fuzzy_max_distance > 0:
+            bound = self._fuzzy_max_distance
+            for vocab_term in self._index.iter_terms():
+                if abs(len(vocab_term) - len(term)) > bound:
+                    continue
+                if levenshtein(term, vocab_term, bound) <= bound:
+                    factor = similarity(term, vocab_term)
+                    for posting in self._index.lookup(vocab_term):
+                        _offer(posting.element, factor, posting.label_terms)
+        return out
+
+    def _materialize(self, key: Hashable, score: float) -> KeywordMatch:
+        kind, element = key
+        if kind == _KIND_CLASS:
+            return ClassMatch(element, score)
+        if kind == _KIND_RELATION:
+            return RelationMatch(element, score)
+        if kind == _KIND_ATTRIBUTE:
+            classes = frozenset(self._attribute_classes.get(element, {None}))
+            return AttributeMatch(element, classes, score)
+        if kind == _KIND_VALUE:
+            occurrences = frozenset(self._value_occurrences.get(element, ()))
+            return ValueMatch(element, occurrences, score)
+        raise ValueError(f"unknown element kind {kind!r}")  # pragma: no cover
+
+    def lookup_all(self, keywords: Sequence[str]) -> List[List[KeywordMatch]]:
+        """Per-keyword match lists (the K_i sets of Algorithm 1's input)."""
+        return [self.lookup(k) for k in keywords]
+
+    def attribute_classes(self, label: URI) -> FrozenSet[Optional[Term]]:
+        """The classes whose instances carry attribute ``label``."""
+        return frozenset(self._attribute_classes.get(label, ()))
+
+    def attribute_labels(self) -> FrozenSet[URI]:
+        """All indexed A-edge labels."""
+        return frozenset(self._attribute_classes)
+
+    # ------------------------------------------------------------------
+    # Statistics (Fig. 6b)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "terms": self._index.term_count,
+            "elements": self._index.element_count,
+            "postings": self._index.posting_count,
+            "estimated_bytes": self._index.estimated_bytes(),
+            "build_seconds": self.build_seconds,
+        }

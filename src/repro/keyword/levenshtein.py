@@ -1,0 +1,67 @@
+"""Levenshtein edit distance, with the banded early-exit variant used for
+imprecise keyword-to-term matching (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def levenshtein(a: str, b: str, max_distance: Optional[int] = None) -> int:
+    """The edit distance between two strings.
+
+    With ``max_distance`` the computation runs in a diagonal band and returns
+    ``max_distance + 1`` as soon as the true distance provably exceeds the
+    bound — the standard trick for fuzzy dictionary scans.
+
+    >>> levenshtein("cimiano", "cimiano")
+    0
+    >>> levenshtein("cimiano", "cimano")
+    1
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    la, lb = len(a), len(b)
+    if max_distance is not None and lb - la > max_distance:
+        return max_distance + 1
+    if la == 0:
+        return lb
+
+    previous = list(range(la + 1))
+    for j in range(1, lb + 1):
+        bj = b[j - 1]
+        current = [j]
+        row_min = j
+        for i in range(1, la + 1):
+            cost = 0 if a[i - 1] == bj else 1
+            value = min(
+                previous[i] + 1,  # deletion
+                current[i - 1] + 1,  # insertion
+                previous[i - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[la]
+
+
+def within_distance(a: str, b: str, max_distance: int) -> bool:
+    """True iff edit distance ≤ max_distance (early-exits)."""
+    return levenshtein(a, b, max_distance) <= max_distance
+
+
+def similarity(a: str, b: str) -> float:
+    """Normalized syntactic similarity in [0, 1]: ``1 − d/max(|a|, |b|)``.
+
+    This is the paper's Levenshtein-based component of the matching score
+    ``sm(n)``.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest

@@ -1,0 +1,127 @@
+"""Query isomorphism: equality of conjunctive queries up to variable renaming.
+
+The effectiveness study (Fig. 4) scores a generated query as *correct* when
+it matches the intended query of the workload's NL description.  Two queries
+express the same intent iff one can be mapped onto the other by a bijective
+renaming of variables that preserves every atom — which is what
+:func:`queries_isomorphic` decides (exactly, by backtracking; queries here
+are small).  :func:`canonical_form` gives a renaming-invariant key usable for
+hashing/deduplication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.rdf.terms import Term, Variable
+
+
+def queries_isomorphic(
+    a: ConjunctiveQuery,
+    b: ConjunctiveQuery,
+    check_distinguished: bool = False,
+) -> bool:
+    """True iff the queries are equal up to a bijective variable renaming.
+
+    With ``check_distinguished`` the renaming must also map a's distinguished
+    tuple onto b's (position-wise); by default only the atom sets matter,
+    matching the paper's default of treating all variables as distinguished.
+    """
+    atoms_a = list(dict.fromkeys(a.atoms))
+    atoms_b = list(dict.fromkeys(b.atoms))
+    if len(atoms_a) != len(atoms_b):
+        return False
+    if len(a.variables) != len(b.variables):
+        return False
+    if check_distinguished and len(a.distinguished) != len(b.distinguished):
+        return False
+
+    seed: Dict[Variable, Variable] = {}
+    if check_distinguished:
+        for va, vb in zip(a.distinguished, b.distinguished):
+            if seed.setdefault(va, vb) != vb:
+                return False
+        if len(set(seed.values())) != len(seed):
+            return False
+
+    return _match(atoms_a, atoms_b, seed)
+
+
+def _match(
+    remaining: List[Atom],
+    candidates: List[Atom],
+    mapping: Dict[Variable, Variable],
+) -> bool:
+    if not remaining:
+        return True
+    atom = remaining[0]
+    rest = remaining[1:]
+    for i, candidate in enumerate(candidates):
+        extension = _unify_atoms(atom, candidate, mapping)
+        if extension is None:
+            continue
+        if _match(rest, candidates[:i] + candidates[i + 1 :], extension):
+            return True
+    return False
+
+
+def _unify_atoms(
+    a: Atom, b: Atom, mapping: Dict[Variable, Variable]
+) -> Optional[Dict[Variable, Variable]]:
+    if a.predicate != b.predicate:
+        return None
+    extension = dict(mapping)
+    used = set(extension.values())
+    for arg_a, arg_b in ((a.arg1, b.arg1), (a.arg2, b.arg2)):
+        if isinstance(arg_a, Variable) != isinstance(arg_b, Variable):
+            return None
+        if isinstance(arg_a, Variable):
+            bound = extension.get(arg_a)
+            if bound is None:
+                if arg_b in used:
+                    return None  # must stay injective
+                extension[arg_a] = arg_b
+                used.add(arg_b)
+            elif bound != arg_b:
+                return None
+        elif arg_a != arg_b:
+            return None
+    return extension
+
+
+def canonical_form(query: ConjunctiveQuery) -> FrozenSet[Tuple]:
+    """A renaming-invariant fingerprint of the query's atom set.
+
+    Variables are replaced by their *signature*: the multiset of
+    (predicate, position, other-argument-if-constant) contexts they occur in.
+    Queries with equal canonical forms are usually isomorphic; the exact
+    check remains :func:`queries_isomorphic` (signatures can collide on
+    highly symmetric queries).
+    """
+    signatures: Dict[Variable, Tuple] = {}
+    occurrences: Dict[Variable, List[Tuple]] = {}
+    for atom in dict.fromkeys(query.atoms):
+        for pos, (arg, other) in enumerate(
+            ((atom.arg1, atom.arg2), (atom.arg2, atom.arg1))
+        ):
+            if isinstance(arg, Variable):
+                # n3() gives a sortable, injective string key for constants.
+                other_key = (
+                    ("var",) if isinstance(other, Variable) else ("const", other.n3())
+                )
+                occurrences.setdefault(arg, []).append(
+                    (atom.predicate.value, pos, other_key)
+                )
+    for var, ctx in occurrences.items():
+        signatures[var] = tuple(sorted(ctx))
+
+    def _arg_key(arg) -> Tuple:
+        if isinstance(arg, Variable):
+            return ("var", signatures.get(arg, ()))
+        return ("const", arg)
+
+    return frozenset(
+        (atom.predicate.value, _arg_key(atom.arg1), _arg_key(atom.arg2))
+        for atom in query.atoms
+    )

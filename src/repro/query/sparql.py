@@ -1,0 +1,181 @@
+"""SPARQL rendering and a parser for the emitted subset.
+
+The paper presents each computed conjunctive query to the user as SPARQL
+(Fig. 1c).  :func:`to_sparql` renders; :func:`parse_sparql` reads back the
+same subset — ``SELECT ?v ... WHERE { pattern . ... }`` with URIs in angle
+brackets, plain/typed literals, and variables — enabling round-trip tests
+and programmatic query input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.rdf.terms import Literal, Term, URI, Variable
+
+
+def to_sparql(query: ConjunctiveQuery, pretty: bool = True) -> str:
+    """Render a conjunctive query as a SPARQL SELECT query.
+
+    >>> q = ConjunctiveQuery([Atom(URI("p"), Variable("x"), Literal("2006"))])
+    >>> to_sparql(q, pretty=False)
+    'SELECT ?x WHERE { ?x <p> "2006" . }'
+    """
+    head = " ".join(str(v) for v in query.distinguished)
+    patterns = [
+        f"{_term_sparql(a.arg1)} {_term_sparql(a.predicate)} {_term_sparql(a.arg2)} ."
+        for a in query.atoms
+    ]
+    if pretty:
+        body = "\n  ".join(patterns)
+        return f"SELECT {head} WHERE {{\n  {body}\n}}"
+    return f"SELECT {head} WHERE {{ {' '.join(patterns)} }}"
+
+
+def _term_sparql(term: Union[Term, Variable]) -> str:
+    if isinstance(term, Variable):
+        return str(term)
+    if isinstance(term, Literal):
+        return term.n3()
+    if isinstance(term, URI):
+        return f"<{term.value}>"
+    return term.n3()
+
+
+class SparqlParseError(ValueError):
+    """Raised on input outside the supported SPARQL subset."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<keyword>SELECT|WHERE|DISTINCT)\b
+  | (?P<var>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<uri><[^<>\s]+>)
+  | (?P<literal>"(?:[^"\\]|\\.)*")
+  | (?P<dtype>\^\^)
+  | (?P<lang>@[A-Za-z][A-Za-z0-9-]*)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<dot>\.)
+  | (?P<star>\*)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SparqlParseError(f"unexpected input at offset {pos}: {text[pos:pos+20]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind != "ws":
+            tokens.append((kind, m.group()))
+    return tokens
+
+
+def parse_sparql(text: str) -> ConjunctiveQuery:
+    """Parse the SPARQL subset emitted by :func:`to_sparql`."""
+    tokens = _tokenize(text)
+    cursor = 0
+
+    def peek() -> Optional[Tuple[str, str]]:
+        return tokens[cursor] if cursor < len(tokens) else None
+
+    def take(expected_kind: str) -> str:
+        nonlocal cursor
+        tok = peek()
+        if tok is None or tok[0] != expected_kind:
+            raise SparqlParseError(f"expected {expected_kind}, got {tok}")
+        cursor += 1
+        return tok[1]
+
+    kw = take("keyword")
+    if kw.upper() != "SELECT":
+        raise SparqlParseError("query must start with SELECT")
+
+    select_all = False
+    head: List[Variable] = []
+    while True:
+        tok = peek()
+        if tok is None:
+            raise SparqlParseError("unexpected end of input in SELECT clause")
+        if tok[0] == "keyword" and tok[1].upper() == "DISTINCT":
+            cursor += 1
+            continue
+        if tok[0] == "star":
+            cursor += 1
+            select_all = True
+            continue
+        if tok[0] == "var":
+            head.append(Variable(take("var")))
+            continue
+        break
+
+    kw = take("keyword")
+    if kw.upper() != "WHERE":
+        raise SparqlParseError("expected WHERE")
+    take("lbrace")
+
+    atoms: List[Atom] = []
+    while True:
+        tok = peek()
+        if tok is None:
+            raise SparqlParseError("unterminated WHERE block")
+        if tok[0] == "rbrace":
+            cursor += 1
+            break
+        s_term, cursor = _parse_term(tokens, cursor)
+        p_term, cursor = _parse_term(tokens, cursor)
+        o_term, cursor = _parse_term(tokens, cursor)
+        if not isinstance(p_term, URI):
+            raise SparqlParseError("predicate must be a URI")
+        atoms.append(Atom(p_term, s_term, o_term))
+        if peek() is not None and peek()[0] == "dot":
+            cursor += 1
+    if cursor != len(tokens):
+        raise SparqlParseError("trailing content after WHERE block")
+    if not atoms:
+        raise SparqlParseError("empty WHERE block")
+    distinguished = None if select_all or not head else head
+    return ConjunctiveQuery(atoms, distinguished=distinguished)
+
+
+def _parse_term(tokens: List[Tuple[str, str]], cursor: int):
+    if cursor >= len(tokens):
+        raise SparqlParseError("unexpected end of input in triple pattern")
+    kind, text = tokens[cursor]
+    if kind == "var":
+        return Variable(text), cursor + 1
+    if kind == "uri":
+        return URI(text[1:-1]), cursor + 1
+    if kind == "literal":
+        lexical = _unescape(text[1:-1])
+        cursor += 1
+        if cursor < len(tokens) and tokens[cursor][0] == "dtype":
+            cursor += 1
+            if cursor >= len(tokens) or tokens[cursor][0] != "uri":
+                raise SparqlParseError("datatype must be a URI")
+            dtype = URI(tokens[cursor][1][1:-1])
+            return Literal(lexical, datatype=dtype), cursor + 1
+        if cursor < len(tokens) and tokens[cursor][0] == "lang":
+            lang = tokens[cursor][1][1:]
+            return Literal(lexical, language=lang), cursor + 1
+        return Literal(lexical), cursor
+    raise SparqlParseError(f"unexpected token in triple pattern: {text!r}")
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("\\n", "\n")
+        .replace("\\r", "\r")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+    )

@@ -1,0 +1,71 @@
+"""Rendering conjunctive queries as single-table self-join SQL (Fig. 1c).
+
+The paper's Fig. 1c shows the SQL an RDF store of its era would run: one
+alias of the three-column table ``Ex(s, p, o)`` per query atom, equality
+predicates wiring shared variables together.  :func:`to_sql` reproduces that
+rendering, and :func:`to_table_patterns` yields the equivalent pattern list
+for :class:`repro.store.single_table.SingleTableStore`.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Sequence, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.rdf.terms import Literal, Term, URI, Variable
+
+#: Column names of the single-table schema, in atom-argument order.
+_COLUMNS = ("s", "o")
+
+
+def _alias_name(i: int) -> str:
+    """A, B, …, Z, A1, B1, … — readable table aliases like Fig. 1c."""
+    letters = string.ascii_uppercase
+    if i < len(letters):
+        return letters[i]
+    return f"{letters[i % len(letters)]}{i // len(letters)}"
+
+
+def _sql_value(term: Term) -> str:
+    if isinstance(term, Literal):
+        escaped = term.lexical.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(term, URI):
+        escaped = term.value.replace("'", "''")
+        return f"'{escaped}'"
+    raise TypeError(f"cannot render {term!r} as SQL value")
+
+
+def to_sql(query: ConjunctiveQuery, table: str = "Ex") -> str:
+    """Render a conjunctive query as Fig. 1c-style self-join SQL."""
+    aliases = [_alias_name(i) for i in range(len(query.atoms))]
+
+    # First column reference for every variable, for SELECT and joins.
+    var_columns: Dict[Variable, str] = {}
+    conditions: List[str] = []
+
+    for alias, atom in zip(aliases, query.atoms):
+        conditions.append(f"{alias}.p = {_sql_value(atom.predicate)}")
+        for col, arg in zip(_COLUMNS, (atom.arg1, atom.arg2)):
+            ref = f"{alias}.{col}"
+            if isinstance(arg, Variable):
+                if arg in var_columns:
+                    conditions.append(f"{ref} = {var_columns[arg]}")
+                else:
+                    var_columns[arg] = ref
+            else:
+                conditions.append(f"{ref} = {_sql_value(arg)}")
+
+    select = ", ".join(var_columns[v] for v in query.distinguished)
+    from_clause = ", ".join(f"{table} AS {a}" for a in aliases)
+    where = "\n  AND ".join(conditions)
+    return f"SELECT {select}\nFROM {from_clause}\nWHERE {where}"
+
+
+def to_table_patterns(
+    query: ConjunctiveQuery,
+) -> Tuple[List[Tuple[Term, Term, Term]], Sequence[Variable]]:
+    """The (patterns, projection) pair for ``SingleTableStore`` evaluation."""
+    patterns = [(a.arg1, a.predicate, a.arg2) for a in query.atoms]
+    return patterns, query.distinguished

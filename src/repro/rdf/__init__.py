@@ -1,0 +1,44 @@
+"""RDF substrate: terms, triples, the data graph of Definition 1, and I/O.
+
+This package implements the graph-shaped data model the paper builds on.
+It is self-contained (no rdflib): terms are interned, hashable values;
+:class:`~repro.rdf.graph.DataGraph` classifies vertices into E/C/V-vertices
+and edges into relation/attribute/type/subclass edges exactly as Definition 1
+of the paper prescribes.
+"""
+
+from repro.rdf.terms import URI, Literal, BNode, Term, Variable
+from repro.rdf.triples import Triple
+from repro.rdf.namespace import Namespace, RDF, RDFS, XSD, local_name
+from repro.rdf.graph import (
+    DataGraph,
+    EdgeKind,
+    VertexKind,
+    GraphIntegrityError,
+)
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    serialize_ntriples,
+    NTriplesParseError,
+)
+
+__all__ = [
+    "URI",
+    "Literal",
+    "BNode",
+    "Term",
+    "Variable",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "local_name",
+    "DataGraph",
+    "EdgeKind",
+    "VertexKind",
+    "GraphIntegrityError",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "NTriplesParseError",
+]

@@ -1,0 +1,423 @@
+"""The data graph of Definition 1.
+
+A :class:`DataGraph` holds a set of triples and classifies
+
+* vertices into **E-vertices** (entities), **C-vertices** (classes) and
+  **V-vertices** (data values), and
+* edges into **R-edges** (inter-entity relations, ``L_R``), **A-edges**
+  (entity-attribute assignments, ``L_A``), and the two special edges
+  ``type`` and ``subclass``
+
+exactly as Definition 1 of the paper prescribes.  The classification is
+derived, not declared: any URI that occurs as the object of a ``type`` edge
+or on either side of a ``subclass`` edge is a C-vertex; literals are
+V-vertices; remaining URIs/blank nodes are E-vertices.
+
+Real-world RDF violates the disjointness Definition 1 assumes (a URI may be
+used both as a class and as an entity).  The constructor resolves such
+conflicts with a documented precedence (class wins) and records them; strict
+mode raises :class:`GraphIntegrityError` instead.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.namespace import (
+    LABEL_PREDICATES,
+    SUBCLASS_PREDICATES,
+    TYPE_PREDICATES,
+    local_name,
+)
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triples import Triple
+
+
+class VertexKind(Enum):
+    """The three disjoint vertex sets of Definition 1."""
+
+    ENTITY = "entity"  # V_E
+    CLASS = "class"  # V_C
+    VALUE = "value"  # V_V
+
+
+class EdgeKind(Enum):
+    """The four edge-label sets of Definition 1."""
+
+    RELATION = "relation"  # L_R : E-vertex -> E-vertex
+    ATTRIBUTE = "attribute"  # L_A : E-vertex -> V-vertex
+    TYPE = "type"  # type : E-vertex -> C-vertex
+    SUBCLASS = "subclass"  # subclass : C-vertex -> C-vertex
+
+
+class GraphIntegrityError(ValueError):
+    """Raised in strict mode when triples violate Definition 1."""
+
+
+class DataGraph:
+    """An RDF data graph with the vertex/edge classification of Definition 1.
+
+    The graph is append-only: triples may be added but not removed, which lets
+    the derived classification be maintained incrementally.
+
+    Parameters
+    ----------
+    triples:
+        Optional initial triples.
+    strict:
+        If true, triples that violate Definition 1 (e.g. a literal-valued
+        ``type`` edge, or a term used both as class and entity) raise
+        :class:`GraphIntegrityError`.  If false (default), conflicts are
+        resolved by precedence — class beats entity — and recorded in
+        :attr:`conflicts`.
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None, strict: bool = False):
+        self.strict = strict
+        self._triples: List[Triple] = []
+        self._triple_set: Set[Triple] = set()
+
+        # Vertex classification.
+        self._classes: Set[Term] = set()
+        self._entities: Set[Term] = set()
+        self._values: Set[Literal] = set()
+
+        # type / subclass structure.
+        self._types_of: Dict[Term, Set[Term]] = defaultdict(set)
+        self._instances_of: Dict[Term, Set[Term]] = defaultdict(set)
+        self._superclasses: Dict[Term, Set[Term]] = defaultdict(set)
+        self._subclasses: Dict[Term, Set[Term]] = defaultdict(set)
+
+        # Adjacency over non-type edges: subject -> [(predicate, object)] and
+        # object -> [(predicate, subject)].
+        self._out: Dict[Term, List[Tuple[URI, Term]]] = defaultdict(list)
+        self._in: Dict[Term, List[Tuple[URI, Term]]] = defaultdict(list)
+
+        # Per-predicate triple lists, bucketed by derived edge kind.
+        self._relation_triples: Dict[URI, List[Triple]] = defaultdict(list)
+        self._attribute_triples: Dict[URI, List[Triple]] = defaultdict(list)
+
+        # Labels: entity -> preferred human-readable label.
+        self._labels: Dict[Term, str] = {}
+        self._label_rank: Dict[Term, int] = {}
+
+        # Which concrete type/subclass predicate variants the data uses,
+        # so generated queries stay evaluable against this graph.
+        self._type_pred_counts: Dict[URI, int] = defaultdict(int)
+        self._subclass_pred_counts: Dict[URI, int] = defaultdict(int)
+
+        self.conflicts: List[str] = []
+
+        if triples is not None:
+            for t in triples:
+                self.add(t)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns False if it was already present."""
+        if triple in self._triple_set:
+            return False
+
+        s, p, o = triple
+        if p in TYPE_PREDICATES:
+            self._add_type(triple)
+        elif p in SUBCLASS_PREDICATES:
+            self._add_subclass(triple)
+        elif isinstance(o, Literal):
+            self._add_attribute(triple)
+        else:
+            self._add_relation(triple)
+
+        self._triples.append(triple)
+        self._triple_set.add(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def _add_type(self, triple: Triple) -> None:
+        s, p, o = triple
+        if isinstance(o, Literal):
+            self._violation(f"type edge with literal object: {triple.n3()}")
+            return
+        self._mark_entity(s)
+        self._mark_class(o)
+        self._types_of[s].add(o)
+        self._instances_of[o].add(s)
+        self._type_pred_counts[p] += 1
+
+    def _add_subclass(self, triple: Triple) -> None:
+        s, p, o = triple
+        if isinstance(s, Literal) or isinstance(o, Literal):
+            self._violation(f"subclass edge with literal endpoint: {triple.n3()}")
+            return
+        self._mark_class(s)
+        self._mark_class(o)
+        self._superclasses[s].add(o)
+        self._subclasses[o].add(s)
+        self._subclass_pred_counts[p] += 1
+
+    def _add_attribute(self, triple: Triple) -> None:
+        s, p, o = triple
+        self._mark_entity(s)
+        self._values.add(o)
+        self._attribute_triples[p].append(triple)
+        self._out[s].append((p, o))
+        self._in[o].append((p, s))
+        self._maybe_label(s, p, o)
+
+    def _add_relation(self, triple: Triple) -> None:
+        s, p, o = triple
+        self._mark_entity(s)
+        self._mark_entity(o)
+        self._relation_triples[p].append(triple)
+        self._out[s].append((p, o))
+        self._in[o].append((p, s))
+
+    def _mark_entity(self, term: Term) -> None:
+        if term in self._classes:
+            # Class role wins; keep the term out of the entity set.
+            self._violation(f"term used both as class and entity: {term}")
+            return
+        self._entities.add(term)
+
+    def _mark_class(self, term: Term) -> None:
+        if term in self._entities:
+            self._violation(f"term used both as entity and class: {term}")
+            self._entities.discard(term)
+        self._classes.add(term)
+
+    def _maybe_label(self, s: Term, p: URI, o: Literal) -> None:
+        try:
+            rank = LABEL_PREDICATES.index(p)
+        except ValueError:
+            return
+        if s not in self._labels or rank < self._label_rank[s]:
+            self._labels[s] = o.lexical
+            self._label_rank[s] = rank
+
+    def _violation(self, message: str) -> None:
+        if self.strict:
+            raise GraphIntegrityError(message)
+        self.conflicts.append(message)
+
+    # ------------------------------------------------------------------
+    # Size / membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triple_set
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    @property
+    def triples(self) -> Tuple[Triple, ...]:
+        return tuple(self._triples)
+
+    # ------------------------------------------------------------------
+    # Vertex classification (Definition 1)
+    # ------------------------------------------------------------------
+
+    def vertex_kind(self, term: Term) -> Optional[VertexKind]:
+        """Classify a term, or None if it does not occur as a vertex."""
+        if term in self._classes:
+            return VertexKind.CLASS
+        if term in self._entities:
+            return VertexKind.ENTITY
+        if isinstance(term, Literal) and term in self._values:
+            return VertexKind.VALUE
+        return None
+
+    @property
+    def classes(self) -> FrozenSet[Term]:
+        """The C-vertices."""
+        return frozenset(self._classes)
+
+    @property
+    def entities(self) -> FrozenSet[Term]:
+        """The E-vertices."""
+        return frozenset(self._entities)
+
+    @property
+    def values(self) -> FrozenSet[Literal]:
+        """The V-vertices (shared literal nodes)."""
+        return frozenset(self._values)
+
+    # ------------------------------------------------------------------
+    # Edge classification (Definition 1)
+    # ------------------------------------------------------------------
+
+    def edge_kind(self, triple: Triple) -> EdgeKind:
+        p = triple.predicate
+        if p in TYPE_PREDICATES:
+            return EdgeKind.TYPE
+        if p in SUBCLASS_PREDICATES:
+            return EdgeKind.SUBCLASS
+        if isinstance(triple.object, Literal):
+            return EdgeKind.ATTRIBUTE
+        return EdgeKind.RELATION
+
+    @property
+    def relation_labels(self) -> FrozenSet[URI]:
+        """The edge labels L_R."""
+        return frozenset(self._relation_triples)
+
+    @property
+    def attribute_labels(self) -> FrozenSet[URI]:
+        """The edge labels L_A."""
+        return frozenset(self._attribute_triples)
+
+    def relation_triples(self, label: Optional[URI] = None) -> Iterator[Triple]:
+        """All R-edge triples, optionally restricted to one label."""
+        if label is not None:
+            yield from self._relation_triples.get(label, ())
+        else:
+            for triples in self._relation_triples.values():
+                yield from triples
+
+    def attribute_triples(self, label: Optional[URI] = None) -> Iterator[Triple]:
+        """All A-edge triples, optionally restricted to one label."""
+        if label is not None:
+            yield from self._attribute_triples.get(label, ())
+        else:
+            for triples in self._attribute_triples.values():
+                yield from triples
+
+    # ------------------------------------------------------------------
+    # type / subclass structure
+    # ------------------------------------------------------------------
+
+    def types_of(self, entity: Term) -> FrozenSet[Term]:
+        """The classes an entity is directly typed with (may be empty)."""
+        return frozenset(self._types_of.get(entity, ()))
+
+    def instances_of(self, cls: Term) -> FrozenSet[Term]:
+        """The entities directly typed with a class."""
+        return frozenset(self._instances_of.get(cls, ()))
+
+    def superclasses_of(self, cls: Term, transitive: bool = False) -> FrozenSet[Term]:
+        """Direct (or transitive) superclasses of a class."""
+        if not transitive:
+            return frozenset(self._superclasses.get(cls, ()))
+        seen: Set[Term] = set()
+        stack = list(self._superclasses.get(cls, ()))
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            stack.extend(self._superclasses.get(c, ()))
+        return frozenset(seen)
+
+    def subclasses_of(self, cls: Term, transitive: bool = False) -> FrozenSet[Term]:
+        """Direct (or transitive) subclasses of a class."""
+        if not transitive:
+            return frozenset(self._subclasses.get(cls, ()))
+        seen: Set[Term] = set()
+        stack = list(self._subclasses.get(cls, ()))
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            stack.extend(self._subclasses.get(c, ()))
+        return frozenset(seen)
+
+    def subclass_pairs(self) -> Iterator[Tuple[Term, Term]]:
+        """All direct ``(subclass, superclass)`` pairs."""
+        for sub, supers in self._superclasses.items():
+            for sup in supers:
+                yield sub, sup
+
+    @property
+    def preferred_type_predicate(self) -> URI:
+        """The ``type`` predicate variant the data actually uses (most
+        frequent wins; defaults to ``rdf:type``)."""
+        if self._type_pred_counts:
+            return max(self._type_pred_counts.items(), key=lambda kv: kv[1])[0]
+        from repro.rdf.namespace import RDF
+
+        return RDF.type
+
+    @property
+    def preferred_subclass_predicate(self) -> URI:
+        """The ``subclass`` predicate variant the data actually uses."""
+        if self._subclass_pred_counts:
+            return max(self._subclass_pred_counts.items(), key=lambda kv: kv[1])[0]
+        from repro.rdf.namespace import RDFS
+
+        return RDFS.subClassOf
+
+    @property
+    def untyped_entities(self) -> FrozenSet[Term]:
+        """Entities with no ``type`` edge — aggregated into ``Thing``."""
+        return frozenset(e for e in self._entities if not self._types_of.get(e))
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+
+    def outgoing(self, vertex: Term) -> Tuple[Tuple[URI, Term], ...]:
+        """Outgoing (predicate, object) pairs over R- and A-edges."""
+        return tuple(self._out.get(vertex, ()))
+
+    def incoming(self, vertex: Term) -> Tuple[Tuple[URI, Term], ...]:
+        """Incoming (predicate, subject) pairs over R- and A-edges."""
+        return tuple(self._in.get(vertex, ()))
+
+    def attribute_occurrences(
+        self, value: Literal
+    ) -> Iterator[Tuple[URI, Term, FrozenSet[Term]]]:
+        """For a V-vertex: its ``(A-edge label, entity, entity classes)`` uses.
+
+        This is the raw material for the keyword index's
+        ``[V-vertex, A-edge, (C-vertex_1..n)]`` structure (Section IV-A).
+        """
+        for p, s in self._in.get(value, ()):
+            yield p, s, self.types_of(s)
+
+    def label_of(self, term: Term) -> str:
+        """A human-readable label: the entity's name/title/label attribute,
+        a literal's lexical form, or the URI's local name."""
+        if isinstance(term, Literal):
+            return term.lexical
+        if term in self._labels:
+            return self._labels[term]
+        if isinstance(term, URI):
+            return local_name(term)
+        return str(term)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Structural counts used in the paper's Fig. 6b discussion."""
+        return {
+            "triples": len(self._triples),
+            "entities": len(self._entities),
+            "classes": len(self._classes),
+            "values": len(self._values),
+            "relation_labels": len(self._relation_triples),
+            "attribute_labels": len(self._attribute_triples),
+            "relation_edges": sum(len(v) for v in self._relation_triples.values()),
+            "attribute_edges": sum(len(v) for v in self._attribute_triples.values()),
+            "untyped_entities": len(self.untyped_entities),
+        }
+
+    def __repr__(self):
+        s = self.stats()
+        return (
+            f"DataGraph(triples={s['triples']}, entities={s['entities']}, "
+            f"classes={s['classes']}, values={s['values']})"
+        )

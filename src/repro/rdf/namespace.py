@@ -1,0 +1,86 @@
+"""Namespace helpers and the standard vocabularies the library understands.
+
+The paper's examples use bare labels (``type``, ``subclass``, ``name``); real
+RDF uses full URIs (``rdf:type``, ``rdfs:subClassOf``).  The data-graph layer
+accepts both: :data:`TYPE_PREDICATES` and :data:`SUBCLASS_PREDICATES` list the
+URIs recognized as class-membership and class-hierarchy edges.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import URI
+
+
+class Namespace:
+    """A URI prefix from which terms can be minted by attribute access.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Person
+    URI('http://example.org/Person')
+    >>> EX["has name"]
+    URI('http://example.org/has name')
+    """
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, prefix: str):
+        object.__setattr__(self, "_prefix", prefix)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Namespace is immutable")
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return URI(self._prefix + name)
+
+    def __getitem__(self, name: str) -> URI:
+        return URI(self._prefix + name)
+
+    def __contains__(self, term) -> bool:
+        return isinstance(term, URI) and term.value.startswith(self._prefix)
+
+    def __repr__(self):
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: Predicates interpreted as the paper's ``type`` edge (class membership).
+TYPE_PREDICATES = frozenset({RDF.type, URI("type")})
+
+#: Predicates interpreted as the paper's ``subclass`` edge (class hierarchy).
+SUBCLASS_PREDICATES = frozenset({RDFS.subClassOf, URI("subclass")})
+
+#: Predicates whose literal object is treated as the human-readable label of
+#: the subject, in priority order (first match wins).
+LABEL_PREDICATES = (
+    RDFS.label,
+    URI("name"),
+    URI("title"),
+    URI("label"),
+)
+
+
+def local_name(uri: URI) -> str:
+    """The fragment/last path segment of a URI — its human-oriented name.
+
+    >>> local_name(URI("http://example.org/ontology#worksAt"))
+    'worksAt'
+    >>> local_name(URI("http://example.org/Person"))
+    'Person'
+    >>> local_name(URI("http://example.org/path/"))
+    'path'
+    """
+    value = uri.value.rstrip("#/")
+    for sep in ("#", "/", ":"):
+        idx = value.rfind(sep)
+        if 0 <= idx < len(value) - 1:
+            return value[idx + 1 :]
+    return value

@@ -1,0 +1,34 @@
+"""Cost functions of Section V.
+
+A subgraph's cost is the monotone sum of its paths' costs; a path's cost is
+the sum of its elements' costs.  Three element-cost schemes are provided:
+
+* :class:`PathLengthCost` (C1) — every element costs 1;
+* :class:`PopularityCost` (C2) — ``1 − |agg|/|total|``, cheaper for summary
+  elements that aggregate more data elements;
+* :class:`KeywordMatchCost` (C3) — a base cost divided by the keyword
+  matching score ``sm(n)``.
+
+plus :class:`PageRankCost`, the PageRank alternative the paper mentions.
+"""
+
+from repro.scoring.cost import (
+    CostModel,
+    PathLengthCost,
+    PopularityCost,
+    KeywordMatchCost,
+    make_cost_model,
+    COST_MODELS,
+)
+from repro.scoring.pagerank import PageRankCost, pagerank
+
+__all__ = [
+    "CostModel",
+    "PathLengthCost",
+    "PopularityCost",
+    "KeywordMatchCost",
+    "PageRankCost",
+    "pagerank",
+    "make_cost_model",
+    "COST_MODELS",
+]

@@ -1,0 +1,159 @@
+"""Element-cost models C1, C2, C3 (Section V).
+
+Each model maps every element of an augmented summary graph to a positive
+cost.  Exploration and top-k only require that costs are positive and that
+graph cost aggregates monotonically — which a sum of positive path costs
+guarantees — so all models plug into the same Algorithm 1/2 machinery.
+
+Normalization note (documented deviation, DESIGN.md §5): the paper divides
+|v_agg| by "the total number of vertices in the summary graph", which can
+produce negative costs.  We divide by the number of aggregated *data*
+elements (entities for vertices, R-edges for edges), keeping costs in
+(0, 1] while preserving the intent that more-representative elements are
+cheaper.  ``literal_normalization=True`` restores the paper's literal
+formula (costs are then clamped at ``min_cost``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.summary.augmentation import AugmentedSummaryGraph
+from repro.summary.elements import (
+    SummaryEdge,
+    SummaryEdgeKind,
+    SummaryVertex,
+    SummaryVertexKind,
+)
+
+#: Elements never cost less than this — keeps Theorem 1's strictly-positive
+#: path-cost growth and avoids zero-cost cycles.
+DEFAULT_MIN_COST = 0.01
+
+
+class CostModel:
+    """Base: assigns ``cost(n) > 0`` to every element of an augmented graph."""
+
+    name = "abstract"
+
+    def element_costs(self, augmented: AugmentedSummaryGraph) -> Dict[Hashable, float]:
+        """Cost for every element key in the augmented graph."""
+        costs: Dict[Hashable, float] = {}
+        for vertex in augmented.graph.vertices:
+            costs[vertex.key] = self.vertex_cost(vertex, augmented)
+        for edge in augmented.graph.edges:
+            costs[edge.key] = self.edge_cost(edge, augmented)
+        return costs
+
+    def vertex_cost(self, vertex: SummaryVertex, augmented: AugmentedSummaryGraph) -> float:
+        raise NotImplementedError
+
+    def edge_cost(self, edge: SummaryEdge, augmented: AugmentedSummaryGraph) -> float:
+        raise NotImplementedError
+
+
+class PathLengthCost(CostModel):
+    """C1: the cost of an element is simply one — graph cost is total path
+    length."""
+
+    name = "c1"
+
+    def vertex_cost(self, vertex, augmented) -> float:
+        return 1.0
+
+    def edge_cost(self, edge, augmented) -> float:
+        return 1.0
+
+
+class PopularityCost(CostModel):
+    """C2: ``c(v) = 1 − |v_agg|/|V|`` and ``c(e) = 1 − |e_agg|/|E|``.
+
+    Popular summary elements (aggregating many data elements) are cheaper,
+    steering the exploration toward structures that many data instances
+    support.  Augmentation-time elements (value vertices, A-edges) have no
+    aggregation semantics in the paper's formula and cost 1.
+    """
+
+    name = "c2"
+
+    def __init__(
+        self,
+        min_cost: float = DEFAULT_MIN_COST,
+        literal_normalization: bool = False,
+    ):
+        self._min_cost = min_cost
+        self._literal = literal_normalization
+
+    def vertex_cost(self, vertex, augmented) -> float:
+        if vertex.kind in (SummaryVertexKind.VALUE, SummaryVertexKind.ARTIFICIAL):
+            return 1.0
+        if self._literal:
+            total = max(len(augmented.graph.vertices), 1)
+        else:
+            total = max(augmented.graph.total_entities, 1)
+        return max(self._min_cost, 1.0 - vertex.agg_count / total)
+
+    def edge_cost(self, edge, augmented) -> float:
+        if edge.kind is not SummaryEdgeKind.RELATION:
+            return 1.0
+        if self._literal:
+            total = max(len(augmented.graph.edges), 1)
+        else:
+            total = max(augmented.graph.total_relation_edges, 1)
+        return max(self._min_cost, 1.0 - edge.agg_count / total)
+
+
+class KeywordMatchCost(CostModel):
+    """C3: ``c(n) / sm(n)`` — a base cost divided by the matching score.
+
+    ``sm(n) ∈ (0, 1]`` for keyword elements and 1 otherwise, so well-matching
+    keyword elements get cheaper relative to poorly matching ones while
+    non-keyword elements keep their base cost.  The base defaults to C2,
+    matching the paper's presentation of C3 as a refinement of C2.
+    """
+
+    name = "c3"
+
+    def __init__(self, base: Optional[CostModel] = None, min_score: float = 1e-3):
+        self._base = base or PopularityCost()
+        self._min_score = min_score
+
+    def vertex_cost(self, vertex, augmented) -> float:
+        base = self._base.vertex_cost(vertex, augmented)
+        return base / self._score(vertex.key, augmented)
+
+    def edge_cost(self, edge, augmented) -> float:
+        base = self._base.edge_cost(edge, augmented)
+        return base / self._score(edge.key, augmented)
+
+    def _score(self, key: Hashable, augmented: AugmentedSummaryGraph) -> float:
+        return max(self._min_score, augmented.matching_score(key))
+
+
+def make_cost_model(name: str) -> CostModel:
+    """Factory for the model names used throughout benchmarks and the CLI.
+
+    >>> make_cost_model("c1").name
+    'c1'
+    """
+    try:
+        factory = COST_MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown cost model {name!r}; choose from {sorted(COST_MODELS)}"
+        ) from None
+    return factory()
+
+
+def _make_pagerank():
+    from repro.scoring.pagerank import PageRankCost
+
+    return PageRankCost()
+
+
+COST_MODELS = {
+    "c1": PathLengthCost,
+    "c2": PopularityCost,
+    "c3": KeywordMatchCost,
+    "pagerank": _make_pagerank,
+}

@@ -1,0 +1,190 @@
+"""An in-memory triple store indexed for every access pattern.
+
+Maintains the six lookup shapes a conjunctive-query evaluator needs —
+``(s ? ?)``, ``(? p ?)``, ``(? ? o)``, ``(s p ?)``, ``(? p o)``, ``(s ? o)`` —
+via three nested hash indexes (SPO, POS, OSP), mirroring the index layout of
+RDF engines such as Jena/Sesame the paper names as its storage substrate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.graph import DataGraph
+from repro.rdf.terms import Term, URI
+from repro.rdf.triples import Triple
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _nested() -> _Index:
+    return defaultdict(lambda: defaultdict(set))
+
+
+class TripleStore:
+    """Triple storage with SPO/POS/OSP hash indexes.
+
+    The store accepts the same triples as :class:`~repro.rdf.graph.DataGraph`
+    but serves a different role: the data graph classifies (for index
+    construction), the store retrieves (for query processing).
+
+    >>> store = TripleStore()
+    >>> _ = store.add(Triple(URI("e:a"), URI("e:p"), URI("e:b")))
+    >>> store.count(None, URI("e:p"), None)
+    1
+    """
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None):
+        self._spo: _Index = _nested()
+        self._pos: _Index = _nested()
+        self._osp: _Index = _nested()
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    @classmethod
+    def from_graph(cls, graph: DataGraph) -> "TripleStore":
+        """Build a store over all triples of a data graph."""
+        return cls(graph)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns False if it was already stored."""
+        s, p, o = triple
+        objects = self._spo[s][p]
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos[p][o].add(s)
+        self._osp[o][s].add(p)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        return sum(1 for t in triples if self.add(t))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching a pattern; ``None`` is a wildcard.
+
+        Chooses the index that binds the most constants, so every pattern is
+        answered without a full scan (except the all-wildcard pattern).
+
+        Ill-typed constants — a literal in subject position, a non-URI
+        predicate — match nothing rather than erroring: joins routinely
+        probe with values bound from other atoms.
+        """
+        from repro.rdf.terms import Literal as _Literal
+
+        if isinstance(subject, _Literal) or (
+            predicate is not None and not isinstance(predicate, URI)
+        ):
+            return
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None and o is not None:
+            if Triple(s, p, o) in self:
+                yield Triple(s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj_term in self._spo.get(s, {}).get(p, ()):
+                yield Triple(s, p, obj_term)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.get(p, {}).get(o, ()):
+                yield Triple(subj, p, o)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.get(o, {}).get(s, ()):
+                yield Triple(s, pred, o)
+            return
+        if s is not None:
+            for pred, objects in self._spo.get(s, {}).items():
+                for obj_term in objects:
+                    yield Triple(s, pred, obj_term)
+            return
+        if p is not None:
+            for obj_term, subjects in self._pos.get(p, {}).items():
+                for subj in subjects:
+                    yield Triple(subj, p, obj_term)
+            return
+        if o is not None:
+            for subj, preds in self._osp.get(o, {}).items():
+                for pred in preds:
+                    yield Triple(subj, pred, o)
+            return
+        for subj, po in self._spo.items():
+            for pred, objects in po.items():
+                for obj_term in objects:
+                    yield Triple(subj, pred, obj_term)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Exact cardinality of a pattern, computed from the indexes.
+
+        Fully-indexed patterns are O(1)/O(bucket); this is what the join
+        optimizer uses for selectivity estimates.
+        """
+        from repro.rdf.terms import Literal as _Literal
+
+        if isinstance(subject, _Literal) or (
+            predicate is not None and not isinstance(predicate, URI)
+        ):
+            return 0
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self else 0
+        if s is not None and p is not None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is not None and o is not None:
+            return len(self._osp.get(o, {}).get(s, ()))
+        if s is not None:
+            return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        if p is not None:
+            return sum(len(subs) for subs in self._pos.get(p, {}).values())
+        if o is not None:
+            return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self._size
+
+    def subjects(self, predicate: Term, obj: Term) -> Iterator[Term]:
+        """Subjects s with (s, predicate, obj) stored."""
+        yield from self._pos.get(predicate, {}).get(obj, ())
+
+    def objects(self, subject: Term, predicate: Term) -> Iterator[Term]:
+        """Objects o with (subject, predicate, o) stored."""
+        yield from self._spo.get(subject, {}).get(predicate, ())
+
+    def predicates(self) -> Iterator[Term]:
+        """All distinct predicates."""
+        yield from self._pos.keys()
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        """Number of triples with the given predicate."""
+        return sum(len(subs) for subs in self._pos.get(predicate, {}).values())
+
+    def __repr__(self):
+        return f"TripleStore(size={self._size})"

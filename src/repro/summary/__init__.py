@@ -1,0 +1,30 @@
+"""The graph index of Section IV-B: summary graph and its augmentation.
+
+The summary graph (Definition 4) aggregates the data graph to class level —
+one vertex per class plus ``Thing`` for untyped entities, one edge per
+(relation label, source class, target class) combination — so exploration
+never touches the (much larger) data graph.  At query time the summary is
+augmented (Definition 5) with exactly the keyword-matching V-vertices and
+A-edges, nothing else, keeping the search space minimal.
+"""
+
+from repro.summary.elements import (
+    SummaryVertex,
+    SummaryEdge,
+    SummaryVertexKind,
+    SummaryEdgeKind,
+    THING_KEY,
+)
+from repro.summary.summary_graph import SummaryGraph
+from repro.summary.augmentation import AugmentedSummaryGraph, augment
+
+__all__ = [
+    "SummaryVertex",
+    "SummaryEdge",
+    "SummaryVertexKind",
+    "SummaryEdgeKind",
+    "THING_KEY",
+    "SummaryGraph",
+    "AugmentedSummaryGraph",
+    "augment",
+]

@@ -1,0 +1,165 @@
+"""Query-time augmentation of the summary graph (Definition 5).
+
+Given the per-keyword match sets from the keyword index, the summary graph
+is copied and extended with
+
+* one V-vertex plus ``A-edge(C-vertex_i, V-vertex)`` edges for every
+  keyword-matching value, and
+* one artificial ``value`` node plus ``A-edge(C-vertex, value)`` edges for
+  every keyword-matching A-edge label,
+
+using the ``[V-vertex, A-edge, (C-vertex_1..n)]`` neighbor structures the
+index returns.  The result also records, per keyword, the set of
+*representative elements* (the K_i of Algorithm 1) and, per element, the
+matching score ``sm(n)`` consumed by the C3 cost function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set
+
+from repro.keyword.keyword_index import (
+    AttributeMatch,
+    ClassMatch,
+    KeywordMatch,
+    RelationMatch,
+    ValueMatch,
+)
+from repro.summary.elements import SummaryEdgeKind
+from repro.summary.summary_graph import SummaryGraph
+
+
+class AugmentedSummaryGraph:
+    """A summary graph plus keyword elements and their matching scores.
+
+    Attributes
+    ----------
+    graph:
+        The augmented copy (the base summary graph is never mutated).
+    keyword_elements:
+        ``keyword_elements[i]`` is the set of element keys representing
+        keyword *i* — the exploration's starting set K_i.
+    match_scores:
+        element key → best ``sm(n)`` over all keywords that matched it;
+        elements absent from the map score 1 (Section V).
+    """
+
+    def __init__(
+        self,
+        graph: SummaryGraph,
+        keyword_elements: List[Set[Hashable]],
+        match_scores: Dict[Hashable, float],
+    ):
+        self.graph = graph
+        self.keyword_elements = keyword_elements
+        self.match_scores = match_scores
+
+    @property
+    def keyword_count(self) -> int:
+        return len(self.keyword_elements)
+
+    def matching_score(self, element_key: Hashable) -> float:
+        return self.match_scores.get(element_key, 1.0)
+
+    def unmatched_keywords(self) -> List[int]:
+        """Indices of keywords that matched nothing (uninterpretable)."""
+        return [i for i, ks in enumerate(self.keyword_elements) if not ks]
+
+    def __repr__(self):
+        sizes = [len(k) for k in self.keyword_elements]
+        return f"AugmentedSummaryGraph(graph={self.graph!r}, K sizes={sizes})"
+
+
+def _resolve_class_keys(graph: SummaryGraph, classes) -> Set[Hashable]:
+    """Vertex keys for the classes that actually exist in the summary graph.
+
+    ``None`` (untyped) resolves to Thing, materializing it on demand; class
+    terms unknown to the summary graph are dropped so augmentation never
+    creates dangling anchors.
+    """
+    keys: Set[Hashable] = set()
+    for cls in classes:
+        key = graph.class_key(cls)
+        if cls is None:
+            graph.ensure_thing()
+            keys.add(key)
+        elif graph.has_element(key):
+            keys.add(key)
+    return keys
+
+
+def augment(
+    summary: SummaryGraph,
+    matches_per_keyword: Sequence[Sequence[KeywordMatch]],
+) -> AugmentedSummaryGraph:
+    """Build the augmented summary graph G'_K for one query.
+
+    Match kinds are handled per Definition 5 and Section IV-B:
+
+    * ``ClassMatch`` — the class vertex itself is the keyword element.
+    * ``RelationMatch`` — every summary edge with that label represents the
+      keyword (relations already live in the summary graph).
+    * ``ValueMatch`` — add the V-vertex and its class-level A-edges; the
+      V-vertex is the keyword element.
+    * ``AttributeMatch`` — add an artificial ``value`` node and class-level
+      A-edges; the *added edges* are the keyword elements.
+    """
+    graph = summary.copy()
+    keyword_elements: List[Set[Hashable]] = []
+    match_scores: Dict[Hashable, float] = {}
+
+    def _record_score(key: Hashable, score: float) -> None:
+        if score > match_scores.get(key, 0.0):
+            match_scores[key] = score
+
+    for matches in matches_per_keyword:
+        elements: Set[Hashable] = set()
+        for match in matches:
+            if isinstance(match, ClassMatch):
+                key = graph.class_key(match.cls)
+                if graph.has_element(key):
+                    elements.add(key)
+                    _record_score(key, match.score)
+            elif isinstance(match, RelationMatch):
+                for edge in graph.edges_with_label(match.label):
+                    if edge.kind is SummaryEdgeKind.RELATION:
+                        elements.add(edge.key)
+                        _record_score(edge.key, match.score)
+            elif isinstance(match, ValueMatch):
+                anchors = _resolve_class_keys(
+                    graph, [cls for _, cls in match.occurrences]
+                )
+                if not anchors:
+                    continue
+                value_vertex = graph.add_value_vertex(match.value)
+                elements.add(value_vertex.key)
+                _record_score(value_vertex.key, match.score)
+                for attr_label, cls in match.occurrences:
+                    class_key = graph.class_key(cls)
+                    if class_key not in anchors:
+                        continue
+                    graph.add_edge(
+                        attr_label,
+                        SummaryEdgeKind.ATTRIBUTE,
+                        class_key,
+                        value_vertex.key,
+                    )
+            elif isinstance(match, AttributeMatch):
+                anchors = _resolve_class_keys(graph, match.classes)
+                if not anchors:
+                    continue
+                artificial = graph.add_artificial_value_vertex(match.label)
+                for class_key in anchors:
+                    edge = graph.add_edge(
+                        match.label,
+                        SummaryEdgeKind.ATTRIBUTE,
+                        class_key,
+                        artificial.key,
+                    )
+                    elements.add(edge.key)
+                    _record_score(edge.key, match.score)
+            else:  # pragma: no cover - future match kinds
+                raise TypeError(f"unsupported match type {type(match).__name__}")
+        keyword_elements.append(elements)
+
+    return AugmentedSummaryGraph(graph, keyword_elements, match_scores)

@@ -1,0 +1,250 @@
+"""The summary graph of Definition 4, built by the aggregation rules.
+
+Every class becomes one vertex aggregating its instances ([[v']]); ``Thing``
+aggregates untyped entities; each data-graph R-edge projects to a summary
+edge between the classes of its endpoints, so **for every path in the data
+graph there is at least one path in the summary graph** (the data-guide-like
+soundness property the exploration relies on).  Aggregation counts |v_agg|
+and |e_agg| are retained for the C2 popularity cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.graph import DataGraph
+from repro.rdf.terms import Term, URI
+from repro.summary.elements import (
+    THING_KEY,
+    SummaryEdge,
+    SummaryEdgeKind,
+    SummaryVertex,
+    SummaryVertexKind,
+    is_edge_key,
+)
+
+_SUBCLASS_LABEL = URI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+
+
+class SummaryGraph:
+    """An element-addressable graph over classes, Thing, and their relations.
+
+    Vertices and edges are retrieved by key; ``neighbors(key)`` yields the
+    incident edges of a vertex or the endpoints of an edge, which is exactly
+    the neighbor notion Algorithm 1 explores (edges are elements too).
+    """
+
+    def __init__(self):
+        self._vertices: Dict[Hashable, SummaryVertex] = {}
+        self._edges: Dict[Hashable, SummaryEdge] = {}
+        self._incident: Dict[Hashable, List[Hashable]] = {}
+        # Totals from the underlying data graph, for cost normalization.
+        self.total_entities: int = 0
+        self.total_relation_edges: int = 0
+        self.total_attribute_edges: int = 0
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_data_graph(cls, graph: DataGraph) -> "SummaryGraph":
+        """Apply the aggregation rules of Definition 4."""
+        started = time.perf_counter()
+        summary = cls()
+        stats = graph.stats()
+        summary.total_entities = max(stats["entities"], 1)
+        summary.total_relation_edges = max(stats["relation_edges"], 1)
+        summary.total_attribute_edges = max(stats["attribute_edges"], 1)
+
+        for class_term in graph.classes:
+            summary.add_class_vertex(class_term, agg_count=len(graph.instances_of(class_term)))
+
+        untyped = len(graph.untyped_entities)
+        if untyped:
+            summary.ensure_thing(agg_count=untyped)
+
+        # Project every R-edge to class level; count aggregated originals.
+        edge_counts: Dict[Tuple[URI, Hashable, Hashable], int] = {}
+        for triple in graph.relation_triples():
+            source_classes = graph.types_of(triple.subject) or (None,)
+            target_classes = graph.types_of(triple.object) or (None,)
+            for sc in source_classes:
+                for tc in target_classes:
+                    sk = summary.class_key(sc)
+                    tk = summary.class_key(tc)
+                    edge_counts[(triple.predicate, sk, tk)] = (
+                        edge_counts.get((triple.predicate, sk, tk), 0) + 1
+                    )
+        for (label, sk, tk), count in edge_counts.items():
+            if sk == THING_KEY or tk == THING_KEY:
+                summary.ensure_thing()
+            summary.add_edge(label, SummaryEdgeKind.RELATION, sk, tk, agg_count=count)
+
+        for sub, sup in graph.subclass_pairs():
+            summary.add_edge(
+                _SUBCLASS_LABEL,
+                SummaryEdgeKind.SUBCLASS,
+                ("class", sub),
+                ("class", sup),
+                agg_count=1,
+            )
+
+        summary.build_seconds = time.perf_counter() - started
+        return summary
+
+    def class_key(self, class_term: Optional[Term]) -> Hashable:
+        """The vertex key for a class term; ``None`` maps to Thing."""
+        return THING_KEY if class_term is None else ("class", class_term)
+
+    def add_class_vertex(self, class_term: Term, agg_count: int = 0) -> SummaryVertex:
+        key = ("class", class_term)
+        vertex = SummaryVertex(key, SummaryVertexKind.CLASS, class_term, agg_count)
+        self._add_vertex(vertex)
+        return vertex
+
+    def ensure_thing(self, agg_count: Optional[int] = None) -> SummaryVertex:
+        existing = self._vertices.get(THING_KEY)
+        if existing is not None:
+            if agg_count is not None and agg_count != existing.agg_count:
+                vertex = SummaryVertex(
+                    THING_KEY, SummaryVertexKind.THING, None, agg_count
+                )
+                self._vertices[THING_KEY] = vertex
+                return vertex
+            return existing
+        vertex = SummaryVertex(THING_KEY, SummaryVertexKind.THING, None, agg_count or 0)
+        self._add_vertex(vertex)
+        return vertex
+
+    def add_value_vertex(self, literal, agg_count: int = 1) -> SummaryVertex:
+        """An augmentation-time V-vertex (Definition 5, first bullet)."""
+        key = ("value", literal)
+        existing = self._vertices.get(key)
+        if existing is not None:
+            return existing
+        vertex = SummaryVertex(key, SummaryVertexKind.VALUE, literal, agg_count)
+        self._add_vertex(vertex)
+        return vertex
+
+    def add_artificial_value_vertex(self, label: URI) -> SummaryVertex:
+        """The artificial ``value`` node of Definition 5 (second bullet)."""
+        key = ("avalue", label)
+        existing = self._vertices.get(key)
+        if existing is not None:
+            return existing
+        vertex = SummaryVertex(key, SummaryVertexKind.ARTIFICIAL, None, 0)
+        self._add_vertex(vertex)
+        return vertex
+
+    def _add_vertex(self, vertex: SummaryVertex) -> None:
+        if vertex.key in self._vertices:
+            return
+        self._vertices[vertex.key] = vertex
+        self._incident.setdefault(vertex.key, [])
+
+    def add_edge(
+        self,
+        label: URI,
+        kind: SummaryEdgeKind,
+        source_key: Hashable,
+        target_key: Hashable,
+        agg_count: int = 1,
+    ) -> SummaryEdge:
+        """Insert an edge (idempotent per (label, source, target) key)."""
+        if source_key not in self._vertices:
+            raise KeyError(f"unknown source vertex {source_key!r}")
+        if target_key not in self._vertices:
+            raise KeyError(f"unknown target vertex {target_key!r}")
+        edge = SummaryEdge(label, kind, source_key, target_key, agg_count)
+        existing = self._edges.get(edge.key)
+        if existing is not None:
+            return existing
+        self._edges[edge.key] = edge
+        self._incident[source_key].append(edge.key)
+        if target_key != source_key:
+            self._incident[target_key].append(edge.key)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+
+    def vertex(self, key: Hashable) -> SummaryVertex:
+        return self._vertices[key]
+
+    def edge(self, key: Hashable) -> SummaryEdge:
+        return self._edges[key]
+
+    def element(self, key: Hashable):
+        """Vertex or edge by key."""
+        if is_edge_key(key):
+            return self._edges[key]
+        return self._vertices[key]
+
+    def has_element(self, key: Hashable) -> bool:
+        return key in self._vertices or key in self._edges
+
+    @property
+    def vertices(self) -> Tuple[SummaryVertex, ...]:
+        return tuple(self._vertices.values())
+
+    @property
+    def edges(self) -> Tuple[SummaryEdge, ...]:
+        return tuple(self._edges.values())
+
+    def edges_with_label(self, label: URI) -> List[SummaryEdge]:
+        return [e for e in self._edges.values() if e.label == label]
+
+    def incident_edges(self, vertex_key: Hashable) -> Tuple[Hashable, ...]:
+        """Keys of all edges touching a vertex (direction ignored — the
+        exploration is direction-agnostic, Section VI-A)."""
+        return tuple(self._incident.get(vertex_key, ()))
+
+    def neighbors(self, key: Hashable) -> Tuple[Hashable, ...]:
+        """Neighbor *elements*: incident edges of a vertex, or endpoints of
+        an edge."""
+        if is_edge_key(key):
+            edge = self._edges[key]
+            if edge.source_key == edge.target_key:
+                return (edge.source_key,)
+            return (edge.source_key, edge.target_key)
+        return self.incident_edges(key)
+
+    def degree(self, vertex_key: Hashable) -> int:
+        return len(self._incident.get(vertex_key, ()))
+
+    # ------------------------------------------------------------------
+    # Copy (augmentation works on a per-query copy)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "SummaryGraph":
+        clone = SummaryGraph()
+        clone._vertices = dict(self._vertices)
+        clone._edges = dict(self._edges)
+        clone._incident = {k: list(v) for k, v in self._incident.items()}
+        clone.total_entities = self.total_entities
+        clone.total_relation_edges = self.total_relation_edges
+        clone.total_attribute_edges = self.total_attribute_edges
+        clone.build_seconds = self.build_seconds
+        return clone
+
+    # ------------------------------------------------------------------
+    # Statistics (Fig. 6b)
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "vertices": len(self._vertices),
+            "edges": len(self._edges),
+            "estimated_bytes": 48 * len(self._vertices) + 80 * len(self._edges),
+            "build_seconds": self.build_seconds,
+        }
+
+    def __len__(self) -> int:
+        return len(self._vertices) + len(self._edges)
+
+    def __repr__(self):
+        return f"SummaryGraph(vertices={len(self._vertices)}, edges={len(self._edges)})"

@@ -1,0 +1,29 @@
+"""Shared fixtures: the paper's running example and small datasets."""
+
+import pytest
+
+from repro.datasets import DblpConfig, LubmConfig, TapConfig
+from repro.datasets import generate_dblp, generate_lubm, generate_tap
+from repro.datasets.example import running_example_graph
+
+
+@pytest.fixture(scope="session")
+def example_graph():
+    """The Fig. 1a running-example data graph."""
+    return running_example_graph()
+
+
+@pytest.fixture(scope="session")
+def dblp_small():
+    """A small deterministic DBLP-shaped graph (shared, do not mutate)."""
+    return generate_dblp(DblpConfig(publications=300))
+
+
+@pytest.fixture(scope="session")
+def lubm_small():
+    return generate_lubm(LubmConfig(universities=1))
+
+
+@pytest.fixture(scope="session")
+def tap_small():
+    return generate_tap(TapConfig(instances_per_class=4))

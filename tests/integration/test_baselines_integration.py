@@ -1,0 +1,69 @@
+"""Integration tests for the baselines on realistic data."""
+
+import pytest
+
+from repro.baselines import (
+    BackwardSearch,
+    BidirectionalSearch,
+    EntityGraphView,
+    PartitionedIndexSearch,
+)
+from repro.datasets import DblpConfig, generate_dblp
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_dblp(DblpConfig(publications=300))
+
+
+@pytest.fixture(scope="module")
+def view(graph):
+    return EntityGraphView(graph)
+
+
+@pytest.fixture(scope="module")
+def systems(view):
+    return {
+        "backward": BackwardSearch(view),
+        "bidirectional": BidirectionalSearch(view),
+        "300-bfs": PartitionedIndexSearch(view, blocks=50, partitioner="bfs"),
+        "300-metis": PartitionedIndexSearch(view, blocks=50, partitioner="metis"),
+    }
+
+
+QUERIES = [["cimiano", "2006"], ["icde", "database"], ["turing", "graph", "sigmod"]]
+
+
+@pytest.mark.parametrize("query", QUERIES, ids=["q1", "q2", "q3"])
+def test_all_systems_find_trees(systems, query):
+    for name, system in systems.items():
+        result = system.search(query, k=10)
+        assert result.trees, f"{name} found nothing for {query}"
+
+
+def test_answer_trees_contain_keyword_matches(systems, view):
+    keywords = ["cimiano", "2006"]
+    sets = view.keyword_nodes_all(keywords)
+    for name, system in systems.items():
+        for tree in system.search(keywords, k=5).trees:
+            for path, keyword_nodes in zip(tree.paths, sets):
+                assert path[-1] in keyword_nodes, f"{name}: leaf not a match"
+
+
+def test_guided_search_visits_fewer_nodes_than_backward(systems):
+    """The point of the partition index: guidance prunes the frontier."""
+    keywords = ["turing", "graph", "sigmod"]
+    plain = systems["backward"].search(keywords, k=10)
+    guided = systems["300-bfs"].search(keywords, k=10)
+    assert guided.nodes_visited <= plain.nodes_visited * 1.5
+
+
+def test_distinct_root_assumption_limits_results(view, graph):
+    """Backward search only returns roots that REACH all keywords along
+    directed paths — our engine's query paradigm is strictly more general
+    (Section VI-D's discussion)."""
+    from repro.core.engine import KeywordSearchEngine
+
+    keywords = ["aifb2006missing", "nothing"]  # no matches at all
+    result = BackwardSearch(view).search(keywords, k=5)
+    assert result.trees == []

@@ -1,0 +1,88 @@
+"""Integration tests on the DBLP-shaped dataset: the Fig. 4/5 pipelines."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import DblpConfig, generate_dblp
+from repro.datasets.workloads import (
+    dblp_effectiveness_workload,
+    dblp_performance_queries,
+)
+from repro.eval.effectiveness import evaluate_effectiveness
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_dblp(DblpConfig(publications=400))
+
+
+@pytest.fixture(scope="module")
+def engines(graph):
+    base = KeywordSearchEngine(graph, cost_model="c3", k=10)
+    return {
+        name: KeywordSearchEngine(
+            graph,
+            cost_model=name,
+            k=10,
+            summary=base.summary,
+            keyword_index=base.keyword_index,
+        )
+        for name in ("c1", "c2", "c3")
+    }
+
+
+def test_every_workload_query_produces_candidates(engines):
+    engine = engines["c3"]
+    for entry in dblp_effectiveness_workload():
+        result = engine.search(entry.keywords, k=10)
+        assert result.candidates, f"{entry.qid} produced no queries"
+
+
+def test_mrr_ordering_matches_fig4(engines):
+    """The paper's headline effectiveness result: C3 ≥ C2 ≥ C1 on MRR,
+    and C3 best-or-tied on every query."""
+    workload = dblp_effectiveness_workload()
+    reports = {
+        name: evaluate_effectiveness(engine, workload, k=10)
+        for name, engine in engines.items()
+    }
+    assert reports["c3"].mrr >= reports["c2"].mrr >= reports["c1"].mrr
+    assert reports["c3"].mrr > 0.7
+    for entry in workload:
+        assert reports["c3"].rr(entry.qid) >= reports["c2"].rr(entry.qid) - 1e-9
+
+
+def test_performance_queries_complete(engines):
+    engine = engines["c3"]
+    for entry in dblp_performance_queries():
+        outcome = engine.search_and_execute(entry.keywords, k=10, min_answers=10)
+        assert outcome["result"].candidates, f"{entry.qid} found nothing"
+
+
+def test_queries_execute_on_the_store(engines):
+    engine = engines["c3"]
+    outcome = engine.search_and_execute("cimiano 2006", k=10, min_answers=5)
+    assert outcome["answers"], "top queries yielded no answers"
+
+
+def test_typo_recovery_end_to_end(engines):
+    result = engines["c3"].search("cimano publications", k=10)
+    assert result.candidates
+    constants = {str(c) for c in result.best().query.constants}
+    assert any("Cimiano" in c for c in constants)
+
+
+def test_relation_keyword_interpretation(engines):
+    result = engines["c3"].search("cites database", k=10)
+    from repro.datasets.dblp import DBLP
+
+    assert any(
+        DBLP.cites in {a.predicate for a in cand.query.atoms} for cand in result
+    )
+
+
+def test_exploration_diagnostics_scale_with_keywords(engines):
+    engine = engines["c3"]
+    small = engine.search("cimiano 2006").exploration
+    large = engine.search("cimiano tran keyword 2006").exploration
+    assert large.cursors_created >= small.cursors_created

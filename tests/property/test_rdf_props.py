@@ -1,0 +1,115 @@
+"""Property tests for RDF term/serialization invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import DataGraph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BNode, Literal, URI
+from repro.rdf.triples import Triple
+
+# N-Triples-safe URI characters (no angle brackets, whitespace, quotes).
+uri_strings = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789:/#._-", min_size=1, max_size=30
+).filter(lambda s: not s.isspace())
+
+literal_strings = st.text(max_size=40).filter(
+    # Control chars other than the escapable set aren't round-trippable in
+    # our line-oriented writer; real datasets never contain them.
+    lambda s: all(ch >= " " or ch in "\t\n\r" for ch in s)
+)
+
+uris = st.builds(URI, uri_strings)
+plain_literals = st.builds(Literal, literal_strings)
+lang_literals = st.builds(
+    lambda lex, lang: Literal(lex, language=lang),
+    literal_strings,
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=5),
+)
+typed_literals = st.builds(
+    lambda lex, dt: Literal(lex, datatype=dt), literal_strings, uris
+)
+bnodes = st.builds(BNode, st.text(alphabet="abcdef0123456789", min_size=1, max_size=8))
+
+subjects = st.one_of(uris, bnodes)
+objects = st.one_of(uris, bnodes, plain_literals, lang_literals, typed_literals)
+triples = st.builds(Triple, subjects, uris, objects)
+
+
+@given(st.lists(triples, max_size=20))
+@settings(max_examples=150)
+def test_ntriples_round_trip(items):
+    document = serialize_ntriples(items)
+    assert list(parse_ntriples(document)) == items
+
+
+@given(st.lists(triples, max_size=30))
+@settings(max_examples=100)
+def test_datagraph_vertex_sets_disjoint(items):
+    graph = DataGraph(items)
+    classes = graph.classes
+    entities = graph.entities
+    assert not (classes & entities)
+    # Values are literals and can never collide with URI/BNode sets.
+    assert all(v.is_literal for v in graph.values)
+
+
+@given(st.lists(triples, max_size=30))
+@settings(max_examples=100)
+def test_datagraph_type_structure_consistent(items):
+    graph = DataGraph(items)
+    for cls in graph.classes:
+        for entity in graph.instances_of(cls):
+            assert cls in graph.types_of(entity)
+    for entity in graph.entities:
+        for cls in graph.types_of(entity):
+            assert entity in graph.instances_of(cls)
+
+
+@given(st.lists(triples, max_size=30))
+@settings(max_examples=100)
+def test_datagraph_add_idempotent(items):
+    graph = DataGraph(items)
+    size = len(graph)
+    graph.add_all(items)
+    assert len(graph) == size
+
+
+@given(st.lists(triples, max_size=25))
+@settings(max_examples=100)
+def test_store_count_matches_match(items):
+    from repro.store.triple_store import TripleStore
+
+    store = TripleStore(items)
+    for triple in items[:5]:
+        patterns = [
+            (triple.subject, None, None),
+            (None, triple.predicate, None),
+            (None, None, triple.object),
+            (triple.subject, triple.predicate, None),
+            (None, triple.predicate, triple.object),
+            (triple.subject, None, triple.object),
+        ]
+        for s, p, o in patterns:
+            assert store.count(s, p, o) == len(list(store.match(s, p, o)))
+
+
+@given(st.lists(triples, max_size=25))
+@settings(max_examples=100)
+def test_vertical_store_agrees_with_spo_store(items):
+    from repro.store.triple_store import TripleStore
+    from repro.store.vertical import VerticalStore
+
+    spo = TripleStore(items)
+    vertical = VerticalStore(items)
+    assert len(vertical) == len(spo)
+    for triple in items[:5]:
+        patterns = [
+            (triple.subject, None, None),
+            (None, triple.predicate, None),
+            (None, None, triple.object),
+            (triple.subject, triple.predicate, None),
+            (None, triple.predicate, triple.object),
+        ]
+        for s, p, o in patterns:
+            assert set(vertical.match(s, p, o)) == set(spo.match(s, p, o))
+            assert vertical.count(s, p, o) == spo.count(s, p, o)

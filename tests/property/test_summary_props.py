@@ -1,0 +1,138 @@
+"""Property tests for summary-graph soundness (Definition 4).
+
+The data-guide-like property the exploration relies on: for every edge —
+and hence every path — in the data graph, a corresponding edge/path exists
+in the summary graph, and aggregation counts tally exactly.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.summary.elements import SummaryEdgeKind, THING_KEY
+from repro.summary.summary_graph import SummaryGraph
+
+ENTITIES = [URI(f"e:{i}") for i in range(6)]
+CLASSES = [URI(f"C:{i}") for i in range(3)]
+RELATIONS = [URI(f"r:{i}") for i in range(2)]
+
+type_triples = st.builds(
+    lambda e, c: Triple(e, RDF.type, c),
+    st.sampled_from(ENTITIES),
+    st.sampled_from(CLASSES),
+)
+relation_triples = st.builds(
+    Triple,
+    st.sampled_from(ENTITIES),
+    st.sampled_from(RELATIONS),
+    st.sampled_from(ENTITIES),
+)
+subclass_triples = st.builds(
+    lambda a, b: Triple(a, RDFS.subClassOf, b),
+    st.sampled_from(CLASSES),
+    st.sampled_from(CLASSES),
+)
+attribute_triples = st.builds(
+    lambda e, v: Triple(e, URI("a:val"), Literal(v)),
+    st.sampled_from(ENTITIES),
+    st.sampled_from(["x", "y"]),
+)
+
+graphs = st.lists(
+    st.one_of(type_triples, relation_triples, subclass_triples, attribute_triples),
+    min_size=1,
+    max_size=25,
+).map(DataGraph)
+
+
+@given(graphs)
+@settings(max_examples=150, deadline=None)
+def test_every_relation_edge_has_summary_projection(graph):
+    summary = SummaryGraph.from_data_graph(graph)
+    for triple in graph.relation_triples():
+        source_classes = graph.types_of(triple.subject) or {None}
+        target_classes = graph.types_of(triple.object) or {None}
+        for sc in source_classes:
+            for tc in target_classes:
+                key = (
+                    "edge",
+                    triple.predicate,
+                    summary.class_key(sc),
+                    summary.class_key(tc),
+                )
+                assert summary.has_element(key)
+
+
+@given(graphs)
+@settings(max_examples=100, deadline=None)
+def test_edge_aggregation_counts_tally(graph):
+    summary = SummaryGraph.from_data_graph(graph)
+    expected = Counter()
+    for triple in graph.relation_triples():
+        for sc in graph.types_of(triple.subject) or {None}:
+            for tc in graph.types_of(triple.object) or {None}:
+                expected[
+                    (triple.predicate, summary.class_key(sc), summary.class_key(tc))
+                ] += 1
+    for edge in summary.edges:
+        if edge.kind is SummaryEdgeKind.RELATION:
+            assert edge.agg_count == expected[
+                (edge.label, edge.source_key, edge.target_key)
+            ]
+
+
+@given(graphs)
+@settings(max_examples=100, deadline=None)
+def test_vertex_aggregation_counts_tally(graph):
+    summary = SummaryGraph.from_data_graph(graph)
+    for cls in graph.classes:
+        assert summary.vertex(("class", cls)).agg_count == len(graph.instances_of(cls))
+    untyped = len(graph.untyped_entities)
+    if summary.has_element(THING_KEY):
+        assert summary.vertex(THING_KEY).agg_count == untyped
+
+
+@given(graphs)
+@settings(max_examples=100, deadline=None)
+def test_two_hop_path_soundness(graph):
+    """For every 2-hop data path there is a summary path ('for every path in
+    the data graph, there is at least one path in the summary graph')."""
+    summary = SummaryGraph.from_data_graph(graph)
+    relation_list = list(graph.relation_triples())
+    for t1 in relation_list[:5]:
+        for t2 in relation_list[:5]:
+            if t1.object != t2.subject:
+                continue
+            mid_classes = graph.types_of(t1.object) or {None}
+            src_classes = graph.types_of(t1.subject) or {None}
+            dst_classes = graph.types_of(t2.object) or {None}
+            found = any(
+                summary.has_element(
+                    ("edge", t1.predicate, summary.class_key(sc), summary.class_key(mc))
+                )
+                and summary.has_element(
+                    ("edge", t2.predicate, summary.class_key(mc), summary.class_key(dc))
+                )
+                for mc in mid_classes
+                for sc in src_classes
+                for dc in dst_classes
+            )
+            assert found
+
+
+@given(graphs)
+@settings(max_examples=60, deadline=None)
+def test_summary_never_larger_than_data(graph):
+    """|G'| ≤ |G| in elements — the compression direction of Section IV-B."""
+    summary = SummaryGraph.from_data_graph(graph)
+    stats = graph.stats()
+    data_elements = (
+        stats["entities"] + stats["classes"] + stats["values"]
+        + stats["relation_edges"] + stats["attribute_edges"]
+        + stats["triples"]
+    )
+    assert len(summary) <= data_elements

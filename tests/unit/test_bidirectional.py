@@ -1,0 +1,57 @@
+"""Unit tests for the bidirectional-search baseline."""
+
+import pytest
+
+from repro.baselines.bidirectional import BidirectionalSearch
+from repro.baselines.graph_adapter import EntityGraphView
+from repro.datasets.example import EX
+
+
+@pytest.fixture(scope="module")
+def view(example_graph):
+    return EntityGraphView(example_graph)
+
+
+def test_finds_connections(view):
+    result = BidirectionalSearch(view).search(["cimiano", "aifb"], k=5)
+    assert result.trees
+    roots = {view.term_of(t.root) for t in result.trees}
+    # Undirected expansion lets it meet at the researcher or the institute.
+    assert roots & {EX.re2URI, EX.inst1URI}
+
+
+def test_forward_edges_used(view):
+    # 'aifb' (institute) to 'x media' (project) requires traversing
+    # forward and backward edges — pure backward search cannot connect them
+    # (no directed path ends at both).
+    result = BidirectionalSearch(view).search(["aifb", "media"], k=3)
+    assert result.trees
+
+
+def test_k_found_termination(view):
+    result = BidirectionalSearch(view).search(["researcher"], k=1)
+    assert result.terminated_by == "k-found"
+
+
+def test_budget_termination(view):
+    search = BidirectionalSearch(view, expansion_budget=2)
+    result = search.search(["cimiano", "x"], k=10)
+    assert result.terminated_by in ("budget", "exhausted", "k-found")
+    assert result.nodes_visited <= 3
+
+
+def test_no_keywords(view):
+    result = BidirectionalSearch(view).search(["zzz"], k=3)
+    assert result.terminated_by == "no-keywords"
+
+
+def test_decay_parameter_respected(view):
+    # Just exercises the code path with a different decay.
+    result = BidirectionalSearch(view, decay=0.9).search(["cimiano", "aifb"], k=2)
+    assert result.trees
+
+
+def test_trees_sorted_by_cost(view):
+    result = BidirectionalSearch(view).search(["2006", "cimiano"], k=5)
+    costs = [t.cost for t in result.trees]
+    assert costs == sorted(costs)

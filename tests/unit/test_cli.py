@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rdf.ntriples import serialize_ntriples
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["cimiano 2006"])
+    assert args.dataset == "example"
+    assert args.k == 5
+    assert args.cost_model == "c3"
+
+
+def test_example_search(capsys):
+    assert main(["2006 cimiano aifb"]) == 0
+    out = capsys.readouterr().out
+    assert "[1]" in out
+    assert "Publication" in out
+
+
+def test_sparql_output(capsys):
+    main(["aifb 2006", "--sparql"])
+    assert "SELECT" in capsys.readouterr().out
+
+
+def test_execute(capsys):
+    main(["2006 cimiano aifb", "--execute"])
+    out = capsys.readouterr().out
+    assert "pub1URI" in out or "P. Cimiano" in out or "2006" in out
+
+
+def test_no_match_exit_code(capsys):
+    assert main(["zzzzz qqqqq"]) == 1
+
+
+def test_custom_data_file(tmp_path, capsys, example_graph):
+    path = tmp_path / "data.nt"
+    path.write_text(serialize_ntriples(example_graph))
+    assert main(["aifb", "--data", str(path)]) == 0
+
+
+def test_filters_mode(capsys):
+    from repro.datasets import DblpConfig, generate_dblp
+
+    # Use the bundled dblp generator at small scale via --dataset dblp.
+    assert main(["cimiano before 2005", "--dataset", "dblp", "--scale", "200",
+                 "--filters", "--execute"]) == 0
+    out = capsys.readouterr().out
+    assert "Filter" in out or "FILTER" in out
+
+
+def test_guided_flag(capsys):
+    assert main(["aifb 2006", "--guided"]) == 0
+
+
+def test_cost_model_flag(capsys):
+    assert main(["aifb 2006", "--cost-model", "c1"]) == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the end-to-end engine facade."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine, split_keywords
+from repro.datasets.example import EX, running_example_graph
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import Literal, Variable
+
+
+@pytest.fixture(scope="module")
+def engine(example_graph):
+    return KeywordSearchEngine(example_graph, cost_model="c3", k=5)
+
+
+class TestSplitKeywords:
+    def test_whitespace(self):
+        assert split_keywords("a b  c") == ["a", "b", "c"]
+
+    def test_quoted_phrase(self):
+        assert split_keywords('cimiano "x media" 2006') == ["cimiano", "x media", "2006"]
+
+    def test_unclosed_quote(self):
+        assert split_keywords('"abc def') == ["abc def"]
+
+    def test_empty(self):
+        assert split_keywords("") == []
+
+
+class TestSearch:
+    def test_returns_ranked_candidates(self, engine):
+        result = engine.search("2006 cimiano aifb", k=5)
+        assert len(result) >= 1
+        assert [c.rank for c in result] == list(range(1, len(result) + 1))
+        costs = [c.cost for c in result]
+        assert costs == sorted(costs)
+
+    def test_top_query_is_fig1c(self, engine):
+        result = engine.search("2006 cimiano aifb", k=5)
+        expected_atoms = {
+            Atom(RDF.type, Variable("x"), EX.Publication),
+            Atom(EX.year, Variable("x"), Literal("2006")),
+            Atom(EX.author, Variable("x"), Variable("y")),
+            Atom(EX.name, Variable("y"), Literal("P. Cimiano")),
+            Atom(EX.worksAt, Variable("y"), Variable("z")),
+            Atom(EX.name, Variable("z"), Literal("AIFB")),
+        }
+        top = result.best().query
+        # Compare modulo renaming via isomorphism against the expectation
+        # plus the faithful type atoms for y and z.
+        from repro.query.isomorphism import queries_isomorphic
+
+        full_expected = ConjunctiveQuery(
+            expected_atoms
+            | {
+                Atom(RDF.type, Variable("y"), EX.Researcher),
+                Atom(RDF.type, Variable("z"), EX.Institute),
+            }
+        )
+        assert queries_isomorphic(top, full_expected)
+
+    def test_keyword_list_input(self, engine):
+        result = engine.search(["aifb", "2006"], k=3)
+        assert len(result) >= 1
+
+    def test_unknown_keyword_ignored_and_reported(self, engine):
+        result = engine.search("aifb zzzunknownzzz", k=3)
+        assert result.ignored_keywords == ["zzzunknownzzz"]
+        assert len(result) >= 1
+
+    def test_strict_mode_raises_on_unknown(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, strict_keywords=True)
+        with pytest.raises(KeyError):
+            engine.search("aifb zzzunknownzzz")
+
+    def test_no_keywords_matched(self, engine):
+        result = engine.search("zzz yyy", k=3)
+        assert len(result) == 0
+        assert result.exploration is None
+
+    def test_timings_populated(self, engine):
+        result = engine.search("aifb 2006")
+        for key in ("keyword_mapping", "augmentation", "exploration",
+                    "query_mapping", "total"):
+            assert result.timings[key] >= 0
+
+    def test_queries_deduplicated(self, engine):
+        result = engine.search("2006 cimiano aifb", k=5)
+        from repro.query.isomorphism import canonical_form
+
+        forms = [canonical_form(q) for q in result.queries]
+        assert len(forms) == len(set(forms))
+
+    def test_candidates_render(self, engine):
+        candidate = engine.search("aifb 2006").best()
+        assert "SELECT" in candidate.to_sparql()
+        assert "FROM Ex" in candidate.to_sql()
+        assert candidate.verbalize().endswith(".")
+
+
+class TestExecution:
+    def test_execute_candidate(self, engine):
+        result = engine.search("2006 cimiano aifb", k=3)
+        answers = engine.execute(result.best())
+        assert len(answers) == 1
+
+    def test_execute_plain_query(self, engine):
+        query = ConjunctiveQuery([Atom(RDF.type, Variable("x"), EX.Publication)])
+        assert len(engine.execute(query)) == 2
+
+    def test_execute_with_limit(self, engine):
+        query = ConjunctiveQuery([Atom(RDF.type, Variable("x"), EX.Publication)])
+        assert len(engine.execute(query, limit=1)) == 1
+
+    def test_search_and_execute_protocol(self, engine):
+        outcome = engine.search_and_execute("2006 cimiano aifb", k=5, min_answers=3)
+        assert outcome["answers"]
+        assert outcome["queries_used"]
+        assert outcome["total_seconds"] >= 0
+        assert outcome["computation_seconds"] >= 0
+
+
+class TestConfiguration:
+    def test_cost_model_instance_accepted(self, example_graph):
+        from repro.scoring.cost import PathLengthCost
+
+        engine = KeywordSearchEngine(example_graph, cost_model=PathLengthCost())
+        assert engine.cost_model.name == "c1"
+
+    def test_shared_indices_reused(self, example_graph, engine):
+        other = KeywordSearchEngine(
+            example_graph,
+            cost_model="c1",
+            summary=engine.summary,
+            keyword_index=engine.keyword_index,
+        )
+        assert other.summary is engine.summary
+        assert other.keyword_index is engine.keyword_index
+
+    def test_from_triples(self, example_graph):
+        engine = KeywordSearchEngine.from_triples(list(example_graph))
+        assert len(engine.graph) == len(example_graph)
+
+    def test_index_stats(self, engine):
+        stats = engine.index_stats()
+        assert stats["keyword_index"]["terms"] > 0
+        assert stats["graph_index"]["vertices"] > 0
+        assert stats["data_graph"]["triples"] == 21

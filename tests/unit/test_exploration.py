@@ -1,0 +1,223 @@
+"""Unit tests for the Algorithm 1 exploration."""
+
+import pytest
+
+from repro.core.exploration import _best_combinations, explore_top_k
+from repro.core.cursor import Cursor
+from repro.rdf.terms import URI
+from repro.summary.augmentation import AugmentedSummaryGraph
+from repro.summary.elements import SummaryEdgeKind
+from repro.summary.summary_graph import SummaryGraph
+
+
+def build_line_graph(n=4, label="p"):
+    """Class vertices C0 — C1 — … — C(n-1) joined by relation edges."""
+    graph = SummaryGraph()
+    keys = []
+    for i in range(n):
+        vertex = graph.add_class_vertex(URI(f"c:{i}"), agg_count=1)
+        keys.append(vertex.key)
+    edges = []
+    for i in range(n - 1):
+        edge = graph.add_edge(
+            URI(f"e:{label}{i}"), SummaryEdgeKind.RELATION, keys[i], keys[i + 1]
+        )
+        edges.append(edge.key)
+    return graph, keys, edges
+
+
+def augmented_for(graph, keyword_elements, scores=None):
+    return AugmentedSummaryGraph(
+        graph, [set(ks) for ks in keyword_elements], scores or {}
+    )
+
+
+def uniform_costs(graph, cost=1.0):
+    out = {v.key: cost for v in graph.vertices}
+    out.update({e.key: cost for e in graph.edges})
+    return out
+
+
+class TestBasics:
+    def test_two_keywords_on_line(self):
+        graph, keys, edges = build_line_graph(3)
+        augmented = augmented_for(graph, [[keys[0]], [keys[2]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=1)
+        assert len(result.subgraphs) == 1
+        sg = result.subgraphs[0]
+        # The unique connecting structure is the whole line.
+        assert sg.elements == frozenset(keys) | frozenset(edges)
+        assert sg.cost == pytest.approx(3.0 + 3.0)  # two paths meeting mid
+
+    def test_single_keyword_returns_cheapest_elements(self):
+        graph, keys, _ = build_line_graph(3)
+        costs = uniform_costs(graph)
+        costs[keys[1]] = 0.5
+        augmented = augmented_for(graph, [[keys[0], keys[1]]])
+        result = explore_top_k(augmented, costs, k=1)
+        assert result.subgraphs[0].elements == frozenset({keys[1]})
+
+    def test_no_keywords(self):
+        graph, _, _ = build_line_graph(2)
+        result = explore_top_k(augmented_for(graph, []), uniform_costs(graph), k=3)
+        assert result.subgraphs == []
+        assert result.terminated_by == "no-keywords"
+
+    def test_empty_keyword_sets_skipped(self):
+        graph, keys, _ = build_line_graph(3)
+        augmented = augmented_for(graph, [[], [keys[0]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=1)
+        assert len(result.subgraphs) == 1
+
+    def test_unreachable_keywords_yield_nothing(self):
+        graph = SummaryGraph()
+        a = graph.add_class_vertex(URI("c:a")).key
+        b = graph.add_class_vertex(URI("c:b")).key  # no edges at all
+        augmented = augmented_for(graph, [[a], [b]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=2)
+        assert result.subgraphs == []
+        assert result.terminated_by == "exhausted"
+
+    def test_overlapping_keyword_elements(self):
+        graph, keys, _ = build_line_graph(2)
+        augmented = augmented_for(graph, [[keys[0]], [keys[0]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=1)
+        assert result.subgraphs[0].elements == frozenset({keys[0]})
+
+
+class TestOrderingAndK:
+    def test_results_ascending_cost(self):
+        graph, keys, _ = build_line_graph(6)
+        augmented = augmented_for(graph, [[keys[0]], [keys[5], keys[2]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=5)
+        costs = [sg.cost for sg in result.subgraphs]
+        assert costs == sorted(costs)
+
+    def test_k_bounds_results(self):
+        graph, keys, _ = build_line_graph(6)
+        augmented = augmented_for(graph, [[keys[0]], [keys[5]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=3)
+        assert len(result.subgraphs) <= 3
+
+    def test_cheaper_costs_win(self):
+        # Diamond: two routes from A to C; one strictly cheaper.
+        graph = SummaryGraph()
+        a = graph.add_class_vertex(URI("c:a")).key
+        b1 = graph.add_class_vertex(URI("c:b1")).key
+        b2 = graph.add_class_vertex(URI("c:b2")).key
+        c = graph.add_class_vertex(URI("c:c")).key
+        e1 = graph.add_edge(URI("e:1"), SummaryEdgeKind.RELATION, a, b1).key
+        e2 = graph.add_edge(URI("e:2"), SummaryEdgeKind.RELATION, b1, c).key
+        e3 = graph.add_edge(URI("e:3"), SummaryEdgeKind.RELATION, a, b2).key
+        e4 = graph.add_edge(URI("e:4"), SummaryEdgeKind.RELATION, b2, c).key
+        costs = uniform_costs(graph)
+        costs[b2] = 5.0  # route through b2 is expensive
+        augmented = augmented_for(graph, [[a], [c]])
+        result = explore_top_k(augmented, costs, k=1)
+        assert b1 in result.subgraphs[0].elements
+        assert b2 not in result.subgraphs[0].elements
+
+
+class TestDmax:
+    def test_dmax_limits_path_length(self):
+        graph, keys, _ = build_line_graph(6)
+        augmented = augmented_for(graph, [[keys[0]], [keys[5]]])
+        # Connecting needs paths of up to 10 elements; dmax=3 forbids it.
+        result = explore_top_k(augmented, uniform_costs(graph), k=1, dmax=3)
+        assert result.subgraphs == []
+
+    def test_dmax_allows_exact_boundary(self):
+        graph, keys, _ = build_line_graph(3)  # 5 elements end to end
+        augmented = augmented_for(graph, [[keys[0]], [keys[2]]])
+        # Paths meet at the middle vertex: each path has distance 2.
+        result = explore_top_k(augmented, uniform_costs(graph), k=1, dmax=2)
+        assert len(result.subgraphs) == 1
+
+
+class TestTermination:
+    def test_threshold_termination(self):
+        graph, keys, _ = build_line_graph(8)
+        augmented = augmented_for(graph, [[keys[0]], [keys[1]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=1)
+        assert result.terminated_by == "threshold"
+
+    def test_budget_termination(self):
+        graph, keys, _ = build_line_graph(8)
+        augmented = augmented_for(graph, [[keys[0]], [keys[7]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=5, max_cursors=3)
+        assert result.terminated_by == "budget"
+
+    def test_missing_cost_raises(self):
+        graph, keys, _ = build_line_graph(2)
+        augmented = augmented_for(graph, [[keys[0]]])
+        with pytest.raises(KeyError):
+            explore_top_k(augmented, {}, k=1)
+
+    def test_non_positive_cost_rejected(self):
+        graph, keys, _ = build_line_graph(2)
+        augmented = augmented_for(graph, [[keys[0]]])
+        costs = uniform_costs(graph)
+        costs[keys[0]] = 0.0
+        with pytest.raises(ValueError):
+            explore_top_k(augmented, costs, k=1)
+
+
+class TestCyclicGraphs:
+    def test_cycle_explored_without_hanging(self):
+        graph = SummaryGraph()
+        keys = [graph.add_class_vertex(URI(f"c:{i}")).key for i in range(4)]
+        for i in range(4):
+            graph.add_edge(
+                URI(f"e:{i}"), SummaryEdgeKind.RELATION, keys[i], keys[(i + 1) % 4]
+            )
+        augmented = augmented_for(graph, [[keys[0]], [keys[2]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=4)
+        assert result.subgraphs
+        # Two shortest routes around the cycle tie.
+        assert result.subgraphs[0].cost == result.subgraphs[1].cost
+
+    def test_self_loop_edge(self):
+        graph = SummaryGraph()
+        a = graph.add_class_vertex(URI("c:a")).key
+        loop = graph.add_edge(URI("e:loop"), SummaryEdgeKind.RELATION, a, a).key
+        augmented = augmented_for(graph, [[loop], [a]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=1)
+        assert result.subgraphs
+        assert loop in result.subgraphs[0].elements
+
+
+class TestBestCombinations:
+    def cursors(self, costs, keyword=0):
+        return [Cursor.origin_cursor(f"n{i}", keyword, c) for i, c in enumerate(costs)]
+
+    def test_yields_ascending_costs(self):
+        lists = [self.cursors([1.0, 2.0, 5.0]), self.cursors([1.0, 3.0], 1)]
+        combos = list(_best_combinations(lists))
+        costs = [c for c, _ in combos]
+        assert costs == sorted(costs)
+        assert len(combos) == 6
+
+    def test_exhaustive_over_all_tuples(self):
+        lists = [self.cursors([1.0, 2.0, 3.0]), self.cursors([1.0, 2.0, 3.0], 1)]
+        assert len(list(_best_combinations(lists))) == 9
+
+    def test_first_combo_is_cheapest(self):
+        lists = [self.cursors([2.0, 1.5]), self.cursors([4.0, 0.5], 1)]
+        # Lists are expected ascending; emulate registration order.
+        lists = [sorted(l, key=lambda c: c.cost) for l in lists]
+        cost, combo = next(_best_combinations(lists))
+        assert cost == pytest.approx(2.0)
+
+    def test_empty_list_yields_nothing(self):
+        assert list(_best_combinations([[], self.cursors([1.0])])) == []
+
+
+class TestDiagnostics:
+    def test_counters_populated(self):
+        graph, keys, _ = build_line_graph(5)
+        augmented = augmented_for(graph, [[keys[0]], [keys[4]]])
+        result = explore_top_k(augmented, uniform_costs(graph), k=2)
+        assert result.cursors_created > 0
+        assert result.cursors_popped > 0
+        assert result.max_queue_size > 0
+        assert "ExplorationResult" in repr(result)

@@ -1,0 +1,190 @@
+"""Unit tests for the DataGraph classification (Definition 1)."""
+
+import pytest
+
+from repro.rdf.graph import DataGraph, EdgeKind, GraphIntegrityError, VertexKind
+from repro.rdf.namespace import Namespace, RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+EX = Namespace("http://t/")
+
+
+def small_graph() -> DataGraph:
+    return DataGraph(
+        [
+            Triple(EX.e1, RDF.type, EX.C1),
+            Triple(EX.e2, RDF.type, EX.C2),
+            Triple(EX.e1, EX.rel, EX.e2),
+            Triple(EX.e1, EX.attr, Literal("v1")),
+            Triple(EX.C1, RDFS.subClassOf, EX.C2),
+            Triple(EX.e3, EX.rel, EX.e1),  # untyped entity
+        ]
+    )
+
+
+class TestVertexClassification:
+    def test_classes(self):
+        g = small_graph()
+        assert g.classes == {EX.C1, EX.C2}
+
+    def test_entities(self):
+        g = small_graph()
+        assert g.entities == {EX.e1, EX.e2, EX.e3}
+
+    def test_values(self):
+        g = small_graph()
+        assert g.values == {Literal("v1")}
+
+    def test_vertex_kind(self):
+        g = small_graph()
+        assert g.vertex_kind(EX.C1) is VertexKind.CLASS
+        assert g.vertex_kind(EX.e1) is VertexKind.ENTITY
+        assert g.vertex_kind(Literal("v1")) is VertexKind.VALUE
+        assert g.vertex_kind(EX.unknown) is None
+
+    def test_sets_are_disjoint(self):
+        g = small_graph()
+        assert not (g.classes & g.entities)
+        assert not ({t for t in g.values} & g.entities)
+
+
+class TestEdgeClassification:
+    def test_edge_kinds(self):
+        g = small_graph()
+        assert g.edge_kind(Triple(EX.e1, RDF.type, EX.C1)) is EdgeKind.TYPE
+        assert g.edge_kind(Triple(EX.C1, RDFS.subClassOf, EX.C2)) is EdgeKind.SUBCLASS
+        assert g.edge_kind(Triple(EX.e1, EX.rel, EX.e2)) is EdgeKind.RELATION
+        assert g.edge_kind(Triple(EX.e1, EX.attr, Literal("v1"))) is EdgeKind.ATTRIBUTE
+
+    def test_label_sets(self):
+        g = small_graph()
+        assert g.relation_labels == {EX.rel}
+        assert g.attribute_labels == {EX.attr}
+
+    def test_relation_triples_by_label(self):
+        g = small_graph()
+        assert len(list(g.relation_triples(EX.rel))) == 2
+        assert len(list(g.relation_triples(EX.unknown))) == 0
+
+
+class TestTypeStructure:
+    def test_types_of(self):
+        g = small_graph()
+        assert g.types_of(EX.e1) == {EX.C1}
+        assert g.types_of(EX.e3) == frozenset()
+
+    def test_instances_of(self):
+        g = small_graph()
+        assert g.instances_of(EX.C1) == {EX.e1}
+
+    def test_untyped_entities(self):
+        g = small_graph()
+        assert g.untyped_entities == {EX.e3}
+
+    def test_subclass_direct_and_transitive(self):
+        g = DataGraph(
+            [
+                Triple(EX.A, RDFS.subClassOf, EX.B),
+                Triple(EX.B, RDFS.subClassOf, EX.C),
+            ]
+        )
+        assert g.superclasses_of(EX.A) == {EX.B}
+        assert g.superclasses_of(EX.A, transitive=True) == {EX.B, EX.C}
+        assert g.subclasses_of(EX.C, transitive=True) == {EX.A, EX.B}
+
+    def test_subclass_cycle_terminates(self):
+        g = DataGraph(
+            [
+                Triple(EX.A, RDFS.subClassOf, EX.B),
+                Triple(EX.B, RDFS.subClassOf, EX.A),
+            ]
+        )
+        assert g.superclasses_of(EX.A, transitive=True) == {EX.A, EX.B}
+
+    def test_subclass_pairs(self):
+        g = small_graph()
+        assert list(g.subclass_pairs()) == [(EX.C1, EX.C2)]
+
+
+class TestNavigation:
+    def test_outgoing_incoming(self):
+        g = small_graph()
+        assert (EX.rel, EX.e2) in g.outgoing(EX.e1)
+        assert (EX.rel, EX.e3) in g.incoming(EX.e1)
+
+    def test_attribute_occurrences(self):
+        g = small_graph()
+        occurrences = list(g.attribute_occurrences(Literal("v1")))
+        assert occurrences == [(EX.attr, EX.e1, frozenset({EX.C1}))]
+
+
+class TestLabels:
+    def test_label_from_name_attribute(self):
+        g = DataGraph([Triple(EX.e1, URI("name"), Literal("Alice"))])
+        assert g.label_of(EX.e1) == "Alice"
+
+    def test_rdfs_label_preferred_over_name(self):
+        g = DataGraph(
+            [
+                Triple(EX.e1, URI("name"), Literal("fallback")),
+                Triple(EX.e1, RDFS.label, Literal("preferred")),
+            ]
+        )
+        assert g.label_of(EX.e1) == "preferred"
+
+    def test_label_falls_back_to_local_name(self):
+        g = DataGraph([Triple(EX.e1, EX.rel, EX.e2)])
+        assert g.label_of(EX.e1) == "e1"
+
+    def test_literal_label_is_lexical(self):
+        g = small_graph()
+        assert g.label_of(Literal("v1")) == "v1"
+
+
+class TestIntegrity:
+    def test_duplicate_triples_ignored(self):
+        g = DataGraph()
+        t = Triple(EX.e1, EX.rel, EX.e2)
+        assert g.add(t) is True
+        assert g.add(t) is False
+        assert len(g) == 1
+
+    def test_class_entity_conflict_resolved_non_strict(self):
+        g = DataGraph(
+            [
+                Triple(EX.e1, RDF.type, EX.C1),
+                Triple(EX.C1, EX.rel, EX.e1),  # class used as entity
+            ]
+        )
+        assert g.vertex_kind(EX.C1) is VertexKind.CLASS
+        assert g.conflicts
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(GraphIntegrityError):
+            DataGraph(
+                [
+                    Triple(EX.e1, RDF.type, EX.C1),
+                    Triple(EX.C1, EX.rel, EX.e1),
+                ],
+                strict=True,
+            )
+
+    def test_literal_typed_object_is_violation(self):
+        g = DataGraph()
+        g.add(Triple(EX.e1, RDF.type, Literal("bad")))
+        assert g.conflicts
+
+    def test_preferred_type_predicate_tracks_usage(self):
+        g = DataGraph([Triple(EX.e1, URI("type"), EX.C1)])
+        assert g.preferred_type_predicate == URI("type")
+
+    def test_preferred_type_predicate_defaults_to_rdf(self):
+        g = DataGraph()
+        assert g.preferred_type_predicate == RDF.type
+
+    def test_stats_counts(self, example_graph):
+        stats = example_graph.stats()
+        assert stats["triples"] == len(example_graph)
+        assert stats["classes"] == 6
+        assert stats["entities"] == 8

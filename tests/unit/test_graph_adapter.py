@@ -1,0 +1,65 @@
+"""Unit tests for the baselines' entity-graph view."""
+
+import pytest
+
+from repro.baselines.graph_adapter import EntityGraphView
+from repro.datasets.example import EX
+
+
+@pytest.fixture(scope="module")
+def view(example_graph):
+    return EntityGraphView(example_graph)
+
+
+def test_nodes_cover_entities_and_classes(view, example_graph):
+    expected = len(example_graph.entities) + len(example_graph.classes)
+    assert view.node_count == expected
+
+
+def test_keyword_matches_attribute_value(view):
+    nodes = view.keyword_nodes("aifb")
+    assert len(nodes) == 1
+    assert view.term_of(next(iter(nodes))) == EX.inst1URI
+
+
+def test_keyword_matches_class_label(view):
+    nodes = view.keyword_nodes("publication")
+    labels = {view.label_of(n) for n in nodes}
+    assert "Publication" in labels
+
+
+def test_multi_term_keyword_must_fully_match(view):
+    assert view.keyword_nodes("cimiano") != frozenset()
+    assert view.keyword_nodes("cimiano aifb") == frozenset()
+
+
+def test_unknown_keyword(view):
+    assert view.keyword_nodes("zzznothing") == frozenset()
+
+
+def test_directed_edges(view, example_graph):
+    pub1 = next(n for n in range(view.node_count) if view.term_of(n) == EX.pub1URI)
+    out_targets = {view.term_of(t) for t, _ in view.out_edges(pub1)}
+    assert EX.re1URI in out_targets
+    assert EX.re2URI in out_targets
+    in_sources = {view.term_of(s) for s, _ in view.in_edges(pub1)}
+    assert in_sources == set()  # nothing points at pub1 via R-edges
+
+
+def test_type_edges_connect_to_classes(view):
+    pub1 = next(n for n in range(view.node_count) if view.term_of(n) == EX.pub1URI)
+    out_targets = {view.term_of(t) for t, _ in view.out_edges(pub1)}
+    assert EX.Publication in out_targets
+
+
+def test_undirected_neighbors_union(view):
+    re1 = next(n for n in range(view.node_count) if view.term_of(n) == EX.re1URI)
+    neighbors = {view.term_of(t) for t, _ in view.undirected_neighbors(re1)}
+    assert EX.pub1URI in neighbors  # incoming author edge
+    assert EX.inst1URI in neighbors  # outgoing worksAt edge
+
+
+def test_keyword_nodes_all(view):
+    sets = view.keyword_nodes_all(["aifb", "cimiano"])
+    assert len(sets) == 2
+    assert all(sets)

@@ -1,0 +1,99 @@
+"""Unit tests for query isomorphism and canonical forms."""
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.query.isomorphism import canonical_form, queries_isomorphic
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal, Variable
+
+EX = Namespace("http://t/")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b, c = Variable("a"), Variable("b"), Variable("c")
+
+
+def test_identical_queries_isomorphic():
+    q = ConjunctiveQuery([Atom(EX.p, x, y)])
+    assert queries_isomorphic(q, q)
+
+
+def test_renamed_variables_isomorphic():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, Literal("v"))])
+    q2 = ConjunctiveQuery([Atom(EX.p, a, b), Atom(EX.q, b, Literal("v"))])
+    assert queries_isomorphic(q1, q2)
+
+
+def test_atom_order_irrelevant():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, z)])
+    q2 = ConjunctiveQuery([Atom(EX.q, b, c), Atom(EX.p, a, b)])
+    assert queries_isomorphic(q1, q2)
+
+
+def test_different_predicates_not_isomorphic():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y)])
+    q2 = ConjunctiveQuery([Atom(EX.q, x, y)])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_different_constants_not_isomorphic():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, Literal("a"))])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, Literal("b"))])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_variable_constant_mismatch():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y)])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, Literal("v"))])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_mapping_must_be_injective():
+    # p(x, y) with x≠y vs p(x, x): not isomorphic.
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y)])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, x)])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_mapping_must_be_consistent():
+    # Shared variable on one side, distinct on the other.
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, x, z)])
+    q2 = ConjunctiveQuery([Atom(EX.p, a, b), Atom(EX.q, c, b)])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_atom_count_mismatch():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y)])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, z)])
+    assert not queries_isomorphic(q1, q2)
+
+
+def test_distinguished_check():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y)], distinguished=[x])
+    q2 = ConjunctiveQuery([Atom(EX.p, a, b)], distinguished=[b])
+    assert queries_isomorphic(q1, q2)  # atoms only
+    assert not queries_isomorphic(q1, q2, check_distinguished=True)
+    q3 = ConjunctiveQuery([Atom(EX.p, a, b)], distinguished=[a])
+    assert queries_isomorphic(q1, q3, check_distinguished=True)
+
+
+def test_symmetric_query_isomorphism():
+    # Triangle patterns under rotation.
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.p, y, z), Atom(EX.p, z, x)])
+    q2 = ConjunctiveQuery([Atom(EX.p, b, c), Atom(EX.p, c, a), Atom(EX.p, a, b)])
+    assert queries_isomorphic(q1, q2)
+
+
+def test_canonical_form_invariant_under_renaming():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, Literal("v"))])
+    q2 = ConjunctiveQuery([Atom(EX.p, a, b), Atom(EX.q, b, Literal("v"))])
+    assert canonical_form(q1) == canonical_form(q2)
+
+
+def test_canonical_form_distinguishes_constants():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, Literal("a"))])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, Literal("b"))])
+    assert canonical_form(q1) != canonical_form(q2)
+
+
+def test_canonical_form_distinguishes_structure():
+    q1 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, z)])
+    q2 = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, x, z)])
+    assert canonical_form(q1) != canonical_form(q2)

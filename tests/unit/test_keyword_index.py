@@ -1,0 +1,150 @@
+"""Unit tests for the keyword-element map (Section IV-A)."""
+
+import pytest
+
+from repro.datasets.example import EX
+from repro.keyword.keyword_index import (
+    AttributeMatch,
+    ClassMatch,
+    KeywordIndex,
+    RelationMatch,
+    ValueMatch,
+)
+from repro.rdf.terms import Literal
+
+
+@pytest.fixture(scope="module")
+def index(example_graph):
+    return KeywordIndex(example_graph)
+
+
+def matches_of_type(matches, cls):
+    return [m for m in matches if isinstance(m, cls)]
+
+
+class TestLookupKinds:
+    def test_class_keyword(self, index):
+        matches = index.lookup("publication")
+        classes = matches_of_type(matches, ClassMatch)
+        assert any(m.cls == EX.Publication for m in classes)
+
+    def test_value_keyword(self, index):
+        matches = index.lookup("aifb")
+        values = matches_of_type(matches, ValueMatch)
+        assert any(m.value == Literal("AIFB") for m in values)
+
+    def test_relation_keyword(self, index):
+        matches = index.lookup("author")
+        relations = matches_of_type(matches, RelationMatch)
+        assert any(m.label == EX.author for m in relations)
+
+    def test_attribute_keyword(self, index):
+        matches = index.lookup("name")
+        attributes = matches_of_type(matches, AttributeMatch)
+        assert len(attributes) == 1
+        # The `name` attribute is used by researchers, institutes, projects.
+        assert EX.Researcher in attributes[0].classes
+        assert EX.Institute in attributes[0].classes
+        assert EX.Project in attributes[0].classes
+
+    def test_entity_uris_not_indexed(self, index):
+        # `pub1URI` identifies an E-vertex; the paper omits those.
+        assert index.lookup("pub1URI") == []
+
+
+class TestValueStructures:
+    def test_value_match_carries_occurrence_structure(self, index):
+        match = matches_of_type(index.lookup("cimiano"), ValueMatch)[0]
+        # [V-vertex, A-edge, (C-vertex_1..n)]: name edge from Researcher.
+        assert (EX.name, EX.Researcher) in match.occurrences
+
+    def test_untyped_subject_yields_none_class(self, example_graph):
+        from repro.rdf.graph import DataGraph
+        from repro.rdf.triples import Triple
+
+        graph = DataGraph([Triple(EX.mystery, EX.name, Literal("Orphan"))])
+        index = KeywordIndex(graph)
+        match = matches_of_type(index.lookup("orphan"), ValueMatch)[0]
+        assert (EX.name, None) in match.occurrences
+
+
+class TestImpreciseMatching:
+    def test_stemming_matches_plural(self, index):
+        assert index.lookup("publications")
+
+    def test_fuzzy_matches_typo(self, index):
+        matches = index.lookup("cimano")  # missing 'i'
+        values = matches_of_type(matches, ValueMatch)
+        assert any(m.value == Literal("P. Cimiano") for m in values)
+        assert all(m.score < 1.0 for m in values)
+
+    def test_fuzzy_disabled(self, example_graph):
+        index = KeywordIndex(example_graph, fuzzy_max_distance=0)
+        assert index.lookup("cimano") == []
+
+    def test_synonym_match_scores_below_exact(self, index):
+        # "paper" reaches class Publication through the lexicon.
+        matches = matches_of_type(index.lookup("paper"), ClassMatch)
+        assert matches
+        assert all(m.score < 1.0 for m in matches)
+
+    def test_exact_match_scores_one_for_single_term_label(self, index):
+        matches = matches_of_type(index.lookup("aifb"), ValueMatch)
+        assert matches[0].score == pytest.approx(1.0)
+
+    def test_multi_term_label_coverage_penalty(self, index):
+        # "cimiano" matches the two-term label "P. Cimiano".
+        match = matches_of_type(index.lookup("cimiano"), ValueMatch)[0]
+        assert match.score == pytest.approx((1 / 2) ** 0.5)
+
+
+class TestMultiTermKeywords:
+    def test_all_terms_must_match(self, index):
+        matches = index.lookup("x media")
+        values = matches_of_type(matches, ValueMatch)
+        assert any(m.value == Literal("X-Media") for m in values)
+
+    def test_conjunction_fails_if_one_term_misses(self, index):
+        assert index.lookup("x nonexistentterm") == []
+
+    def test_stopword_only_keyword_empty(self, index):
+        assert index.lookup("the of") == []
+
+
+class TestRanking:
+    def test_sorted_by_score(self, index):
+        matches = index.lookup("name")
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cap_respected(self, example_graph):
+        index = KeywordIndex(example_graph, max_matches_per_keyword=1)
+        assert len(index.lookup("name")) == 1
+
+    def test_lookup_all(self, index):
+        per_keyword = index.lookup_all(["aifb", "cimiano"])
+        assert len(per_keyword) == 2
+        assert all(isinstance(m, ValueMatch) for m in per_keyword[0])
+
+
+class TestStats:
+    def test_stats_present(self, index):
+        stats = index.stats()
+        assert stats["terms"] > 0
+        assert stats["elements"] > 0
+        assert stats["build_seconds"] >= 0
+
+
+class TestMatchObjects:
+    def test_with_score(self):
+        m = ClassMatch(EX.Publication, 0.5)
+        assert m.with_score(0.9).score == 0.9
+        assert m.with_score(0.9).cls == EX.Publication
+
+    def test_element_keys_distinct_across_kinds(self):
+        assert ClassMatch(EX.x, 1).element_key != RelationMatch(EX.x, 1).element_key
+
+    def test_immutability(self):
+        m = ClassMatch(EX.Publication, 0.5)
+        with pytest.raises(AttributeError):
+            m.score = 1.0

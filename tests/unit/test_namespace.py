@@ -1,0 +1,59 @@
+"""Unit tests for namespaces and the standard vocabulary helpers."""
+
+import pytest
+
+from repro.rdf.namespace import (
+    Namespace,
+    RDF,
+    RDFS,
+    SUBCLASS_PREDICATES,
+    TYPE_PREDICATES,
+    local_name,
+)
+from repro.rdf.terms import URI
+
+
+def test_attribute_minting():
+    ex = Namespace("http://e/")
+    assert ex.Person == URI("http://e/Person")
+
+
+def test_item_minting_allows_arbitrary_names():
+    ex = Namespace("http://e/")
+    assert ex["has name"] == URI("http://e/has name")
+
+
+def test_contains():
+    ex = Namespace("http://e/")
+    assert ex.Person in ex
+    assert URI("http://other/x") not in ex
+
+
+def test_private_attribute_raises():
+    ex = Namespace("http://e/")
+    with pytest.raises(AttributeError):
+        ex._hidden
+
+
+def test_rdf_type_recognized():
+    assert RDF.type in TYPE_PREDICATES
+    assert URI("type") in TYPE_PREDICATES
+
+
+def test_rdfs_subclass_recognized():
+    assert RDFS.subClassOf in SUBCLASS_PREDICATES
+    assert URI("subclass") in SUBCLASS_PREDICATES
+
+
+@pytest.mark.parametrize(
+    "uri,expected",
+    [
+        ("http://example.org/ontology#worksAt", "worksAt"),
+        ("http://example.org/Person", "Person"),
+        ("urn:isbn:12345", "12345"),
+        ("simple", "simple"),
+        ("http://example.org/path/", "path"),
+    ],
+)
+def test_local_name(uri, expected):
+    assert local_name(URI(uri)) == expected

@@ -1,0 +1,62 @@
+"""Unit tests for natural-language verbalization."""
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.query.nlg import verbalize, _humanize
+from repro.rdf.namespace import Namespace, RDF, RDFS
+from repro.rdf.terms import Literal, URI, Variable
+
+EX = Namespace("http://t/")
+x, y = Variable("x"), Variable("y")
+
+
+def test_humanize_camel_case():
+    assert _humanize("worksAt") == "works at"
+    assert _humanize("hasProject") == "has project"
+    assert _humanize("snake_case") == "snake case"
+
+
+def test_type_and_attribute():
+    q = ConjunctiveQuery(
+        [
+            Atom(RDF.type, x, EX.Publication),
+            Atom(EX.year, x, Literal("2006")),
+        ]
+    )
+    text = verbalize(q)
+    assert "Find ?x" in text
+    assert "Publication" in text
+    assert "year is '2006'" in text
+
+
+def test_relation_between_variables():
+    q = ConjunctiveQuery(
+        [
+            Atom(RDF.type, x, EX.Publication),
+            Atom(EX.author, x, y),
+            Atom(EX.name, y, Literal("Ada")),
+        ]
+    )
+    text = verbalize(q)
+    assert "author is something (?y)" in text
+    assert "name is 'Ada'" in text
+
+
+def test_subclass_rendered_as_kind_of():
+    q = ConjunctiveQuery(
+        [Atom(EX.p, x, y), Atom(RDFS.subClassOf, x, EX.Agent)]
+    )
+    assert "kind of Agent" in verbalize(q)
+
+
+def test_undistinguished_variable_phrase():
+    q = ConjunctiveQuery(
+        [Atom(EX.author, x, y), Atom(EX.name, y, Literal("Ada"))],
+        distinguished=[x],
+    )
+    text = verbalize(q)
+    assert "where ?y is" in text
+
+
+def test_ends_with_period():
+    q = ConjunctiveQuery([Atom(EX.year, x, Literal("2006"))])
+    assert verbalize(q).endswith(".")

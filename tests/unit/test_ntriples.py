@@ -1,0 +1,92 @@
+"""Unit tests for the N-Triples parser/serializer."""
+
+import pytest
+
+from repro.rdf.ntriples import NTriplesParseError, parse_ntriples, serialize_ntriples
+from repro.rdf.terms import BNode, Literal, URI
+from repro.rdf.triples import Triple
+
+
+def parse_one(line: str) -> Triple:
+    triples = list(parse_ntriples(line))
+    assert len(triples) == 1
+    return triples[0]
+
+
+class TestParsing:
+    def test_uri_triple(self):
+        t = parse_one("<a:s> <a:p> <a:o> .")
+        assert t == Triple(URI("a:s"), URI("a:p"), URI("a:o"))
+
+    def test_plain_literal(self):
+        t = parse_one('<a:s> <a:p> "hello" .')
+        assert t.object == Literal("hello")
+
+    def test_language_literal(self):
+        t = parse_one('<a:s> <a:p> "chat"@fr .')
+        assert t.object == Literal("chat", language="fr")
+
+    def test_typed_literal(self):
+        t = parse_one('<a:s> <a:p> "1"^^<x:int> .')
+        assert t.object == Literal("1", datatype=URI("x:int"))
+
+    def test_bnode_subject_and_object(self):
+        t = parse_one("_:a <a:p> _:b .")
+        assert t.subject == BNode("a")
+        assert t.object == BNode("b")
+
+    def test_string_escapes(self):
+        t = parse_one('<a:s> <a:p> "tab\\there\\nnl \\"q\\" \\\\bs" .')
+        assert t.object.lexical == 'tab\there\nnl "q" \\bs'
+
+    def test_unicode_escapes(self):
+        t = parse_one('<a:s> <a:p> "\\u00e9\\U0001F600" .')
+        assert t.object.lexical == "é\U0001F600"
+
+    def test_comments_and_blank_lines_skipped(self):
+        doc = "# comment\n\n<a:s> <a:p> <a:o> .\n   \n# another\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_trailing_comment_allowed(self):
+        t = parse_one("<a:s> <a:p> <a:o> . # trailing")
+        assert t.predicate == URI("a:p")
+
+    def test_multiple_lines(self):
+        doc = '<a:s> <a:p> <a:o> .\n<a:s> <a:p> "v" .'
+        assert len(list(parse_ntriples(doc))) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<a:s> <a:p> <a:o>",  # missing dot
+            '"lit" <a:p> <a:o> .',  # literal subject
+            "<a:s> _:b <a:o> .",  # bnode predicate
+            "<a:s> <a:p> .",  # missing object
+            '<a:s> <a:p> "unterminated .',
+            "<a:s> <unterminated <a:o> .",
+            "<a:s> <a:p> <a:o> . extra",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(NTriplesParseError):
+            list(parse_ntriples(line))
+
+    def test_error_carries_line_number(self):
+        doc = "<a:s> <a:p> <a:o> .\nbad line"
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse_ntriples(doc))
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse(self):
+        triples = [
+            Triple(URI("a:s"), URI("a:p"), URI("a:o")),
+            Triple(URI("a:s"), URI("a:p"), Literal('with "quotes"\nand newline')),
+            Triple(BNode("b1"), URI("a:p"), Literal("x", language="en")),
+            Triple(URI("a:s"), URI("a:p"), Literal("5", datatype=URI("x:int"))),
+        ]
+        document = serialize_ntriples(triples)
+        assert list(parse_ntriples(document)) == triples

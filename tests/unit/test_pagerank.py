@@ -1,0 +1,49 @@
+"""Unit tests for PageRank scoring over the summary graph."""
+
+import pytest
+
+from repro.datasets.example import EX
+from repro.scoring.pagerank import PageRankCost, pagerank
+from repro.summary.augmentation import augment
+from repro.summary.summary_graph import SummaryGraph
+
+
+@pytest.fixture(scope="module")
+def summary(example_graph):
+    return SummaryGraph.from_data_graph(example_graph)
+
+
+def test_ranks_sum_to_one(summary):
+    ranks = pagerank(summary)
+    assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_all_vertices_ranked(summary):
+    ranks = pagerank(summary)
+    assert set(ranks) == {v.key for v in summary.vertices}
+
+
+def test_sink_of_subclass_chain_ranks_high(summary):
+    # Agent receives subclass edges from Institute and Person.
+    ranks = pagerank(summary)
+    assert ranks[("class", EX.Agent)] > ranks[("class", EX.Publication)]
+
+
+def test_empty_graph():
+    assert pagerank(SummaryGraph()) == {}
+
+
+def test_cost_model_produces_positive_costs(summary):
+    augmented = augment(summary, [])
+    costs = PageRankCost().element_costs(augmented)
+    assert len(costs) == len(summary)
+    assert all(c > 0 for c in costs.values())
+
+
+def test_highest_ranked_vertex_is_cheapest(summary):
+    augmented = augment(summary, [])
+    ranks = pagerank(summary)
+    costs = PageRankCost().element_costs(augmented)
+    best = max(ranks, key=ranks.get)
+    vertex_costs = {v.key: costs[v.key] for v in summary.vertices}
+    assert vertex_costs[best] == min(vertex_costs.values())

@@ -1,0 +1,115 @@
+"""Unit tests for the graph partitioners."""
+
+import random
+
+import pytest
+
+from repro.baselines.partitioning import (
+    bfs_partition,
+    metis_like_partition,
+    partition_quality,
+)
+
+
+def ring(n):
+    return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+def grid(rows, cols):
+    adjacency = [[] for _ in range(rows * cols)]
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                adjacency[i].append(i + 1)
+                adjacency[i + 1].append(i)
+            if r + 1 < rows:
+                adjacency[i].append(i + cols)
+                adjacency[i + cols].append(i)
+    return adjacency
+
+
+def random_graph(n, m, seed=0):
+    rng = random.Random(seed)
+    adjacency = [[] for _ in range(n)]
+    for _ in range(m):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    return adjacency
+
+
+class TestBfsPartition:
+    def test_all_nodes_assigned(self):
+        block = bfs_partition(ring(30), 5)
+        assert len(block) == 30
+        assert all(b >= 0 for b in block)
+
+    def test_block_sizes_bounded(self):
+        block = bfs_partition(ring(30), 5)
+        sizes = {}
+        for b in block:
+            sizes[b] = sizes.get(b, 0) + 1
+        assert max(sizes.values()) <= 6  # ceil(30/5)
+
+    def test_single_block(self):
+        block = bfs_partition(ring(10), 1)
+        assert set(block) == {0}
+
+    def test_deterministic_for_seed(self):
+        g = random_graph(50, 120)
+        assert bfs_partition(g, 8, seed=3) == bfs_partition(g, 8, seed=3)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            bfs_partition(ring(4), 0)
+
+    def test_empty_graph(self):
+        assert bfs_partition([], 3) == []
+
+
+class TestMetisLikePartition:
+    def test_all_nodes_assigned(self):
+        block = metis_like_partition(grid(10, 10), 4)
+        assert len(block) == 100
+        assert all(b >= 0 for b in block)
+
+    def test_deterministic(self):
+        g = random_graph(80, 200)
+        assert metis_like_partition(g, 6, seed=1) == metis_like_partition(g, 6, seed=1)
+
+    def test_quality_not_worse_than_bfs_on_grid(self):
+        g = grid(12, 12)
+        bfs_cut = partition_quality(g, bfs_partition(g, 6, seed=0))["edge_cut_fraction"]
+        metis_cut = partition_quality(g, metis_like_partition(g, 6, seed=0))[
+            "edge_cut_fraction"
+        ]
+        # The multilevel partitioner should be at least competitive.
+        assert metis_cut <= bfs_cut * 1.5
+
+    def test_empty_graph(self):
+        assert metis_like_partition([], 3) == []
+
+    def test_small_graph_skips_coarsening(self):
+        g = ring(8)
+        block = metis_like_partition(g, 2)
+        assert len(block) == 8
+
+
+class TestQuality:
+    def test_zero_cut_for_single_block(self):
+        g = ring(10)
+        quality = partition_quality(g, [0] * 10)
+        assert quality["edge_cut_fraction"] == 0.0
+        assert quality["blocks"] == 1.0
+
+    def test_full_cut_for_alternating_blocks(self):
+        g = ring(10)
+        quality = partition_quality(g, [i % 2 for i in range(10)])
+        assert quality["edge_cut_fraction"] == 1.0
+
+    def test_balance_metric(self):
+        quality = partition_quality(ring(10), [0] * 9 + [1])
+        assert quality["max_block_size"] == 9.0
+        assert quality["balance"] > 1.0

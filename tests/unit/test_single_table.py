@@ -1,0 +1,87 @@
+"""Unit tests for the Fig. 1b single-table store."""
+
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal, URI, Variable
+from repro.rdf.triples import Triple
+from repro.store.single_table import Row, SingleTableStore
+
+EX = Namespace("http://t/")
+
+
+def make_store():
+    return SingleTableStore(
+        [
+            Triple(EX.p1, EX.type, EX.Publication),
+            Triple(EX.p1, EX.year, Literal("2006")),
+            Triple(EX.p1, EX.author, EX.r1),
+            Triple(EX.r1, EX.name, Literal("P. Cimiano")),
+            Triple(EX.p2, EX.type, EX.Publication),
+            Triple(EX.p2, EX.year, Literal("2007")),
+        ]
+    )
+
+
+def test_rows_are_three_columns():
+    store = make_store()
+    assert len(store) == 6
+    assert store.rows[0] == Row(EX.p1, EX.type, EX.Publication)
+
+
+def test_single_pattern_scan():
+    store = make_store()
+    x = Variable("x")
+    results = store.evaluate_self_join([(x, EX.type, EX.Publication)], [x])
+    assert {r[0] for r in results} == {EX.p1, EX.p2}
+
+
+def test_self_join_two_patterns():
+    store = make_store()
+    x = Variable("x")
+    results = store.evaluate_self_join(
+        [(x, EX.type, EX.Publication), (x, EX.year, Literal("2006"))], [x]
+    )
+    assert results == [(EX.p1,)]
+
+
+def test_fig1c_style_join():
+    store = make_store()
+    x, y = Variable("x"), Variable("y")
+    results = store.evaluate_self_join(
+        [
+            (x, EX.type, EX.Publication),
+            (x, EX.author, y),
+            (y, EX.name, Literal("P. Cimiano")),
+        ],
+        [x, y],
+    )
+    assert results == [(EX.p1, EX.r1)]
+
+
+def test_shared_variable_must_unify():
+    store = make_store()
+    x = Variable("x")
+    results = store.evaluate_self_join(
+        [(x, EX.year, Literal("2006")), (x, EX.year, Literal("2007"))], [x]
+    )
+    assert results == []
+
+
+def test_results_distinct():
+    store = SingleTableStore(
+        [
+            Triple(EX.p1, EX.author, EX.r1),
+            Triple(EX.p1, EX.author, EX.r2),
+        ]
+    )
+    x = Variable("x")
+    y = Variable("y")
+    results = store.evaluate_self_join([(x, EX.author, y)], [x])
+    assert results == [(EX.p1,)]
+
+
+def test_constant_projection_passthrough():
+    store = make_store()
+    x = Variable("x")
+    # Projecting a variable bound by the join.
+    results = store.evaluate_self_join([(EX.p1, EX.author, x)], [x])
+    assert results == [(EX.r1,)]

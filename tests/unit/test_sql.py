@@ -1,0 +1,70 @@
+"""Unit tests for the single-table SQL rendering (Fig. 1c)."""
+
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.query.sql import to_sql, to_table_patterns
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal, Variable
+from repro.store.single_table import SingleTableStore
+from repro.rdf.triples import Triple
+
+EX = Namespace("http://t/")
+x, y = Variable("x"), Variable("y")
+
+
+def test_one_alias_per_atom():
+    q = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, Literal("v"))])
+    sql = to_sql(q)
+    assert "Ex AS A" in sql
+    assert "Ex AS B" in sql
+    assert "Ex AS C" not in sql
+
+
+def test_predicate_conditions():
+    q = ConjunctiveQuery([Atom(EX.p, x, Literal("v"))])
+    sql = to_sql(q)
+    assert "A.p = 'http://t/p'" in sql
+    assert "A.o = 'v'" in sql
+
+
+def test_shared_variable_generates_join_condition():
+    q = ConjunctiveQuery([Atom(EX.p, x, y), Atom(EX.q, y, Literal("v"))])
+    sql = to_sql(q)
+    assert "B.s = A.o" in sql
+
+
+def test_quotes_escaped():
+    q = ConjunctiveQuery([Atom(EX.p, x, Literal("O'Hara"))])
+    assert "O''Hara" in to_sql(q)
+
+
+def test_select_lists_distinguished_columns():
+    q = ConjunctiveQuery([Atom(EX.p, x, y)], distinguished=[y])
+    sql = to_sql(q)
+    assert sql.startswith("SELECT A.o")
+
+
+def test_custom_table_name():
+    q = ConjunctiveQuery([Atom(EX.p, x, y)])
+    assert "triples AS A" in to_sql(q, table="triples")
+
+
+def test_many_aliases_roll_over_alphabet():
+    atoms = [Atom(EX[f"p{i}"], x, Variable(f"v{i}")) for i in range(30)]
+    sql = to_sql(ConjunctiveQuery(atoms))
+    assert "AS A1" in sql  # 27th alias
+
+
+def test_table_patterns_match_sql_semantics():
+    q = ConjunctiveQuery(
+        [Atom(EX.p, x, y), Atom(EX.name, y, Literal("n"))], distinguished=[x]
+    )
+    patterns, projection = to_table_patterns(q)
+    store = SingleTableStore(
+        [
+            Triple(EX.a, EX.p, EX.b),
+            Triple(EX.b, EX.name, Literal("n")),
+            Triple(EX.c, EX.p, EX.d),
+        ]
+    )
+    results = store.evaluate_self_join(patterns, projection)
+    assert results == [(EX.a,)]

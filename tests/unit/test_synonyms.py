@@ -1,0 +1,71 @@
+"""Unit tests for the offline synonym lexicon."""
+
+from repro.keyword.stemmer import porter_stem
+from repro.keyword.synonyms import (
+    DEFAULT_LEXICON,
+    HYPERNYM_FACTOR,
+    SYNONYM_FACTOR,
+    SynonymLexicon,
+)
+
+
+def test_synonyms_symmetric():
+    lex = SynonymLexicon()
+    lex.add_synonyms("car", "automobile")
+    assert dict(lex.related(porter_stem("car")))[porter_stem("automobile")] == SYNONYM_FACTOR
+    assert dict(lex.related(porter_stem("automobile")))[porter_stem("car")] == SYNONYM_FACTOR
+
+
+def test_synonym_set_all_pairs():
+    lex = SynonymLexicon()
+    lex.add_synonyms("a1", "b1", "c1")
+    related = dict(lex.related("a1"))
+    assert set(related) == {"b1", "c1"}
+
+
+def test_hypernym_both_directions_weaker():
+    lex = SynonymLexicon()
+    lex.add_hypernym("dog", "animal")
+    assert dict(lex.related(porter_stem("dog")))[porter_stem("animal")] == HYPERNYM_FACTOR
+    assert dict(lex.related(porter_stem("animal")))[porter_stem("dog")] == HYPERNYM_FACTOR
+
+
+def test_stronger_relation_wins():
+    lex = SynonymLexicon()
+    lex.add_hypernym("cat", "pet")
+    lex.add_synonyms("cat", "pet")
+    assert dict(lex.related(porter_stem("cat")))[porter_stem("pet")] == SYNONYM_FACTOR
+
+
+def test_related_sorted_by_factor():
+    lex = SynonymLexicon()
+    lex.add_hypernym("x9", "weak")
+    lex.add_synonyms("x9", "strong")
+    factors = [f for _, f in lex.related("x9")]
+    assert factors == sorted(factors, reverse=True)
+
+
+def test_entries_stored_stemmed():
+    lex = SynonymLexicon()
+    lex.add_synonyms("publications", "papers")
+    assert porter_stem("publication") in lex
+
+
+def test_default_lexicon_covers_domain():
+    stem = porter_stem
+    related = dict(DEFAULT_LEXICON.related(stem("paper")))
+    assert stem("publication") in related
+    related = dict(DEFAULT_LEXICON.related(stem("movie")))
+    assert stem("film") in related
+
+
+def test_default_lexicon_hypernyms():
+    stem = porter_stem
+    related = dict(DEFAULT_LEXICON.related(stem("researcher")))
+    assert related.get(stem("person")) == HYPERNYM_FACTOR
+
+
+def test_no_self_links():
+    lex = SynonymLexicon()
+    lex.add_synonyms("same", "same")
+    assert lex.related(porter_stem("same")) == []

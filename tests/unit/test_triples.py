@@ -1,0 +1,61 @@
+"""Unit tests for the Triple value object."""
+
+import pytest
+
+from repro.rdf.terms import BNode, Literal, URI, Variable
+from repro.rdf.triples import Triple
+
+
+def test_construction_and_accessors():
+    t = Triple(URI("e:s"), URI("e:p"), Literal("v"))
+    assert t.subject == URI("e:s")
+    assert t.predicate == URI("e:p")
+    assert t.object == Literal("v")
+
+
+def test_unpacking():
+    s, p, o = Triple(URI("e:s"), URI("e:p"), URI("e:o"))
+    assert (s, p, o) == (URI("e:s"), URI("e:p"), URI("e:o"))
+
+
+def test_bnode_subject_allowed():
+    t = Triple(BNode("b"), URI("e:p"), URI("e:o"))
+    assert t.subject == BNode("b")
+
+
+def test_literal_subject_rejected():
+    with pytest.raises(TypeError):
+        Triple(Literal("x"), URI("e:p"), URI("e:o"))
+
+
+def test_non_uri_predicate_rejected():
+    with pytest.raises(TypeError):
+        Triple(URI("e:s"), Literal("p"), URI("e:o"))
+    with pytest.raises(TypeError):
+        Triple(URI("e:s"), BNode("p"), URI("e:o"))
+
+
+def test_variable_not_allowed_in_data_triple():
+    with pytest.raises(TypeError):
+        Triple(URI("e:s"), URI("e:p"), Variable("x"))
+
+
+def test_equality_and_hash():
+    a = Triple(URI("e:s"), URI("e:p"), Literal("v"))
+    b = Triple(URI("e:s"), URI("e:p"), Literal("v"))
+    c = Triple(URI("e:s"), URI("e:p"), Literal("w"))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert len({a, b, c}) == 2
+
+
+def test_immutable():
+    t = Triple(URI("e:s"), URI("e:p"), URI("e:o"))
+    with pytest.raises(AttributeError):
+        t.subject = URI("e:x")
+
+
+def test_n3_line():
+    t = Triple(URI("e:s"), URI("e:p"), Literal("v"))
+    assert t.n3() == '<e:s> <e:p> "v" .'

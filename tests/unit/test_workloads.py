@@ -1,0 +1,149 @@
+"""Unit tests for workload definitions and intent matching."""
+
+import pytest
+
+from repro.datasets.dblp import DBLP
+from repro.datasets.workloads import (
+    Contains,
+    IntentSpec,
+    OneOf,
+    WorkloadQuery,
+    dblp_effectiveness_workload,
+    dblp_performance_queries,
+    tap_effectiveness_workload,
+)
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import Literal, URI, Variable
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestMatchers:
+    def test_contains_case_insensitive(self):
+        assert Contains("cimiano").matches(Literal("Philipp Cimiano"))
+        assert not Contains("cimiano").matches(Literal("Someone Else"))
+
+    def test_contains_all_words(self):
+        matcher = Contains("keyword", "search")
+        assert matcher.matches(Literal("efficient keyword search"))
+        assert not matcher.matches(Literal("keyword only"))
+
+    def test_contains_rejects_non_literal(self):
+        assert not Contains("x").matches(URI("x"))
+
+    def test_oneof(self):
+        matcher = OneOf(DBLP.Article, DBLP.Publication)
+        assert matcher.matches(DBLP.Article)
+        assert not matcher.matches(DBLP.Person)
+
+
+class TestIntentSpec:
+    def intent(self, exact=True):
+        return IntentSpec(
+            [
+                (RDF.type, "?x", OneOf(DBLP.Article)),
+                (DBLP.year, "?x", Literal("1999")),
+            ],
+            exact=exact,
+        )
+
+    def test_matching_query(self):
+        q = ConjunctiveQuery(
+            [Atom(RDF.type, x, DBLP.Article), Atom(DBLP.year, x, Literal("1999"))]
+        )
+        assert self.intent().matches(q)
+
+    def test_variable_renaming_irrelevant(self):
+        q = ConjunctiveQuery(
+            [Atom(RDF.type, y, DBLP.Article), Atom(DBLP.year, y, Literal("1999"))]
+        )
+        assert self.intent().matches(q)
+
+    def test_wrong_constant_rejected(self):
+        q = ConjunctiveQuery(
+            [Atom(RDF.type, x, DBLP.Article), Atom(DBLP.year, x, Literal("2000"))]
+        )
+        assert not self.intent().matches(q)
+
+    def test_extra_content_atom_rejected_when_exact(self):
+        q = ConjunctiveQuery(
+            [
+                Atom(RDF.type, x, DBLP.Article),
+                Atom(DBLP.year, x, Literal("1999")),
+                Atom(DBLP.title, x, Literal("noise")),
+            ]
+        )
+        assert not self.intent().matches(q)
+
+    def test_extra_atom_allowed_when_not_exact(self):
+        q = ConjunctiveQuery(
+            [
+                Atom(RDF.type, x, DBLP.Article),
+                Atom(DBLP.year, x, Literal("1999")),
+                Atom(DBLP.title, x, Literal("noise")),
+            ]
+        )
+        assert self.intent(exact=False).matches(q)
+
+    def test_extra_type_and_subclass_atoms_always_allowed(self):
+        q = ConjunctiveQuery(
+            [
+                Atom(RDF.type, x, DBLP.Article),
+                Atom(DBLP.year, x, Literal("1999")),
+                Atom(RDF.type, y, DBLP.Person),
+                Atom(RDFS.subClassOf, DBLP.Article, DBLP.Publication),
+            ]
+        )
+        # The type atom for ?y is unconstrained context, still fine.
+        assert self.intent().matches(q)
+
+    def test_shared_variable_consistency(self):
+        intent = IntentSpec(
+            [
+                (DBLP.author, "?x", "?y"),
+                (DBLP.name, "?y", Literal("A")),
+            ]
+        )
+        good = ConjunctiveQuery(
+            [Atom(DBLP.author, x, y), Atom(DBLP.name, y, Literal("A"))]
+        )
+        bad = ConjunctiveQuery(
+            [Atom(DBLP.author, x, y), Atom(DBLP.name, x, Literal("A"))]
+        )
+        assert intent.matches(good)
+        assert not intent.matches(bad)
+
+    def test_injective_variable_mapping(self):
+        intent = IntentSpec([(DBLP.author, "?x", "?y")])
+        collapsed = ConjunctiveQuery([Atom(DBLP.author, x, x)])
+        assert not intent.matches(collapsed)
+
+    def test_requires_templates(self):
+        with pytest.raises(ValueError):
+            IntentSpec([])
+
+
+class TestWorkloads:
+    def test_dblp_workload_size_and_ids(self):
+        workload = dblp_effectiveness_workload()
+        assert len(workload) == 30
+        assert len({w.qid for w in workload}) == 30
+        assert all(w.intent is not None for w in workload)
+
+    def test_tap_workload_size(self):
+        workload = tap_effectiveness_workload()
+        assert len(workload) == 9
+        assert all(w.intent is not None for w in workload)
+
+    def test_performance_queries_grow_in_length(self):
+        queries = dblp_performance_queries()
+        assert len(queries) == 10
+        lengths = [len(q.keywords) for q in queries]
+        assert lengths[0] == 2
+        assert lengths[-1] == 7
+        assert lengths == sorted(lengths)
+
+    def test_workload_repr(self):
+        wq = WorkloadQuery("X1", ["a", "b"], "desc")
+        assert "X1" in repr(wq)
