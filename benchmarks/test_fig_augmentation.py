@@ -1,0 +1,150 @@
+"""Micro-benchmark: copy-based vs zero-copy (overlay) augmentation.
+
+The seed implementation materialized a full copy of the summary graph per
+query (Definition 5 realized by duplication) and recomputed every element
+cost — an O(|summary|) term on each search.  The overlay implementation
+layers the keyword-derived elements over the shared base graph and reuses
+a cached base-cost table, so the per-query augmentation step allocates
+O(#keyword matches).
+
+Measured here, on the Fig. 5 DBLP workload (Q1–Q10) and on the
+schema-rich TAP graph (bigger summary → bigger copy):
+
+* ``augment`` alone (graph extension), copy vs overlay;
+* the full augmentation step as ``engine.search`` times it
+  (``augment`` + cost assignment), copy vs overlay;
+* end-to-end search throughput.
+
+Results land in ``benchmarks/results/fig_augmentation.txt``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import dblp_performance_queries
+from repro.summary.augmentation import augment
+
+_ROWS = {}
+
+
+def _prepare(engine, keyword_lists):
+    return [
+        [m for m in engine.keyword_index.lookup_all(keywords) if m]
+        for keywords in keyword_lists
+    ]
+
+
+def _one_round(engine, prepared, copy, with_costs, loops):
+    started = time.perf_counter()
+    for _ in range(loops):
+        for matches in prepared:
+            augmented = augment(engine.summary, matches, copy=copy)
+            if with_costs:
+                engine.cost_model.element_costs(augmented)
+    return (time.perf_counter() - started) / (loops * len(prepared))
+
+
+def _time_copy_vs_overlay(engine, prepared, with_costs, repeats=7, loops=50):
+    """Best-of-``repeats`` per variant, with rounds *interleaved* so drifting
+    machine load hits both variants symmetrically instead of flipping the
+    comparison."""
+    best_copy = best_overlay = float("inf")
+    for _ in range(repeats):
+        best_copy = min(best_copy, _one_round(engine, prepared, True, with_costs, loops))
+        best_overlay = min(
+            best_overlay, _one_round(engine, prepared, False, with_costs, loops)
+        )
+    return best_copy, best_overlay
+
+
+@pytest.fixture(scope="module")
+def workloads(performance_engine, tap_graph):
+    dblp_queries = [q.keywords for q in dblp_performance_queries()]
+    tap_engine = KeywordSearchEngine(tap_graph, cost_model="c3", k=10)
+    tap_queries = [["business"], ["music person"], ["name"], ["sport location"]]
+    return {
+        "DBLP": (performance_engine, _prepare(performance_engine, dblp_queries), dblp_queries),
+        "TAP": (tap_engine, _prepare(tap_engine, tap_queries), tap_queries),
+    }
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI") == "true",
+    reason="wall-clock comparison; shared CI runners are too noisy to gate on",
+)
+@pytest.mark.parametrize("workload", ["DBLP", "TAP"])
+def test_overlay_augmentation_beats_copy(workloads, workload):
+    """The acceptance check: the overlay augmentation step (graph extension
+    + cost assignment, exactly what ``engine.search`` times as
+    ``augmentation``) is faster than the seed's copy-based step."""
+    engine, prepared, _ = workloads[workload]
+    # Warm the base-cost cache so steady-state behavior is measured.
+    engine.cost_model.element_costs(augment(engine.summary, prepared[0]))
+
+    copy_step, overlay_step = _time_copy_vs_overlay(engine, prepared, with_costs=True)
+    copy_only, overlay_only = _time_copy_vs_overlay(engine, prepared, with_costs=False)
+
+    _ROWS[workload] = {
+        "summary_elements": len(engine.summary),
+        "copy_step_us": copy_step * 1e6,
+        "overlay_step_us": overlay_step * 1e6,
+        "copy_only_us": copy_only * 1e6,
+        "overlay_only_us": overlay_only * 1e6,
+    }
+    assert overlay_step < copy_step, (
+        f"overlay augmentation ({overlay_step * 1e6:.1f}us) should beat the "
+        f"seed's copy-based augmentation ({copy_step * 1e6:.1f}us) on {workload}"
+    )
+
+
+def test_search_throughput(workloads):
+    engine, _, queries = workloads["DBLP"]
+    started = time.perf_counter()
+    loops = 20
+    for _ in range(loops):
+        for keywords in queries:
+            engine.search(keywords, k=10)
+    elapsed = time.perf_counter() - started
+    _ROWS["throughput_qps"] = loops * len(queries) / elapsed
+
+
+def test_report(report):
+    out = report("fig_augmentation")
+    out.line("Query-time augmentation: per-query copy (seed) vs zero-copy overlay")
+    out.line("step = augment + element costs, as timed by engine.search")
+    out.line("")
+    rows = []
+    for workload in ("DBLP", "TAP"):
+        data = _ROWS.get(workload)
+        if not data:
+            continue
+        speedup = data["copy_step_us"] / max(data["overlay_step_us"], 1e-9)
+        rows.append(
+            (
+                workload,
+                data["summary_elements"],
+                f"{data['copy_step_us']:.1f}",
+                f"{data['overlay_step_us']:.1f}",
+                f"{data['copy_only_us']:.1f}",
+                f"{data['overlay_only_us']:.1f}",
+                f"{speedup:.2f}x",
+            )
+        )
+    out.table(
+        [
+            "workload",
+            "|summary|",
+            "copy step (us)",
+            "overlay step (us)",
+            "copy aug (us)",
+            "overlay aug (us)",
+            "step speedup",
+        ],
+        rows,
+    )
+    if "throughput_qps" in _ROWS:
+        out.line("")
+        out.line(f"end-to-end search throughput (DBLP Q1-Q10): {_ROWS['throughput_qps']:.0f} queries/s")

@@ -6,6 +6,7 @@ Examples::
     python -m repro "2006 cimiano aifb" --dataset example --cost-model c1
     python -m repro "cimiano before 2005" --dataset dblp --filters
     python -m repro "professor department0" --data my_data.nt --guided
+    python -m repro "new paper" --data base.nt --update-ntriples delta.nt
 """
 
 from __future__ import annotations
@@ -42,6 +43,13 @@ def _load_graph(args) -> DataGraph:
     raise SystemExit(f"unknown dataset {args.dataset!r}")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,8 +64,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="bundled dataset to search (default: the paper's running example)",
     )
     parser.add_argument("--data", help="path to an N-Triples file to search instead")
+    parser.add_argument(
+        "--update-ntriples",
+        metavar="FILE",
+        action="append",
+        default=[],
+        help="N-Triples file of triples to ADD through incremental index "
+        "maintenance before searching (repeatable)",
+    )
+    parser.add_argument(
+        "--remove-ntriples",
+        metavar="FILE",
+        action="append",
+        default=[],
+        help="N-Triples file of triples to REMOVE through incremental index "
+        "maintenance before searching (repeatable)",
+    )
     parser.add_argument("--scale", type=int, default=1000, help="dataset scale knob")
-    parser.add_argument("-k", type=int, default=5, help="number of queries to compute")
+    parser.add_argument(
+        "-k",
+        type=_positive_int,
+        default=5,
+        help="number of queries to compute (>= 1)",
+    )
     parser.add_argument(
         "--cost-model",
         choices=("c1", "c2", "c3", "pagerank"),
@@ -99,6 +128,17 @@ def main(argv: Optional[list] = None) -> int:
         dmax=args.dmax,
         guided=args.guided,
     )
+
+    # Apply deltas through the incremental index maintenance path — the
+    # offline indexes are updated in place, not rebuilt.
+    for path in args.update_ntriples:
+        with open(path) as fh:
+            count = engine.add_triples(list(parse_ntriples(fh)))
+        print(f"# +{count} triples from {path}", file=sys.stderr)
+    for path in args.remove_ntriples:
+        with open(path) as fh:
+            count = engine.remove_triples(list(parse_ntriples(fh)))
+        print(f"# -{count} triples from {path}", file=sys.stderr)
 
     if args.filters:
         filtered = engine.search_with_filters(args.keywords, k=args.k)

@@ -1,14 +1,22 @@
 """The end-to-end keyword-search engine (Fig. 2's full pipeline).
 
 Offline, the constructor builds the keyword index, the summary graph, and
-the triple store.  Per query, :meth:`KeywordSearchEngine.search` performs
-the five tasks of Section VI — keyword-to-element mapping, augmentation,
-exploration, top-k, query mapping — and returns ranked
-:class:`QueryCandidate` objects carrying the conjunctive query, its cost,
-its subgraph, and presentation renderings (SPARQL, SQL, natural language).
-:meth:`KeywordSearchEngine.execute` then runs a chosen query on the store,
-completing the paper's search paradigm: *compute queries, let the user pick,
-let the database answer*.
+the triple store; :meth:`KeywordSearchEngine.add_triples` and
+:meth:`KeywordSearchEngine.remove_triples` keep all three consistent under
+data changes through the :class:`~repro.maintenance.IndexManager` — no
+rebuild, and query-time caches (cost tables, selectivity statistics) are
+invalidated automatically.
+
+Per query, :meth:`KeywordSearchEngine.search` performs the five tasks of
+Section VI — keyword-to-element mapping, augmentation, exploration, top-k,
+query mapping — and returns ranked :class:`QueryCandidate` objects carrying
+the conjunctive query, its cost, its subgraph, and presentation renderings
+(SPARQL, SQL, natural language).  Augmentation is zero-copy: the summary
+graph is never duplicated per query; keyword-derived elements are layered
+onto it through an :class:`~repro.summary.overlay.OverlaySummaryGraph`
+view.  :meth:`KeywordSearchEngine.execute` then runs a chosen query on the
+store, completing the paper's search paradigm: *compute queries, let the
+user pick, let the database answer*.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.exploration import DEFAULT_DMAX, ExplorationResult, explore_top_k
 from repro.core.query_mapping import QueryMappingError, map_to_query
+from repro.maintenance import IndexManager
 from repro.core.subgraph import MatchingSubgraph
 from repro.keyword.keyword_index import (
     AttributeMatch,
@@ -202,11 +211,36 @@ class KeywordSearchEngine:
         )
         self.store = TripleStore.from_graph(graph)
         self.evaluator = QueryEvaluator(self.store)
+        self.index_manager = IndexManager(
+            graph=graph,
+            keyword_index=self.keyword_index,
+            summary=self.summary,
+            store=self.store,
+            evaluator=self.evaluator,
+        )
         self.preprocessing_seconds = time.perf_counter() - started
 
     @classmethod
     def from_triples(cls, triples: Sequence[Triple], **kwargs) -> "KeywordSearchEngine":
         return cls(DataGraph(triples), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Updates (incremental offline-index maintenance)
+    # ------------------------------------------------------------------
+
+    def add_triples(self, triples: Sequence[Triple]) -> int:
+        """Insert triples, updating every offline index incrementally.
+
+        Propagates deltas through the data graph, the keyword index, the
+        summary graph, and the triple store without rebuilding any of
+        them; cached per-element costs and selectivity statistics are
+        invalidated.  Returns the number of triples actually added.
+        """
+        return self.index_manager.add_triples(triples)
+
+    def remove_triples(self, triples: Sequence[Triple]) -> int:
+        """Remove triples; the incremental counterpart of :meth:`add_triples`."""
+        return self.index_manager.remove_triples(triples)
 
     # ------------------------------------------------------------------
     # Search (Fig. 2, online part)
@@ -227,8 +261,14 @@ class KeywordSearchEngine:
         support, which inject attribute-level interpretations.
         """
         keywords = split_keywords(query) if isinstance(query, str) else list(query)
-        k = k or self.k
-        dmax = dmax or self.dmax
+        if k is None:
+            k = self.k
+        if dmax is None:
+            dmax = self.dmax
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if dmax < 0:
+            raise ValueError(f"dmax must be >= 0, got {dmax}")
         timings: Dict[str, float] = {}
         total_started = time.perf_counter()
 

@@ -82,22 +82,22 @@ class _InternedGraph:
 
     def __init__(self, augmented: AugmentedSummaryGraph, element_costs: Dict[Hashable, float]):
         graph = augmented.graph
-        self.keys: List[Hashable] = []
-        self.ids: Dict[Hashable, int] = {}
-
-        def _intern(key: Hashable) -> int:
-            existing = self.ids.get(key)
-            if existing is not None:
-                return existing
-            new_id = len(self.keys)
-            self.ids[key] = new_id
-            self.keys.append(key)
-            return new_id
-
-        for vertex in graph.vertices:
-            _intern(vertex.key)
-        for edge in graph.edges:
-            _intern(edge.key)
+        # Canonical interning order (sorted by key repr) makes the whole
+        # exploration — including tie-breaking among equal-cost cursors and
+        # candidates — a function of the abstract graph, independent of the
+        # base graph's internal dict/list ordering.  Incrementally
+        # maintained and freshly rebuilt indexes therefore rank
+        # identically.  Summary graphs and overlays serve the order from a
+        # version-keyed cache; other graph objects are sorted here.
+        canonical = getattr(graph, "canonical_element_keys", None)
+        if canonical is not None:
+            self.keys: List[Hashable] = list(canonical())
+        else:
+            self.keys = sorted(
+                [v.key for v in graph.vertices] + [e.key for e in graph.edges],
+                key=repr,
+            )
+        self.ids: Dict[Hashable, int] = {key: i for i, key in enumerate(self.keys)}
 
         n = len(self.keys)
         self.neighbors: List[List[int]] = [[] for _ in range(n)]
@@ -109,7 +109,7 @@ class _InternedGraph:
             if cost <= 0:
                 raise ValueError(f"element cost must be positive: {key!r} -> {cost}")
             self.costs[idx] = cost
-            self.neighbors[idx] = [self.ids[nb] for nb in graph.neighbors(key)]
+            self.neighbors[idx] = sorted(self.ids[nb] for nb in graph.neighbors(key))
 
 
 class _ElementState:

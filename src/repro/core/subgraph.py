@@ -22,7 +22,7 @@ from repro.core.cursor import Cursor
 class MatchingSubgraph:
     """A candidate result of the exploration: merged paths + their cost."""
 
-    __slots__ = ("connecting_element", "paths", "elements", "cost")
+    __slots__ = ("connecting_element", "paths", "elements", "cost", "_order_key")
 
     def __init__(
         self,
@@ -62,6 +62,17 @@ class MatchingSubgraph:
         the same subgraph; the candidate list keeps only the cheapest.
         """
         return self.elements
+
+    @property
+    def order_key(self) -> str:
+        """Canonical string over the element set, for deterministic
+        ranking among equal-cost candidates (independent of the order in
+        which exploration discovered them)."""
+        cached = getattr(self, "_order_key", None)
+        if cached is None:
+            cached = repr(sorted(self.elements, key=repr))
+            object.__setattr__(self, "_order_key", cached)
+        return cached
 
     @property
     def keyword_origins(self) -> Tuple[Hashable, ...]:

@@ -25,6 +25,11 @@ class CandidateList:
     the cheapest variant.  The list is trimmed to the k best (Alg 2 line 8);
     ranks of retained candidates can only degrade as new candidates arrive,
     so trimming never discards a final top-k member.
+
+    Equal-cost candidates rank by their canonical element-set key, not by
+    discovery order — the ranking is then a function of the augmented
+    graph alone, so incrementally maintained and freshly rebuilt indexes
+    (whose internal orderings differ) produce identical result lists.
     """
 
     def __init__(self, k: int):
@@ -32,7 +37,7 @@ class CandidateList:
             raise ValueError("k must be >= 1")
         self.k = k
         self._by_key: Dict[FrozenSet[Hashable], MatchingSubgraph] = {}
-        self._sorted: List[tuple] = []  # (cost, seq, subgraph)
+        self._sorted: List[tuple] = []  # (cost, order_key, seq, subgraph)
         self._seq = 0
         self.offered = 0
         self.accepted = 0
@@ -48,20 +53,20 @@ class CandidateList:
             self._remove(existing)
         self._by_key[key] = subgraph
         self._seq += 1
-        insort(self._sorted, (subgraph.cost, self._seq, subgraph))
+        insort(self._sorted, (subgraph.cost, subgraph.order_key, self._seq, subgraph))
         self.accepted += 1
         self._trim()
         return True
 
     def _remove(self, subgraph: MatchingSubgraph) -> None:
-        for i, (_, _, candidate) in enumerate(self._sorted):
-            if candidate is subgraph:
+        for i, entry in enumerate(self._sorted):
+            if entry[-1] is subgraph:
                 del self._sorted[i]
                 return
 
     def _trim(self) -> None:
         while len(self._sorted) > self.k:
-            _, _, dropped = self._sorted.pop()
+            dropped = self._sorted.pop()[-1]
             del self._by_key[dropped.canonical_key]
 
     # ------------------------------------------------------------------
@@ -86,7 +91,7 @@ class CandidateList:
     def best(self, count: Optional[int] = None) -> List[MatchingSubgraph]:
         """The cheapest candidates, ascending cost."""
         limit = self.k if count is None else min(count, len(self._sorted))
-        return [entry[2] for entry in self._sorted[:limit]]
+        return [entry[-1] for entry in self._sorted[:limit]]
 
     def __len__(self) -> int:
         return len(self._sorted)

@@ -26,6 +26,8 @@ class InvertedIndex:
     def __init__(self):
         self._postings: Dict[str, Dict[Hashable, List[int]]] = {}
         self._indexed_elements: set = set()
+        # element -> terms it is posted under, for O(|label|) unindexing.
+        self._element_terms: Dict[Hashable, set] = {}
 
     def index(self, element: Hashable, terms: Iterable[str]) -> None:
         """Index an element under its analyzed label terms."""
@@ -45,6 +47,22 @@ class InvertedIndex:
                 entry[0] += tf
                 entry[1] = max(entry[1], total)
         self._indexed_elements.add(element)
+        self._element_terms.setdefault(element, set()).update(counts)
+
+    def unindex(self, element: Hashable) -> bool:
+        """Remove an element's postings; returns False if never indexed."""
+        terms = self._element_terms.pop(element, None)
+        if terms is None:
+            return False
+        for term in terms:
+            bucket = self._postings.get(term)
+            if bucket is None:
+                continue
+            bucket.pop(element, None)
+            if not bucket:
+                del self._postings[term]
+        self._indexed_elements.discard(element)
+        return True
 
     # ------------------------------------------------------------------
     # Lookup

@@ -27,7 +27,7 @@ from repro.keyword.analysis import Analyzer
 from repro.keyword.inverted_index import InvertedIndex
 from repro.keyword.levenshtein import levenshtein, similarity
 from repro.keyword.synonyms import DEFAULT_LEXICON, SynonymLexicon
-from repro.rdf.graph import DataGraph
+from repro.rdf.graph import DataGraph, VertexKind
 from repro.rdf.namespace import local_name
 from repro.rdf.terms import Literal, Term, URI
 
@@ -188,10 +188,15 @@ class KeywordIndex:
         self._max_matches = max_matches_per_keyword
 
         self._index = InvertedIndex()
-        # Attribute label -> classes of subjects using it (None = untyped).
-        self._attribute_classes: Dict[URI, Set[Optional[Term]]] = {}
-        # V-vertex -> {(attribute label, subject class or None)}.
-        self._value_occurrences: Dict[Literal, Set[Tuple[URI, Optional[Term]]]] = {}
+        # Attribute label -> {subject class (None = untyped): refcount}.
+        # The refcounts make class-context maintenance delta-bounded: one
+        # attribute triple or one retyped entity adjusts a handful of
+        # counters instead of rescanning the predicate's triples.
+        self._attribute_class_refs: Dict[URI, Dict[Optional[Term], int]] = {}
+        # V-vertex -> {(attribute label, subject class or None): refcount}.
+        self._value_occurrence_refs: Dict[
+            Literal, Dict[Tuple[URI, Optional[Term]], int]
+        ] = {}
 
         started = time.perf_counter()
         self._build()
@@ -203,34 +208,113 @@ class KeywordIndex:
 
     def _build(self) -> None:
         graph = self._graph
-        analyze = self._analyzer.analyze
 
         for cls in graph.classes:
-            self._index.index((_KIND_CLASS, cls), analyze(graph.label_of(cls)))
+            self._index_class(cls)
 
         for label in graph.relation_labels:
-            self._index.index((_KIND_RELATION, label), analyze(local_name(label)))
+            self._index_relation_label(label)
 
         for label in graph.attribute_labels:
-            self._index.index((_KIND_ATTRIBUTE, label), analyze(local_name(label)))
-            classes: Set[Optional[Term]] = set()
-            for triple in graph.attribute_triples(label):
-                types = graph.types_of(triple.subject)
-                if types:
-                    classes.update(types)
-                else:
-                    classes.add(None)
-            self._attribute_classes[label] = classes
-
+            self._index.index(
+                (_KIND_ATTRIBUTE, label), self._analyzer.analyze(local_name(label))
+            )
         for value in graph.values:
-            self._index.index((_KIND_VALUE, value), analyze(value.lexical))
-            occurrences: Set[Tuple[URI, Optional[Term]]] = set()
-            for attr_label, _entity, types in graph.attribute_occurrences(value):
-                if types:
-                    occurrences.update((attr_label, c) for c in types)
-                else:
-                    occurrences.add((attr_label, None))
-            self._value_occurrences[value] = occurrences
+            self._index.index(
+                (_KIND_VALUE, value), self._analyzer.analyze(value.lexical)
+            )
+
+        # One pass over all A-edges seeds the class-context refcounts.
+        for triple in graph.attribute_triples():
+            self._adjust_occurrence_refs(
+                triple.predicate,
+                triple.object,
+                graph.types_of(triple.subject),
+                +1,
+            )
+
+    def _index_class(self, cls: Term) -> None:
+        self._index.index(
+            (_KIND_CLASS, cls), self._analyzer.analyze(self._graph.label_of(cls))
+        )
+
+    def _index_relation_label(self, label: URI) -> None:
+        self._index.index(
+            (_KIND_RELATION, label), self._analyzer.analyze(local_name(label))
+        )
+
+    def _adjust_occurrence_refs(self, label, value, classes, delta: int) -> None:
+        label_refs = self._attribute_class_refs.setdefault(label, {})
+        value_refs = self._value_occurrence_refs.setdefault(value, {})
+        for cls in classes or (None,):
+            count = label_refs.get(cls, 0) + delta
+            if count > 0:
+                label_refs[cls] = count
+            else:
+                label_refs.pop(cls, None)
+            pair = (label, cls)
+            count = value_refs.get(pair, 0) + delta
+            if count > 0:
+                value_refs[pair] = count
+            else:
+                value_refs.pop(pair, None)
+        if not label_refs:
+            del self._attribute_class_refs[label]
+        if not value_refs:
+            del self._value_occurrence_refs[value]
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (used by repro.maintenance.IndexManager)
+    # ------------------------------------------------------------------
+    #
+    # ``refresh_*`` re-derives one element's postings from the *already
+    # updated* data graph: unindex the stale postings, then re-index if
+    # the element still exists.  ``adjust_attribute_occurrence`` applies a
+    # class-context delta for one A-edge incidence — a few counter
+    # updates, so maintenance cost is bounded by the delta, never by how
+    # many triples share the predicate or the value.
+
+    def refresh_class(self, cls: Term) -> None:
+        self._index.unindex((_KIND_CLASS, cls))
+        if self._graph.vertex_kind(cls) is VertexKind.CLASS:
+            self._index_class(cls)
+
+    def refresh_relation_label(self, label: URI) -> None:
+        self._index.unindex((_KIND_RELATION, label))
+        if self._graph.has_relation_label(label):
+            self._index_relation_label(label)
+
+    def adjust_attribute_occurrence(
+        self,
+        label: URI,
+        value: Literal,
+        classes: FrozenSet[Optional[Term]],
+        delta: int,
+    ) -> None:
+        """Apply one A-edge incidence delta under the subject's classes.
+
+        ``classes`` must be the subject's types at the moment the
+        incidence was (or is being) counted: current types for additions,
+        the pre-update snapshot for removals/retypings.  Postings for the
+        attribute label and the value toggle with their existence.
+        """
+        had_label = label in self._attribute_class_refs
+        had_value = value in self._value_occurrence_refs
+        self._adjust_occurrence_refs(label, value, classes, delta)
+        has_label = label in self._attribute_class_refs
+        has_value = value in self._value_occurrence_refs
+        if has_label and not had_label:
+            self._index.index(
+                (_KIND_ATTRIBUTE, label), self._analyzer.analyze(local_name(label))
+            )
+        elif had_label and not has_label:
+            self._index.unindex((_KIND_ATTRIBUTE, label))
+        if has_value and not had_value:
+            self._index.index(
+                (_KIND_VALUE, value), self._analyzer.analyze(value.lexical)
+            )
+        elif had_value and not has_value:
+            self._index.unindex((_KIND_VALUE, value))
 
     # ------------------------------------------------------------------
     # Lookup
@@ -273,7 +357,11 @@ class KeywordIndex:
             score = max(1e-6, base * (coverage ** 0.5))
             matches.append(self._materialize(key, score))
 
-        matches.sort(key=lambda m: -m.score)
+        # Tie-break equal scores canonically (by element-key repr) so the
+        # result — and the max_matches cutoff — does not depend on index
+        # insertion order; incremental maintenance and a fresh rebuild
+        # must rank identically.
+        matches.sort(key=lambda m: (-m.score, repr(m.element_key)))
         if self._max_matches is not None:
             matches = matches[: self._max_matches]
         return matches
@@ -312,10 +400,10 @@ class KeywordIndex:
         if kind == _KIND_RELATION:
             return RelationMatch(element, score)
         if kind == _KIND_ATTRIBUTE:
-            classes = frozenset(self._attribute_classes.get(element, {None}))
+            classes = frozenset(self._attribute_class_refs.get(element) or {None})
             return AttributeMatch(element, classes, score)
         if kind == _KIND_VALUE:
-            occurrences = frozenset(self._value_occurrences.get(element, ()))
+            occurrences = frozenset(self._value_occurrence_refs.get(element, ()))
             return ValueMatch(element, occurrences, score)
         raise ValueError(f"unknown element kind {kind!r}")  # pragma: no cover
 
@@ -325,11 +413,11 @@ class KeywordIndex:
 
     def attribute_classes(self, label: URI) -> FrozenSet[Optional[Term]]:
         """The classes whose instances carry attribute ``label``."""
-        return frozenset(self._attribute_classes.get(label, ()))
+        return frozenset(self._attribute_class_refs.get(label, ()))
 
     def attribute_labels(self) -> FrozenSet[URI]:
         """All indexed A-edge labels."""
-        return frozenset(self._attribute_classes)
+        return frozenset(self._attribute_class_refs)
 
     # ------------------------------------------------------------------
     # Statistics (Fig. 6b)

@@ -1,0 +1,12 @@
+"""Incremental maintenance of the offline indexes.
+
+The offline phase of the paper (Fig. 2) builds three structures over the
+data graph — the keyword index, the summary graph, and the triple store.
+:class:`~repro.maintenance.index_manager.IndexManager` keeps all three
+consistent under triple-level updates without rebuilding, which is what a
+live deployment needs when the data changes under it.
+"""
+
+from repro.maintenance.index_manager import IndexManager
+
+__all__ = ["IndexManager"]

@@ -1,0 +1,335 @@
+"""Delta propagation through the offline layer (keyword index, summary
+graph, triple store).
+
+The offline structures are all *derived* from the data graph:
+
+* the **summary graph** aggregates instances into class vertices and
+  projects every R-edge to class level (Definition 4);
+* the **keyword index** maps analyzed labels of classes, edge labels, and
+  values to elements, carrying the ``[V-vertex, A-edge, (C-vertex_1..n)]``
+  neighbor structures (Section IV-A);
+* the **triple store** mirrors the triples for query processing.
+
+:class:`IndexManager` maintains all three under ``add_triples`` /
+``remove_triples`` by *delta propagation*: from a batch of triple deltas
+it computes the affected derived facts — classes whose instance sets
+change, summary-edge projections of relation triples whose endpoint types
+change, attribute-occurrence incidences whose class context changes — and
+applies exactly those as counter adjustments and targeted re-indexing.
+Work is proportional to the delta and its neighborhood (the incident
+edges of retyped entities), never to the size of the graph or its
+indexes, and in particular never to how many triples share a predicate or
+a value.
+
+The trickiest dependency is type information: adding or removing a
+``type`` triple for entity *e* changes ``types_of(e)``, which silently
+moves **every** relation triple incident to *e* to different class-level
+summary edges and shifts the class context of *e*'s attribute values in
+the keyword index.  The manager therefore snapshots the old projections of
+those incident triples before mutating the data graph, decrements them,
+and re-increments under the new types afterwards.
+
+Cached query-time state is invalidated on the way out: the summary graph's
+mutation ``version`` advances (which expires the cost models' per-element
+base-cost caches keyed on it), and the evaluator's selectivity statistics
+are dropped.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import chain
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.keyword.keyword_index import KeywordIndex
+from repro.query.evaluator import QueryEvaluator
+from repro.rdf.graph import DataGraph, EdgeKind, VertexKind
+from repro.rdf.namespace import LABEL_PREDICATES
+from repro.rdf.terms import Literal, Term, URI
+from repro.rdf.triples import Triple
+from repro.store.triple_store import TripleStore
+from repro.summary.elements import THING_KEY, SummaryEdgeKind
+from repro.summary.summary_graph import _SUBCLASS_LABEL, SummaryGraph
+
+#: (edge label, source vertex key, target vertex key) — one class-level
+#: projection of a relation triple.
+_Projection = Tuple[URI, Hashable, Hashable]
+
+
+class IndexManager:
+    """Keeps the offline structures consistent under triple deltas.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (mutated in place).
+    keyword_index:
+        The keyword index built over ``graph``.
+    summary:
+        The summary graph built over ``graph``.
+    store:
+        The triple store mirroring ``graph``.
+    evaluator:
+        Optional query evaluator whose cached statistics are invalidated
+        after every update batch.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        keyword_index: KeywordIndex,
+        summary: SummaryGraph,
+        store: TripleStore,
+        evaluator: Optional[QueryEvaluator] = None,
+    ):
+        self.graph = graph
+        self.keyword_index = keyword_index
+        self.summary = summary
+        self.store = store
+        self.evaluator = evaluator
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Insert triples, propagating deltas; returns #actually added."""
+        return self._apply(adds=triples, removes=())
+
+    def remove_triples(self, triples: Iterable[Triple]) -> int:
+        """Remove triples, propagating deltas; returns #actually removed."""
+        return self._apply(adds=(), removes=triples)
+
+    # ------------------------------------------------------------------
+    # Delta application
+    # ------------------------------------------------------------------
+
+    def _apply(self, adds: Iterable[Triple], removes: Iterable[Triple]) -> int:
+        graph = self.graph
+        # Deduplicate and drop no-ops so every batch triple really toggles.
+        adds = [t for t in dict.fromkeys(adds) if t not in graph]
+        removes = [t for t in dict.fromkeys(removes) if t in graph]
+        if not adds and not removes:
+            return 0
+
+        kind = graph.edge_kind
+        type_adds = [t for t in adds if kind(t) is EdgeKind.TYPE]
+        type_rems = [t for t in removes if kind(t) is EdgeKind.TYPE]
+        sub_adds = [t for t in adds if kind(t) is EdgeKind.SUBCLASS]
+        sub_rems = [t for t in removes if kind(t) is EdgeKind.SUBCLASS]
+        attr_adds = [t for t in adds if kind(t) is EdgeKind.ATTRIBUTE]
+        attr_rems = [t for t in removes if kind(t) is EdgeKind.ATTRIBUTE]
+        rel_adds = [t for t in adds if kind(t) is EdgeKind.RELATION]
+        rel_rems = [t for t in removes if kind(t) is EdgeKind.RELATION]
+
+        # -- affected derived facts ------------------------------------
+        type_changed: Set[Term] = {
+            t.subject
+            for t in chain(type_adds, type_rems)
+            if not isinstance(t.object, Literal)
+        }
+        affected_classes: Set[Term] = set()
+        for t in chain(type_adds, type_rems):
+            if not isinstance(t.object, Literal):
+                affected_classes.add(t.object)
+        for t in chain(sub_adds, sub_rems):
+            if not isinstance(t.subject, Literal) and not isinstance(t.object, Literal):
+                affected_classes.add(t.subject)
+                affected_classes.add(t.object)
+
+        affected_rel_labels: Set[URI] = {t.predicate for t in chain(rel_adds, rel_rems)}
+
+        # Relation triples whose class-level projection moves because an
+        # endpoint is retyped; attribute incidences whose class context
+        # moves for the same reason.
+        reproject: Set[Triple] = set()
+        reattribute: Set[Triple] = set()
+        for e in type_changed:
+            for p, o in graph.outgoing(e):
+                if isinstance(o, Literal):
+                    reattribute.add(Triple(e, p, o))
+                else:
+                    reproject.add(Triple(e, p, o))
+            for p, s in graph.incoming(e):
+                reproject.add(Triple(s, p, e))
+        reproject.difference_update(rel_rems)
+        reattribute.difference_update(attr_rems)
+
+        # -- decrements under OLD types (snapshotted pre-mutation) ------
+        edge_delta: Dict[_Projection, int] = defaultdict(int)
+        for t in chain(rel_rems, reproject):
+            for projection in self._projections(t):
+                edge_delta[projection] -= 1
+        # (label, value, classes, delta) events for the keyword index.
+        occurrence_events: List[Tuple] = [
+            (t.predicate, t.object, graph.types_of(t.subject), -1)
+            for t in chain(attr_rems, reattribute)
+        ]
+
+        # -- mutate the data graph -------------------------------------
+        # All-or-nothing: if any triple is rejected (strict-mode
+        # violation), the already-applied prefix is rolled back so the
+        # data graph never drifts from the not-yet-updated indexes.
+        applied_removes: List[Triple] = []
+        applied_adds: List[Triple] = []
+        try:
+            for t in removes:
+                graph.remove(t)
+                applied_removes.append(t)
+            for t in adds:
+                graph.add(t)
+                applied_adds.append(t)
+        except Exception:
+            for t in reversed(applied_adds):
+                graph.remove(t)
+            for t in reversed(applied_removes):
+                graph.add(t)
+            raise
+
+        # -- increments under NEW types --------------------------------
+        for t in chain(rel_adds, reproject):
+            for projection in self._projections(t):
+                edge_delta[projection] += 1
+        occurrence_events.extend(
+            (t.predicate, t.object, graph.types_of(t.subject), +1)
+            for t in chain(attr_adds, reattribute)
+        )
+
+        # Propagation failures past this point would be internal invariant
+        # bugs; surface them with an explicit recovery instruction instead
+        # of letting the engine serve silently diverged indexes.
+        try:
+            self._update_summary(affected_classes, edge_delta, sub_adds, sub_rems)
+            self._update_keyword_index(
+                affected_classes,
+                affected_rel_labels,
+                occurrence_events,
+                chain(attr_adds, attr_rems),
+            )
+            self.store.remove_all(removes)
+            self.store.add_all(adds)
+        except Exception as exc:
+            raise RuntimeError(
+                "offline-index delta propagation failed after the data graph "
+                "was updated; the derived indexes may have diverged — rebuild "
+                "the engine from the data graph"
+            ) from exc
+        if self.evaluator is not None:
+            self.evaluator.invalidate_statistics()
+
+        return len(adds) + len(removes)
+
+    def _projections(self, triple: Triple) -> List[_Projection]:
+        """Class-level summary projections of one relation triple, under the
+        data graph's *current* types (Definition 4's aggregation rule)."""
+        graph = self.graph
+        class_key = self.summary.class_key
+        source_classes = graph.types_of(triple.subject) or (None,)
+        target_classes = graph.types_of(triple.object) or (None,)
+        return [
+            (triple.predicate, class_key(sc), class_key(tc))
+            for sc in source_classes
+            for tc in target_classes
+        ]
+
+    # ------------------------------------------------------------------
+    # Summary graph
+    # ------------------------------------------------------------------
+
+    def _update_summary(
+        self,
+        affected_classes: Set[Term],
+        edge_delta: Dict[_Projection, int],
+        sub_adds: Sequence[Triple],
+        sub_rems: Sequence[Triple],
+    ) -> None:
+        graph, summary = self.graph, self.summary
+
+        # Class vertices first (new edges may anchor on them).
+        for cls in affected_classes:
+            key = summary.class_key(cls)
+            if graph.vertex_kind(cls) is VertexKind.CLASS:
+                agg = len(graph.instances_of(cls))
+                if summary.has_element(key):
+                    summary.set_vertex_agg_count(key, agg)
+                else:
+                    summary.add_class_vertex(cls, agg_count=agg)
+
+        # Thing aggregates the untyped entities; its count moves whenever
+        # entities appear, disappear, or are (un)typed.
+        untyped = graph.untyped_entity_count
+        if untyped > 0 or summary.has_element(THING_KEY):
+            summary.ensure_thing(agg_count=untyped)
+
+        # Relation-edge projections.
+        for (label, sk, tk), delta in edge_delta.items():
+            if delta == 0:
+                continue
+            if delta > 0 and (sk == THING_KEY or tk == THING_KEY):
+                summary.ensure_thing(agg_count=graph.untyped_entity_count)
+            summary.adjust_edge_agg_count(
+                label, SummaryEdgeKind.RELATION, sk, tk, delta
+            )
+
+        # Subclass edges mirror the direct subclass pairs.
+        for t in sub_rems:
+            sub, sup = t.subject, t.object
+            key = summary.edge_key(
+                _SUBCLASS_LABEL, summary.class_key(sub), summary.class_key(sup)
+            )
+            if sup not in graph.superclasses_of(sub) and summary.has_element(key):
+                summary.remove_edge(key)
+        for t in sub_adds:
+            sub, sup = t.subject, t.object
+            if isinstance(sub, Literal) or isinstance(sup, Literal):
+                continue
+            if sup in graph.superclasses_of(sub):
+                summary.add_edge(
+                    _SUBCLASS_LABEL,
+                    SummaryEdgeKind.SUBCLASS,
+                    summary.class_key(sub),
+                    summary.class_key(sup),
+                    agg_count=1,
+                )
+
+        # Drop vertices whose class disappeared (their edges are gone by
+        # now: no instances and no subclass pairs can remain).
+        for cls in affected_classes:
+            key = summary.class_key(cls)
+            if graph.vertex_kind(cls) is not VertexKind.CLASS and summary.has_element(key):
+                summary.remove_vertex(key)
+        if (
+            graph.untyped_entity_count == 0
+            and summary.has_element(THING_KEY)
+            and summary.degree(THING_KEY) == 0
+        ):
+            summary.remove_vertex(THING_KEY)
+
+        stats = graph.stats()
+        summary.set_totals(
+            stats["entities"], stats["relation_edges"], stats["attribute_edges"]
+        )
+
+    # ------------------------------------------------------------------
+    # Keyword index
+    # ------------------------------------------------------------------
+
+    def _update_keyword_index(
+        self,
+        affected_classes: Set[Term],
+        affected_rel_labels: Set[URI],
+        occurrence_events: Iterable[Tuple],
+        attr_delta: Iterable[Triple],
+    ) -> None:
+        index = self.keyword_index
+        for cls in affected_classes:
+            index.refresh_class(cls)
+        # A label-bearing attribute triple can change the display label a
+        # class is indexed under.
+        for t in attr_delta:
+            if t.predicate in LABEL_PREDICATES and t.subject not in affected_classes:
+                index.refresh_class(t.subject)
+        for label in affected_rel_labels:
+            index.refresh_relation_label(label)
+        for label, value, classes, delta in occurrence_events:
+            index.adjust_attribute_occurrence(label, value, classes, delta)

@@ -65,6 +65,10 @@ class QueryEvaluator:
         self._store = store
         self._stats = StoreStatistics(store)
 
+    def invalidate_statistics(self) -> None:
+        """Drop cached selectivity stats after the store's contents change."""
+        self._stats.invalidate()
+
     def evaluate(
         self,
         query: ConjunctiveQuery,

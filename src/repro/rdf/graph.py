@@ -13,6 +13,14 @@ derived, not declared: any URI that occurs as the object of a ``type`` edge
 or on either side of a ``subclass`` edge is a C-vertex; literals are
 V-vertices; remaining URIs/blank nodes are E-vertices.
 
+The graph is fully dynamic: triples may be added *and removed*, and the
+derived classification is maintained incrementally through per-term role
+reference counts — a term is a class while any type/subclass triple
+supports that role, an entity while it occurs in an entity position and is
+not a class, and so on.  This is what lets the offline indexes (keyword
+index, summary graph, triple store) be maintained by deltas instead of
+rebuilt (see :mod:`repro.maintenance`).
+
 Real-world RDF violates the disjointness Definition 1 assumes (a URI may be
 used both as a class and as an entity).  The constructor resolves such
 conflicts with a documented precedence (class wins) and records them; strict
@@ -59,9 +67,6 @@ class GraphIntegrityError(ValueError):
 class DataGraph:
     """An RDF data graph with the vertex/edge classification of Definition 1.
 
-    The graph is append-only: triples may be added but not removed, which lets
-    the derived classification be maintained incrementally.
-
     Parameters
     ----------
     triples:
@@ -76,28 +81,40 @@ class DataGraph:
 
     def __init__(self, triples: Optional[Iterable[Triple]] = None, strict: bool = False):
         self.strict = strict
-        self._triples: List[Triple] = []
-        self._triple_set: Set[Triple] = set()
+        # Insertion-ordered triple set (dict keys preserve order, O(1) remove).
+        self._triples: Dict[Triple, None] = {}
 
-        # Vertex classification.
+        # Role reference counts: how many stored triples support each role.
+        self._entity_refs: Dict[Term, int] = defaultdict(int)
+        self._class_refs: Dict[Term, int] = defaultdict(int)
+        self._value_refs: Dict[Literal, int] = defaultdict(int)
+
+        # Vertex classification, derived from the refcounts (class wins).
         self._classes: Set[Term] = set()
         self._entities: Set[Term] = set()
         self._values: Set[Literal] = set()
+        self._untyped: Set[Term] = set()
 
-        # type / subclass structure.
+        # type / subclass structure, with per-pair refcounts so the same
+        # (subject, object) pair asserted through several predicate
+        # variants survives partial removal.
+        self._type_pair_refs: Dict[Tuple[Term, Term], int] = defaultdict(int)
+        self._subclass_pair_refs: Dict[Tuple[Term, Term], int] = defaultdict(int)
         self._types_of: Dict[Term, Set[Term]] = defaultdict(set)
         self._instances_of: Dict[Term, Set[Term]] = defaultdict(set)
         self._superclasses: Dict[Term, Set[Term]] = defaultdict(set)
         self._subclasses: Dict[Term, Set[Term]] = defaultdict(set)
 
-        # Adjacency over non-type edges: subject -> [(predicate, object)] and
-        # object -> [(predicate, subject)].
-        self._out: Dict[Term, List[Tuple[URI, Term]]] = defaultdict(list)
-        self._in: Dict[Term, List[Tuple[URI, Term]]] = defaultdict(list)
+        # Adjacency over non-type edges: subject -> {(predicate, object)} and
+        # object -> {(predicate, subject)} as insertion-ordered dicts, so a
+        # single removal is O(1) instead of an O(degree) list scan (pairs
+        # are unique per vertex because triples are deduplicated).
+        self._out: Dict[Term, Dict[Tuple[URI, Term], None]] = defaultdict(dict)
+        self._in: Dict[Term, Dict[Tuple[URI, Term], None]] = defaultdict(dict)
 
-        # Per-predicate triple lists, bucketed by derived edge kind.
-        self._relation_triples: Dict[URI, List[Triple]] = defaultdict(list)
-        self._attribute_triples: Dict[URI, List[Triple]] = defaultdict(list)
+        # Per-predicate triple sets (insertion-ordered), bucketed by kind.
+        self._relation_triples: Dict[URI, Dict[Triple, None]] = defaultdict(dict)
+        self._attribute_triples: Dict[URI, Dict[Triple, None]] = defaultdict(dict)
 
         # Labels: entity -> preferred human-readable label.
         self._labels: Dict[Term, str] = {}
@@ -119,9 +136,16 @@ class DataGraph:
     # ------------------------------------------------------------------
 
     def add(self, triple: Triple) -> bool:
-        """Add a triple; returns False if it was already present."""
-        if triple in self._triple_set:
+        """Add a triple; returns False if it was already present.
+
+        In strict mode, Definition 1 violations are detected *before* any
+        state is touched, so a raised :class:`GraphIntegrityError` leaves
+        the graph exactly as it was (no partial role refcounts).
+        """
+        if triple in self._triples:
             return False
+        if self.strict:
+            self._check_strict(triple)
 
         s, p, o = triple
         if p in TYPE_PREDICATES:
@@ -133,65 +157,230 @@ class DataGraph:
         else:
             self._add_relation(triple)
 
-        self._triples.append(triple)
-        self._triple_set.add(triple)
+        self._triples[triple] = None
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number actually inserted."""
         return sum(1 for t in triples if self.add(t))
 
+    def _check_strict(self, triple: Triple) -> None:
+        """Raise on any Definition 1 violation this triple would commit,
+        without mutating — mirrors the conflict rules of the ``_acquire_*``
+        helpers so strict adds are atomic."""
+        s, p, o = triple
+        if p in TYPE_PREDICATES:
+            if isinstance(o, Literal):
+                raise GraphIntegrityError(f"type edge with literal object: {triple.n3()}")
+            if s == o:
+                raise GraphIntegrityError(f"term used both as entity and class: {s}")
+            if s in self._classes:
+                raise GraphIntegrityError(f"term used both as class and entity: {s}")
+            if o in self._entities:
+                raise GraphIntegrityError(f"term used both as entity and class: {o}")
+        elif p in SUBCLASS_PREDICATES:
+            if isinstance(s, Literal) or isinstance(o, Literal):
+                raise GraphIntegrityError(
+                    f"subclass edge with literal endpoint: {triple.n3()}"
+                )
+            for term in (s, o):
+                if term in self._entities:
+                    raise GraphIntegrityError(
+                        f"term used both as entity and class: {term}"
+                    )
+        elif isinstance(o, Literal):
+            if s in self._classes:
+                raise GraphIntegrityError(f"term used both as class and entity: {s}")
+        else:
+            for term in (s, o):
+                if term in self._classes:
+                    raise GraphIntegrityError(
+                        f"term used both as class and entity: {term}"
+                    )
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; returns False if it was not present.
+
+        The derived classification is unwound incrementally: roles lose one
+        reference each, and a term whose class role disappears falls back
+        to being an entity if entity-positioned triples still mention it.
+        """
+        if triple not in self._triples:
+            return False
+
+        s, p, o = triple
+        if p in TYPE_PREDICATES:
+            self._remove_type(triple)
+        elif p in SUBCLASS_PREDICATES:
+            self._remove_subclass(triple)
+        elif isinstance(o, Literal):
+            self._remove_attribute(triple)
+        else:
+            self._remove_relation(triple)
+
+        del self._triples[triple]
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        """Remove many triples; returns the number actually removed."""
+        return sum(1 for t in triples if self.remove(t))
+
+    # -- per-kind add/remove -------------------------------------------
+
     def _add_type(self, triple: Triple) -> None:
         s, p, o = triple
         if isinstance(o, Literal):
             self._violation(f"type edge with literal object: {triple.n3()}")
             return
-        self._mark_entity(s)
-        self._mark_class(o)
-        self._types_of[s].add(o)
-        self._instances_of[o].add(s)
+        self._acquire_entity(s)
+        self._acquire_class(o)
+        pair = (s, o)
+        self._type_pair_refs[pair] += 1
+        if self._type_pair_refs[pair] == 1:
+            self._types_of[s].add(o)
+            self._instances_of[o].add(s)
+            self._untyped.discard(s)
         self._type_pred_counts[p] += 1
+
+    def _remove_type(self, triple: Triple) -> None:
+        s, p, o = triple
+        if isinstance(o, Literal):
+            return  # was never classified
+        pair = (s, o)
+        self._type_pair_refs[pair] -= 1
+        if self._type_pair_refs[pair] == 0:
+            del self._type_pair_refs[pair]
+            self._types_of[s].discard(o)
+            self._instances_of[o].discard(s)
+            if s in self._entities and not self._types_of.get(s):
+                self._untyped.add(s)
+        self._type_pred_counts[p] -= 1
+        if self._type_pred_counts[p] == 0:
+            del self._type_pred_counts[p]
+        self._release_class(o)
+        self._release_entity(s)
 
     def _add_subclass(self, triple: Triple) -> None:
         s, p, o = triple
         if isinstance(s, Literal) or isinstance(o, Literal):
             self._violation(f"subclass edge with literal endpoint: {triple.n3()}")
             return
-        self._mark_class(s)
-        self._mark_class(o)
-        self._superclasses[s].add(o)
-        self._subclasses[o].add(s)
+        self._acquire_class(s)
+        self._acquire_class(o)
+        pair = (s, o)
+        self._subclass_pair_refs[pair] += 1
+        if self._subclass_pair_refs[pair] == 1:
+            self._superclasses[s].add(o)
+            self._subclasses[o].add(s)
         self._subclass_pred_counts[p] += 1
+
+    def _remove_subclass(self, triple: Triple) -> None:
+        s, p, o = triple
+        if isinstance(s, Literal) or isinstance(o, Literal):
+            return
+        pair = (s, o)
+        self._subclass_pair_refs[pair] -= 1
+        if self._subclass_pair_refs[pair] == 0:
+            del self._subclass_pair_refs[pair]
+            self._superclasses[s].discard(o)
+            self._subclasses[o].discard(s)
+        self._subclass_pred_counts[p] -= 1
+        if self._subclass_pred_counts[p] == 0:
+            del self._subclass_pred_counts[p]
+        self._release_class(o)
+        self._release_class(s)
 
     def _add_attribute(self, triple: Triple) -> None:
         s, p, o = triple
-        self._mark_entity(s)
-        self._values.add(o)
-        self._attribute_triples[p].append(triple)
-        self._out[s].append((p, o))
-        self._in[o].append((p, s))
+        self._acquire_entity(s)
+        self._acquire_value(o)
+        self._attribute_triples[p][triple] = None
+        self._out[s][(p, o)] = None
+        self._in[o][(p, s)] = None
         self._maybe_label(s, p, o)
+
+    def _remove_attribute(self, triple: Triple) -> None:
+        s, p, o = triple
+        bucket = self._attribute_triples[p]
+        del bucket[triple]
+        if not bucket:
+            del self._attribute_triples[p]
+        del self._out[s][(p, o)]
+        del self._in[o][(p, s)]
+        if p in LABEL_PREDICATES and self._labels.get(s) == o.lexical:
+            self._recompute_label(s)
+        self._release_value(o)
+        self._release_entity(s)
 
     def _add_relation(self, triple: Triple) -> None:
         s, p, o = triple
-        self._mark_entity(s)
-        self._mark_entity(o)
-        self._relation_triples[p].append(triple)
-        self._out[s].append((p, o))
-        self._in[o].append((p, s))
+        self._acquire_entity(s)
+        self._acquire_entity(o)
+        self._relation_triples[p][triple] = None
+        self._out[s][(p, o)] = None
+        self._in[o][(p, s)] = None
 
-    def _mark_entity(self, term: Term) -> None:
+    def _remove_relation(self, triple: Triple) -> None:
+        s, p, o = triple
+        bucket = self._relation_triples[p]
+        del bucket[triple]
+        if not bucket:
+            del self._relation_triples[p]
+        del self._out[s][(p, o)]
+        del self._in[o][(p, s)]
+        self._release_entity(o)
+        self._release_entity(s)
+
+    # -- role reference counting ---------------------------------------
+
+    def _acquire_entity(self, term: Term) -> None:
+        self._entity_refs[term] += 1
         if term in self._classes:
             # Class role wins; keep the term out of the entity set.
             self._violation(f"term used both as class and entity: {term}")
             return
-        self._entities.add(term)
+        if term not in self._entities:
+            self._entities.add(term)
+            if not self._types_of.get(term):
+                self._untyped.add(term)
 
-    def _mark_class(self, term: Term) -> None:
+    def _release_entity(self, term: Term) -> None:
+        self._entity_refs[term] -= 1
+        if self._entity_refs[term] == 0:
+            del self._entity_refs[term]
+            self._entities.discard(term)
+            self._untyped.discard(term)
+
+    def _acquire_class(self, term: Term) -> None:
+        self._class_refs[term] += 1
         if term in self._entities:
             self._violation(f"term used both as entity and class: {term}")
             self._entities.discard(term)
+            self._untyped.discard(term)
         self._classes.add(term)
+
+    def _release_class(self, term: Term) -> None:
+        self._class_refs[term] -= 1
+        if self._class_refs[term] == 0:
+            del self._class_refs[term]
+            self._classes.discard(term)
+            if self._entity_refs.get(term, 0) > 0:
+                # The entity role resurfaces once the class role is gone.
+                self._entities.add(term)
+                if not self._types_of.get(term):
+                    self._untyped.add(term)
+
+    def _acquire_value(self, literal: Literal) -> None:
+        self._value_refs[literal] += 1
+        self._values.add(literal)
+
+    def _release_value(self, literal: Literal) -> None:
+        self._value_refs[literal] -= 1
+        if self._value_refs[literal] == 0:
+            del self._value_refs[literal]
+            self._values.discard(literal)
+
+    # -- labels ---------------------------------------------------------
 
     def _maybe_label(self, s: Term, p: URI, o: Literal) -> None:
         try:
@@ -201,6 +390,14 @@ class DataGraph:
         if s not in self._labels or rank < self._label_rank[s]:
             self._labels[s] = o.lexical
             self._label_rank[s] = rank
+
+    def _recompute_label(self, s: Term) -> None:
+        """Re-derive a subject's preferred label after a label triple left."""
+        self._labels.pop(s, None)
+        self._label_rank.pop(s, None)
+        for p, o in self._out.get(s, ()):
+            if isinstance(o, Literal):
+                self._maybe_label(s, p, o)
 
     def _violation(self, message: str) -> None:
         if self.strict:
@@ -215,7 +412,7 @@ class DataGraph:
         return len(self._triples)
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triple_set
+        return triple in self._triples
 
     def __iter__(self) -> Iterator[Triple]:
         return iter(self._triples)
@@ -276,6 +473,14 @@ class DataGraph:
     def attribute_labels(self) -> FrozenSet[URI]:
         """The edge labels L_A."""
         return frozenset(self._attribute_triples)
+
+    def has_relation_label(self, label: URI) -> bool:
+        """O(1): does any stored R-edge carry this label?"""
+        return label in self._relation_triples
+
+    def has_attribute_label(self, label: URI) -> bool:
+        """O(1): does any stored A-edge carry this label?"""
+        return label in self._attribute_triples
 
     def relation_triples(self, label: Optional[URI] = None) -> Iterator[Triple]:
         """All R-edge triples, optionally restricted to one label."""
@@ -344,7 +549,9 @@ class DataGraph:
         """The ``type`` predicate variant the data actually uses (most
         frequent wins; defaults to ``rdf:type``)."""
         if self._type_pred_counts:
-            return max(self._type_pred_counts.items(), key=lambda kv: kv[1])[0]
+            return max(
+                self._type_pred_counts.items(), key=lambda kv: (kv[1], kv[0].value)
+            )[0]
         from repro.rdf.namespace import RDF
 
         return RDF.type
@@ -353,7 +560,9 @@ class DataGraph:
     def preferred_subclass_predicate(self) -> URI:
         """The ``subclass`` predicate variant the data actually uses."""
         if self._subclass_pred_counts:
-            return max(self._subclass_pred_counts.items(), key=lambda kv: kv[1])[0]
+            return max(
+                self._subclass_pred_counts.items(), key=lambda kv: (kv[1], kv[0].value)
+            )[0]
         from repro.rdf.namespace import RDFS
 
         return RDFS.subClassOf
@@ -361,7 +570,12 @@ class DataGraph:
     @property
     def untyped_entities(self) -> FrozenSet[Term]:
         """Entities with no ``type`` edge — aggregated into ``Thing``."""
-        return frozenset(e for e in self._entities if not self._types_of.get(e))
+        return frozenset(self._untyped)
+
+    @property
+    def untyped_entity_count(self) -> int:
+        """O(1) count of untyped entities (the ``Thing`` aggregation)."""
+        return len(self._untyped)
 
     # ------------------------------------------------------------------
     # Navigation
@@ -412,7 +626,7 @@ class DataGraph:
             "attribute_labels": len(self._attribute_triples),
             "relation_edges": sum(len(v) for v in self._relation_triples.values()),
             "attribute_edges": sum(len(v) for v in self._attribute_triples.values()),
-            "untyped_entities": len(self.untyped_entities),
+            "untyped_entities": len(self._untyped),
         }
 
     def __repr__(self):

@@ -48,7 +48,7 @@ class URI(Term):
     '<http://example.org/Person>'
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
     def __init__(self, value: str):
         if not isinstance(value, str):
@@ -56,6 +56,7 @@ class URI(Term):
         if not value:
             raise ValueError("URI value must be non-empty")
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("URI", value)))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("URI is immutable")
@@ -64,7 +65,7 @@ class URI(Term):
         return isinstance(other, URI) and other.value == self.value
 
     def __hash__(self):
-        return hash(("URI", self.value))
+        return self._hash
 
     def __repr__(self):
         return f"URI({self.value!r})"
@@ -86,7 +87,7 @@ class Literal(Term):
     '2006'
     """
 
-    __slots__ = ("lexical", "datatype", "language")
+    __slots__ = ("lexical", "datatype", "language", "_hash")
 
     def __init__(
         self,
@@ -101,6 +102,9 @@ class Literal(Term):
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
         object.__setattr__(self, "language", language)
+        object.__setattr__(
+            self, "_hash", hash(("Literal", lexical, datatype, language))
+        )
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Literal is immutable")
@@ -114,7 +118,7 @@ class Literal(Term):
         )
 
     def __hash__(self):
-        return hash(("Literal", self.lexical, self.datatype, self.language))
+        return self._hash
 
     def __repr__(self):
         parts = [repr(self.lexical)]
@@ -168,7 +172,7 @@ class Literal(Term):
 class BNode(Term):
     """A blank node: an entity without a global identifier."""
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
 
     _counter = 0
 
@@ -177,6 +181,7 @@ class BNode(Term):
             BNode._counter += 1
             label = f"b{BNode._counter}"
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("BNode", label)))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("BNode is immutable")
@@ -185,7 +190,7 @@ class BNode(Term):
         return isinstance(other, BNode) and other.label == self.label
 
     def __hash__(self):
-        return hash(("BNode", self.label))
+        return self._hash
 
     def __repr__(self):
         return f"BNode({self.label!r})"
@@ -200,7 +205,7 @@ class BNode(Term):
 class Variable(Term):
     """A query variable (``?x`` in SPARQL surface syntax)."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name: str):
         if not name or not isinstance(name, str):
@@ -208,6 +213,7 @@ class Variable(Term):
         if name.startswith("?"):
             name = name[1:]
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Variable is immutable")
@@ -216,7 +222,7 @@ class Variable(Term):
         return isinstance(other, Variable) and other.name == self.name
 
     def __hash__(self):
-        return hash(("Variable", self.name))
+        return self._hash
 
     def __repr__(self):
         return f"Variable({self.name!r})"

@@ -16,7 +16,9 @@ formula (costs are then clamped at ``min_cost``).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+import weakref
+from collections import ChainMap
+from typing import Dict, Hashable, Mapping, Optional
 
 from repro.summary.augmentation import AugmentedSummaryGraph
 from repro.summary.elements import (
@@ -24,6 +26,7 @@ from repro.summary.elements import (
     SummaryEdgeKind,
     SummaryVertex,
     SummaryVertexKind,
+    is_edge_key,
 )
 
 #: Elements never cost less than this — keeps Theorem 1's strictly-positive
@@ -32,18 +35,71 @@ DEFAULT_MIN_COST = 0.01
 
 
 class CostModel:
-    """Base: assigns ``cost(n) > 0`` to every element of an augmented graph."""
+    """Base: assigns ``cost(n) > 0`` to every element of an augmented graph.
+
+    When the augmented graph is an overlay view, base-graph element costs
+    are query-invariant for most models (C1, C2, and C3 away from matched
+    elements), so they are computed once and cached; per query only the
+    overlay-added elements and the keyword-matched elements get fresh
+    costs, layered over the cached table with a :class:`~collections.ChainMap`.
+    The cache keys on the base graph's mutation ``version``, so incremental
+    index maintenance invalidates it automatically; ``invalidate_cache()``
+    drops it explicitly.
+    """
 
     name = "abstract"
+    #: False for models whose base-element costs depend on per-query state
+    #: (e.g. C2's literal normalization divides by the *augmented* graph
+    #: size); such models recompute every element each query.
+    cacheable = True
 
-    def element_costs(self, augmented: AugmentedSummaryGraph) -> Dict[Hashable, float]:
+    def element_costs(self, augmented: AugmentedSummaryGraph) -> Mapping[Hashable, float]:
         """Cost for every element key in the augmented graph."""
-        costs: Dict[Hashable, float] = {}
-        for vertex in augmented.graph.vertices:
-            costs[vertex.key] = self.vertex_cost(vertex, augmented)
-        for edge in augmented.graph.edges:
-            costs[edge.key] = self.edge_cost(edge, augmented)
+        graph = augmented.graph
+        base = getattr(graph, "base", None)
+        if base is None or not self.cacheable:
+            costs: Dict[Hashable, float] = {}
+            for vertex in graph.vertices:
+                costs[vertex.key] = self.vertex_cost(vertex, augmented)
+            for edge in graph.edges:
+                costs[edge.key] = self.edge_cost(edge, augmented)
+            return costs
+
+        base_costs = self._cached_base_costs(base)
+        overrides: Dict[Hashable, float] = {}
+        for vertex in graph.added_vertices:
+            overrides[vertex.key] = self.vertex_cost(vertex, augmented)
+        for edge in graph.added_edges:
+            overrides[edge.key] = self.edge_cost(edge, augmented)
+        # Matched base elements may be rescored (C3 divides by sm(n)).
+        for key in augmented.match_scores:
+            if key in overrides:
+                continue
+            if is_edge_key(key):
+                overrides[key] = self.edge_cost(graph.edge(key), augmented)
+            else:
+                overrides[key] = self.vertex_cost(graph.vertex(key), augmented)
+        return ChainMap(overrides, base_costs)
+
+    def _cached_base_costs(self, base) -> Dict[Hashable, float]:
+        cached = getattr(self, "_base_cost_cache", None)
+        if cached is not None:
+            graph_ref, version, costs = cached
+            if graph_ref() is base and version == base.version:
+                return costs
+        # Score-neutral view: base elements carry no keyword matches.
+        neutral = AugmentedSummaryGraph(base, [], {})
+        costs = {}
+        for vertex in base.vertices:
+            costs[vertex.key] = self.vertex_cost(vertex, neutral)
+        for edge in base.edges:
+            costs[edge.key] = self.edge_cost(edge, neutral)
+        self._base_cost_cache = (weakref.ref(base), base.version, costs)
         return costs
+
+    def invalidate_cache(self) -> None:
+        """Drop cached per-element base costs (e.g. after graph updates)."""
+        self._base_cost_cache = None
 
     def vertex_cost(self, vertex: SummaryVertex, augmented: AugmentedSummaryGraph) -> float:
         raise NotImplementedError
@@ -83,6 +139,9 @@ class PopularityCost(CostModel):
     ):
         self._min_cost = min_cost
         self._literal = literal_normalization
+        # The literal formula divides by the augmented graph's element
+        # counts, which vary per query — base costs cannot be cached then.
+        self.cacheable = not literal_normalization
 
     def vertex_cost(self, vertex, augmented) -> float:
         if vertex.kind in (SummaryVertexKind.VALUE, SummaryVertexKind.ARTIFICIAL):
@@ -117,6 +176,7 @@ class KeywordMatchCost(CostModel):
     def __init__(self, base: Optional[CostModel] = None, min_score: float = 1e-3):
         self._base = base or PopularityCost()
         self._min_score = min_score
+        self.cacheable = getattr(self._base, "cacheable", True)
 
     def vertex_cost(self, vertex, augmented) -> float:
         base = self._base.vertex_cost(vertex, augmented)

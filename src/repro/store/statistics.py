@@ -27,6 +27,10 @@ class StoreStatistics:
             self._pred_cache[predicate] = self._store.predicate_cardinality(predicate)
         return self._pred_cache[predicate]
 
+    def invalidate(self) -> None:
+        """Drop cached counts (call after the store's contents change)."""
+        self._pred_cache.clear()
+
     def estimate(
         self,
         subject: Optional[Term],

@@ -67,6 +67,35 @@ class TripleStore:
     def add_all(self, triples: Iterable[Triple]) -> int:
         return sum(1 for t in triples if self.add(t))
 
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple from all three indexes; False if absent."""
+        s, p, o = triple
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        if not objects:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        subjects = self._pos[p][o]
+        subjects.discard(s)
+        if not subjects:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        predicates = self._osp[o][s]
+        predicates.discard(p)
+        if not predicates:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        return sum(1 for t in triples if self.remove(t))
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -5,7 +5,9 @@ one vertex per class plus ``Thing`` for untyped entities, one edge per
 (relation label, source class, target class) combination — so exploration
 never touches the (much larger) data graph.  At query time the summary is
 augmented (Definition 5) with exactly the keyword-matching V-vertices and
-A-edges, nothing else, keeping the search space minimal.
+A-edges, nothing else, keeping the search space minimal; the augmentation
+is realized zero-copy through :class:`~repro.summary.overlay.OverlaySummaryGraph`,
+a per-query view layered over the shared base graph.
 """
 
 from repro.summary.elements import (
@@ -16,6 +18,7 @@ from repro.summary.elements import (
     THING_KEY,
 )
 from repro.summary.summary_graph import SummaryGraph
+from repro.summary.overlay import OverlaySummaryGraph
 from repro.summary.augmentation import AugmentedSummaryGraph, augment
 
 __all__ = [
@@ -25,6 +28,7 @@ __all__ = [
     "SummaryEdgeKind",
     "THING_KEY",
     "SummaryGraph",
+    "OverlaySummaryGraph",
     "AugmentedSummaryGraph",
     "augment",
 ]

@@ -1,7 +1,7 @@
 """Query-time augmentation of the summary graph (Definition 5).
 
 Given the per-keyword match sets from the keyword index, the summary graph
-is copied and extended with
+is extended with
 
 * one V-vertex plus ``A-edge(C-vertex_i, V-vertex)`` edges for every
   keyword-matching value, and
@@ -12,6 +12,15 @@ using the ``[V-vertex, A-edge, (C-vertex_1..n)]`` neighbor structures the
 index returns.  The result also records, per keyword, the set of
 *representative elements* (the K_i of Algorithm 1) and, per element, the
 matching score ``sm(n)`` consumed by the C3 cost function.
+
+The extension is **zero-copy**: instead of duplicating the summary graph per
+query, the added vertices and edges are layered onto the shared base graph
+through an :class:`~repro.summary.overlay.OverlaySummaryGraph` view, so
+augmentation allocates work proportional to the number of keyword matches,
+not to |summary graph|.  The base graph is never mutated either way.  The
+legacy copying behavior is retained behind ``copy=True`` purely as the
+reference point for the ``benchmarks/test_fig_augmentation.py``
+micro-benchmark.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from repro.keyword.keyword_index import (
     ValueMatch,
 )
 from repro.summary.elements import SummaryEdgeKind
+from repro.summary.overlay import OverlaySummaryGraph
 from repro.summary.summary_graph import SummaryGraph
 
 
@@ -35,7 +45,9 @@ class AugmentedSummaryGraph:
     Attributes
     ----------
     graph:
-        The augmented copy (the base summary graph is never mutated).
+        The augmented graph — normally an
+        :class:`~repro.summary.overlay.OverlaySummaryGraph` view sharing the
+        base summary graph (which is never mutated).
     keyword_elements:
         ``keyword_elements[i]`` is the set of element keys representing
         keyword *i* — the exploration's starting set K_i.
@@ -46,7 +58,7 @@ class AugmentedSummaryGraph:
 
     def __init__(
         self,
-        graph: SummaryGraph,
+        graph,
         keyword_elements: List[Set[Hashable]],
         match_scores: Dict[Hashable, float],
     ):
@@ -70,7 +82,7 @@ class AugmentedSummaryGraph:
         return f"AugmentedSummaryGraph(graph={self.graph!r}, K sizes={sizes})"
 
 
-def _resolve_class_keys(graph: SummaryGraph, classes) -> Set[Hashable]:
+def _resolve_class_keys(graph, classes) -> Set[Hashable]:
     """Vertex keys for the classes that actually exist in the summary graph.
 
     ``None`` (untyped) resolves to Thing, materializing it on demand; class
@@ -91,6 +103,7 @@ def _resolve_class_keys(graph: SummaryGraph, classes) -> Set[Hashable]:
 def augment(
     summary: SummaryGraph,
     matches_per_keyword: Sequence[Sequence[KeywordMatch]],
+    copy: bool = False,
 ) -> AugmentedSummaryGraph:
     """Build the augmented summary graph G'_K for one query.
 
@@ -103,8 +116,12 @@ def augment(
       V-vertex is the keyword element.
     * ``AttributeMatch`` — add an artificial ``value`` node and class-level
       A-edges; the *added edges* are the keyword elements.
+
+    ``copy=True`` materializes a full per-query copy of the summary graph
+    (the seed implementation's O(|summary|) behavior) instead of the
+    zero-copy overlay; it exists for benchmarking the two side by side.
     """
-    graph = summary.copy()
+    graph = summary.copy() if copy else OverlaySummaryGraph(summary)
     keyword_elements: List[Set[Hashable]] = []
     match_scores: Dict[Hashable, float] = {}
 

@@ -95,8 +95,7 @@ class SummaryEdge:
         target_key: Hashable,
         agg_count: int = 0,
     ):
-        key = ("edge", label, source_key, target_key)
-        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "key", edge_key(label, source_key, target_key))
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "source_key", source_key)
@@ -130,6 +129,11 @@ class SummaryEdge:
             f"SummaryEdge({self.name}: {self.source_key} -> {self.target_key}, "
             f"kind={self.kind.value}, agg={self.agg_count})"
         )
+
+
+def edge_key(label: URI, source_key: Hashable, target_key: Hashable) -> Tuple:
+    """The key an edge with these endpoints is addressed by."""
+    return ("edge", label, source_key, target_key)
 
 
 def is_edge_key(key: Hashable) -> bool:

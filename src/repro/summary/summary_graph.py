@@ -11,6 +11,7 @@ and |e_agg| are retained for the C2 popularity cost.
 from __future__ import annotations
 
 import time
+from itertools import chain
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.rdf.graph import DataGraph
@@ -21,6 +22,7 @@ from repro.summary.elements import (
     SummaryEdgeKind,
     SummaryVertex,
     SummaryVertexKind,
+    edge_key,
     is_edge_key,
 )
 
@@ -39,11 +41,19 @@ class SummaryGraph:
         self._vertices: Dict[Hashable, SummaryVertex] = {}
         self._edges: Dict[Hashable, SummaryEdge] = {}
         self._incident: Dict[Hashable, List[Hashable]] = {}
+        # Edge keys per label, so relation-keyword augmentation is
+        # O(#edges with that label) instead of a full edge scan.
+        self._by_label: Dict[URI, List[Hashable]] = {}
         # Totals from the underlying data graph, for cost normalization.
         self.total_entities: int = 0
         self.total_relation_edges: int = 0
         self.total_attribute_edges: int = 0
         self.build_seconds: float = 0.0
+        # Monotone mutation counter; cached structures derived from this
+        # graph (e.g. per-element base costs) key their validity on it.
+        self.version: int = 0
+        # (version, (repr, key) pairs, keys) cache for the canonical order.
+        self._canonical_cache: Optional[Tuple[int, Tuple, Tuple[Hashable, ...]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,6 +109,13 @@ class SummaryGraph:
         """The vertex key for a class term; ``None`` maps to Thing."""
         return THING_KEY if class_term is None else ("class", class_term)
 
+    @staticmethod
+    def edge_key(
+        label: URI, source_key: Hashable, target_key: Hashable
+    ) -> Hashable:
+        """The key an edge with these endpoints is stored under."""
+        return edge_key(label, source_key, target_key)
+
     def add_class_vertex(self, class_term: Term, agg_count: int = 0) -> SummaryVertex:
         key = ("class", class_term)
         vertex = SummaryVertex(key, SummaryVertexKind.CLASS, class_term, agg_count)
@@ -113,6 +130,7 @@ class SummaryGraph:
                     THING_KEY, SummaryVertexKind.THING, None, agg_count
                 )
                 self._vertices[THING_KEY] = vertex
+                self.version += 1
                 return vertex
             return existing
         vertex = SummaryVertex(THING_KEY, SummaryVertexKind.THING, None, agg_count or 0)
@@ -144,6 +162,7 @@ class SummaryGraph:
             return
         self._vertices[vertex.key] = vertex
         self._incident.setdefault(vertex.key, [])
+        self.version += 1
 
     def add_edge(
         self,
@@ -166,7 +185,89 @@ class SummaryGraph:
         self._incident[source_key].append(edge.key)
         if target_key != source_key:
             self._incident[target_key].append(edge.key)
+        self._by_label.setdefault(label, []).append(edge.key)
+        self.version += 1
         return edge
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (used by repro.maintenance.IndexManager)
+    # ------------------------------------------------------------------
+
+    def set_vertex_agg_count(self, key: Hashable, agg_count: int) -> SummaryVertex:
+        """Replace a vertex's aggregation count (vertices are immutable)."""
+        old = self._vertices[key]
+        if old.agg_count == agg_count:
+            return old
+        vertex = SummaryVertex(old.key, old.kind, old.term, agg_count)
+        self._vertices[key] = vertex
+        self.version += 1
+        return vertex
+
+    def remove_vertex(self, key: Hashable) -> None:
+        """Remove a vertex; its incident edges must already be gone."""
+        incident = self._incident.get(key)
+        if incident:
+            raise ValueError(f"cannot remove vertex {key!r}: {len(incident)} incident edges")
+        del self._vertices[key]
+        self._incident.pop(key, None)
+        self.version += 1
+
+    def remove_edge(self, key: Hashable) -> None:
+        """Remove an edge and unlink it from its endpoints."""
+        edge = self._edges.pop(key)
+        self._incident[edge.source_key].remove(key)
+        if edge.target_key != edge.source_key:
+            self._incident[edge.target_key].remove(key)
+        bucket = self._by_label.get(edge.label)
+        if bucket is not None:
+            bucket.remove(key)
+            if not bucket:
+                del self._by_label[edge.label]
+        self.version += 1
+
+    def adjust_edge_agg_count(
+        self,
+        label: URI,
+        kind: SummaryEdgeKind,
+        source_key: Hashable,
+        target_key: Hashable,
+        delta: int,
+    ) -> Optional[SummaryEdge]:
+        """Apply a delta to an edge's aggregation count.
+
+        Creates the edge when it does not exist and the delta is positive;
+        removes it when the count drops to zero.  Returns the resulting
+        edge, or ``None`` if it was (or stayed) removed.
+        """
+        key = self.edge_key(label, source_key, target_key)
+        existing = self._edges.get(key)
+        if existing is None:
+            if delta <= 0:
+                return None
+            return self.add_edge(label, kind, source_key, target_key, agg_count=delta)
+        count = existing.agg_count + delta
+        if count <= 0:
+            self.remove_edge(key)
+            return None
+        if count != existing.agg_count:
+            replacement = existing.with_agg_count(count)
+            self._edges[key] = replacement
+            self.version += 1
+            return replacement
+        return existing
+
+    def set_totals(
+        self, entities: int, relation_edges: int, attribute_edges: int
+    ) -> None:
+        """Refresh the data-graph totals the cost models normalize by."""
+        totals = (max(entities, 1), max(relation_edges, 1), max(attribute_edges, 1))
+        if totals != (
+            self.total_entities,
+            self.total_relation_edges,
+            self.total_attribute_edges,
+        ):
+            self.total_entities, self.total_relation_edges, self.total_attribute_edges = totals
+            self.version += 1
 
     # ------------------------------------------------------------------
     # Element access
@@ -196,12 +297,34 @@ class SummaryGraph:
         return tuple(self._edges.values())
 
     def edges_with_label(self, label: URI) -> List[SummaryEdge]:
-        return [e for e in self._edges.values() if e.label == label]
+        return [self._edges[key] for key in self._by_label.get(label, ())]
 
     def incident_edges(self, vertex_key: Hashable) -> Tuple[Hashable, ...]:
         """Keys of all edges touching a vertex (direction ignored — the
         exploration is direction-agnostic, Section VI-A)."""
         return tuple(self._incident.get(vertex_key, ()))
+
+    def _canonical_pairs(self) -> Tuple:
+        """Cached ``(repr, key)`` pairs sorted by repr; overlay views merge
+        their few added elements into this without re-sorting the base."""
+        cached = self._canonical_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        pairs = tuple(
+            sorted(
+                ((repr(k), k) for k in chain(self._vertices, self._edges)),
+                key=lambda p: p[0],
+            )
+        )
+        keys = tuple(k for _, k in pairs)
+        self._canonical_cache = (self.version, pairs, keys)
+        return pairs
+
+    def canonical_element_keys(self) -> Tuple[Hashable, ...]:
+        """All element keys in canonical (repr-sorted) order, cached per
+        :attr:`version` — the exploration's deterministic interning order."""
+        self._canonical_pairs()
+        return self._canonical_cache[2]
 
     def neighbors(self, key: Hashable) -> Tuple[Hashable, ...]:
         """Neighbor *elements*: incident edges of a vertex, or endpoints of
@@ -217,7 +340,8 @@ class SummaryGraph:
         return len(self._incident.get(vertex_key, ()))
 
     # ------------------------------------------------------------------
-    # Copy (augmentation works on a per-query copy)
+    # Copy (kept as the reference semantics the overlay view is benchmarked
+    # against; query-time augmentation uses OverlaySummaryGraph instead)
     # ------------------------------------------------------------------
 
     def copy(self) -> "SummaryGraph":
@@ -225,6 +349,7 @@ class SummaryGraph:
         clone._vertices = dict(self._vertices)
         clone._edges = dict(self._edges)
         clone._incident = {k: list(v) for k, v in self._incident.items()}
+        clone._by_label = {k: list(v) for k, v in self._by_label.items()}
         clone.total_entities = self.total_entities
         clone.total_relation_edges = self.total_relation_edges
         clone.total_attribute_edges = self.total_attribute_edges

@@ -13,6 +13,12 @@ def test_parser_defaults():
     assert args.cost_model == "c3"
 
 
+def test_non_positive_k_rejected_by_parser(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["aifb", "-k", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+
+
 def test_example_search(capsys):
     assert main(["2006 cimiano aifb"]) == 0
     out = capsys.readouterr().out
@@ -57,3 +63,58 @@ def test_guided_flag(capsys):
 
 def test_cost_model_flag(capsys):
     assert main(["aifb 2006", "--cost-model", "c1"]) == 0
+
+
+def test_update_ntriples_applies_delta(tmp_path, capsys, example_graph):
+    """Triples added via --update-ntriples are searchable: the base file
+    omits every 2006 triple, the delta restores them."""
+    base = [t for t in example_graph.triples if "2006" not in t.n3()]
+    delta = [t for t in example_graph.triples if "2006" in t.n3()]
+    assert delta, "the running example should mention 2006"
+    base_path = tmp_path / "base.nt"
+    delta_path = tmp_path / "delta.nt"
+    base_path.write_text(serialize_ntriples(base))
+    delta_path.write_text(serialize_ntriples(delta))
+
+    assert main(["2006", "--data", str(base_path)]) == 1  # unknown keyword
+    assert (
+        main(["2006", "--data", str(base_path), "--update-ntriples", str(delta_path)])
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "[1]" in captured.out
+    assert "+%d triples" % len(delta) in captured.err
+
+
+def test_remove_ntriples_applies_delta(tmp_path, capsys, example_graph):
+    delta = [t for t in example_graph.triples if "2006" in t.n3()]
+    full_path = tmp_path / "full.nt"
+    delta_path = tmp_path / "delta.nt"
+    full_path.write_text(serialize_ntriples(example_graph.triples))
+    delta_path.write_text(serialize_ntriples(delta))
+
+    assert (
+        main(["2006", "--data", str(full_path), "--remove-ntriples", str(delta_path)])
+        == 1
+    )
+
+
+def test_update_ntriples_repeatable(tmp_path, capsys, example_graph):
+    triples = list(example_graph.triples)
+    cut = len(triples) // 2
+    base_path = tmp_path / "base.nt"
+    d1, d2 = tmp_path / "d1.nt", tmp_path / "d2.nt"
+    base_path.write_text(serialize_ntriples(triples[:cut]))
+    d1.write_text(serialize_ntriples(triples[cut : cut + 3]))
+    d2.write_text(serialize_ntriples(triples[cut + 3 :]))
+    assert (
+        main(
+            [
+                "2006 cimiano aifb",
+                "--data", str(base_path),
+                "--update-ntriples", str(d1),
+                "--update-ntriples", str(d2),
+            ]
+        )
+        == 0
+    )

@@ -1,0 +1,196 @@
+"""Unit tests for incremental offline-index maintenance (IndexManager)."""
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.example import EX, running_example_graph
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+
+@pytest.fixture()
+def engine():
+    return KeywordSearchEngine(running_example_graph(), cost_model="c3", k=10)
+
+
+def test_added_triples_become_searchable(engine):
+    assert not engine.search("freshkeyword").candidates
+    entity = URI("http://example.org/aifb/newPub")
+    added = engine.add_triples(
+        [
+            Triple(entity, RDF.type, EX.Publication),
+            Triple(entity, EX.title, Literal("freshkeyword")),
+        ]
+    )
+    assert added == 2
+    result = engine.search("freshkeyword")
+    assert result.candidates
+
+
+def test_removed_triples_stop_matching(engine):
+    assert engine.search("2006").candidates
+    removed = engine.remove_triples(
+        [t for t in engine.graph.triples if "2006" in t.n3()]
+    )
+    assert removed > 0
+    assert not engine.search("2006").candidates
+
+
+def test_update_propagates_to_store_and_answers(engine):
+    entity = URI("http://example.org/aifb/newPub")
+    triples = [
+        Triple(entity, RDF.type, EX.Publication),
+        Triple(entity, EX.year, Literal("2031")),
+    ]
+    engine.add_triples(triples)
+    assert all(t in engine.store for t in triples)
+    outcome = engine.search_and_execute("2031", min_answers=1)
+    assert outcome["answers"]
+    engine.remove_triples(triples)
+    assert not any(t in engine.store for t in triples)
+
+
+def test_summary_graph_updates_in_place_without_rebuild(engine):
+    summary_before = engine.summary
+    entity = URI("http://example.org/aifb/someone")
+    engine.add_triples([Triple(entity, RDF.type, EX.Researcher)])
+    assert engine.summary is summary_before  # same object, mutated
+    rebuilt = KeywordSearchEngine(
+        DataGraph(engine.graph.triples), cost_model="c3", k=10
+    )
+    assert {v.key: v.agg_count for v in engine.summary.vertices} == {
+        v.key: v.agg_count for v in rebuilt.summary.vertices
+    }
+    assert {e.key: e.agg_count for e in engine.summary.edges} == {
+        e.key: e.agg_count for e in rebuilt.summary.edges
+    }
+
+
+def test_new_class_and_relation_appear_in_summary(engine):
+    boat = URI("http://example.org/aifb/Boat")
+    skipper = URI("http://example.org/aifb/skipper1")
+    sails = URI("http://example.org/aifb/sails")
+    engine.add_triples(
+        [
+            Triple(skipper, RDF.type, boat),
+            Triple(skipper, sails, skipper),
+        ]
+    )
+    assert engine.summary.has_element(("class", boat))
+    assert engine.search("boat").candidates
+    assert engine.search("sails").candidates
+
+
+def test_retyping_entity_moves_summary_projections(engine):
+    """Typing a previously typed entity with an extra class must reproject
+    its relation edges — the core hard case of incremental maintenance."""
+    extra = Triple(EX.pub1, RDF.type, EX.Article)
+    engine.add_triples([extra])
+    rebuilt = KeywordSearchEngine(DataGraph(engine.graph.triples), cost_model="c3", k=10)
+    assert {e.key: e.agg_count for e in engine.summary.edges} == {
+        e.key: e.agg_count for e in rebuilt.summary.edges
+    }
+    engine.remove_triples([extra])
+    rebuilt2 = KeywordSearchEngine(DataGraph(engine.graph.triples), cost_model="c3", k=10)
+    assert {e.key: e.agg_count for e in engine.summary.edges} == {
+        e.key: e.agg_count for e in rebuilt2.summary.edges
+    }
+
+
+def test_duplicate_adds_and_absent_removes_are_noops(engine):
+    triples = list(engine.graph.triples)
+    version = engine.summary.version
+    assert engine.add_triples(triples[:3]) == 0
+    ghost = Triple(URI("e:ghost"), URI("e:p"), URI("e:q"))
+    assert engine.remove_triples([ghost]) == 0
+    assert engine.summary.version == version
+
+
+def test_cost_cache_invalidated_on_update(engine):
+    """Search → update → search must use fresh costs, not the cached table."""
+    before = engine.search("publication")
+    best_before = before.best()
+    # Add many researchers: Researcher aggregation grows, its C2/C3 cost drops.
+    new = [
+        Triple(URI(f"http://example.org/aifb/r{i}"), RDF.type, EX.Researcher)
+        for i in range(50)
+    ]
+    engine.add_triples(new)
+    after = engine.search("researcher")
+    rebuilt = KeywordSearchEngine(DataGraph(engine.graph.triples), cost_model="c3", k=10)
+    expected = rebuilt.search("researcher")
+    assert [round(c.cost, 9) for c in after.candidates] == [
+        round(c.cost, 9) for c in expected.candidates
+    ]
+    assert best_before is not None
+
+
+def test_statistics_invalidated_on_update(engine):
+    stats = engine.evaluator._stats
+    assert stats.predicate_count(EX.year) >= 1  # populate the cache
+    extra = Triple(URI("http://example.org/aifb/px"), EX.year, Literal("1999"))
+    engine.add_triples([extra])
+    assert stats.predicate_count(EX.year) == engine.store.predicate_cardinality(EX.year)
+
+
+def test_strict_mode_batch_failure_rolls_back(engine):
+    """A strict-mode violation mid-batch must leave the engine untouched:
+    no partial data-graph mutation, no index drift, no leaked role refs."""
+    from repro.rdf.graph import GraphIntegrityError
+
+    strict_engine = KeywordSearchEngine(
+        DataGraph(running_example_graph().triples, strict=True),
+        cost_model="c3",
+        k=10,
+    )
+    good = Triple(URI("e:new"), URI("e:knows"), URI("e:other"))
+    # EX.Publication is a class; using it as a relation object violates
+    # Definition 1 and raises in strict mode.
+    bad = Triple(URI("e:new"), URI("e:knows"), EX.Publication)
+    triples_before = strict_engine.graph.triples
+    stats_before = strict_engine.graph.stats()
+
+    with pytest.raises(GraphIntegrityError):
+        strict_engine.add_triples([good, bad])
+
+    assert strict_engine.graph.triples == triples_before
+    assert strict_engine.graph.stats() == stats_before
+    assert good not in strict_engine.store
+    # The engine still works and accepts valid batches afterwards.
+    assert strict_engine.add_triples([good]) == 1
+    assert good in strict_engine.store
+
+
+def test_strict_add_is_atomic():
+    """A rejected strict add leaves no partial role refcounts behind."""
+    from repro.rdf.graph import GraphIntegrityError
+
+    graph = DataGraph(strict=True)
+    graph.add(Triple(URI("e:a"), RDF.type, URI("e:C")))
+    with pytest.raises(GraphIntegrityError):
+        graph.add(Triple(URI("e:b"), URI("e:knows"), URI("e:C")))  # class as entity
+    assert URI("e:b") not in graph.entities
+    assert not graph._entity_refs.get(URI("e:b"))
+    assert not graph._entity_refs.get(URI("e:C"))
+
+
+def test_search_rejects_invalid_k(engine):
+    with pytest.raises(ValueError):
+        engine.search("aifb", k=0)
+    with pytest.raises(ValueError):
+        engine.search("aifb", k=-1)
+    with pytest.raises(ValueError):
+        engine.search("aifb", dmax=-1)
+
+
+def test_search_honors_explicit_small_k(engine):
+    """k=1 must not silently fall back to the constructor default."""
+    result = engine.search("2006 cimiano", k=1)
+    assert len(result.candidates) <= 1
+
+
+def test_search_dmax_zero_registers_seeds_only(engine):
+    result = engine.search("publication", dmax=0)
+    assert isinstance(result.candidates, list)

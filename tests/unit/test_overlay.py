@@ -1,0 +1,148 @@
+"""Unit tests for the zero-copy overlay view of the summary graph."""
+
+import pytest
+
+from repro.datasets.example import EX
+from repro.rdf.terms import Literal
+from repro.summary.elements import (
+    THING_KEY,
+    SummaryEdgeKind,
+    SummaryVertexKind,
+)
+from repro.summary.overlay import OverlaySummaryGraph
+from repro.summary.summary_graph import SummaryGraph
+
+
+@pytest.fixture()
+def base(example_graph):
+    return SummaryGraph.from_data_graph(example_graph)
+
+
+@pytest.fixture()
+def overlay(base):
+    return OverlaySummaryGraph(base)
+
+
+class TestZeroCopy:
+    def test_base_is_never_mutated(self, base, overlay):
+        size_before = len(base)
+        version_before = base.version
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key
+        )
+        overlay.add_artificial_value_vertex(EX.name)
+        assert len(base) == size_before
+        assert base.version == version_before
+        assert not base.has_element(vertex.key)
+
+    def test_overlay_allocations_track_matches_only(self, base, overlay):
+        overlay.add_value_vertex(Literal("AIFB"))
+        assert len(overlay.added_vertices) == 1
+        assert len(overlay.added_edges) == 0
+        assert len(overlay) == len(base) + 1
+
+    def test_concurrent_overlays_are_independent(self, base):
+        first = OverlaySummaryGraph(base)
+        second = OverlaySummaryGraph(base)
+        first.add_value_vertex(Literal("only-first"))
+        assert not second.has_element(("value", Literal("only-first")))
+
+
+class TestElementAccess:
+    def test_base_elements_visible(self, base, overlay):
+        key = ("class", EX.Publication)
+        assert overlay.has_element(key)
+        assert overlay.vertex(key) is base.vertex(key)
+        assert set(overlay.vertices) >= set(base.vertices)
+        assert set(overlay.edges) == set(base.edges)
+
+    def test_added_vertex_and_edge_lookup(self, overlay):
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        edge = overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key
+        )
+        assert overlay.vertex(vertex.key) is vertex
+        assert overlay.edge(edge.key) is edge
+        assert overlay.element(edge.key) is edge
+        assert overlay.element(vertex.key) is vertex
+
+    def test_unknown_endpoint_raises(self, overlay):
+        with pytest.raises(KeyError):
+            overlay.add_edge(
+                EX.name,
+                SummaryEdgeKind.ATTRIBUTE,
+                ("class", EX.DoesNotExist),
+                ("class", EX.Institute),
+            )
+
+    def test_add_edge_idempotent(self, overlay):
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        e1 = overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key
+        )
+        e2 = overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key
+        )
+        assert e1 is e2
+        assert len(overlay.added_edges) == 1
+
+
+class TestNeighborhood:
+    def test_incident_edges_merge_base_and_overlay(self, base, overlay):
+        class_key = ("class", EX.Institute)
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        edge = overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, class_key, vertex.key
+        )
+        merged = overlay.incident_edges(class_key)
+        assert set(base.incident_edges(class_key)) < set(merged)
+        assert edge.key in merged
+        assert overlay.degree(class_key) == base.degree(class_key) + 1
+
+    def test_neighbors_of_added_edge_are_endpoints(self, overlay):
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        edge = overlay.add_edge(
+            EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key
+        )
+        assert set(overlay.neighbors(edge.key)) == {("class", EX.Institute), vertex.key}
+
+    def test_neighbors_of_base_vertex_include_overlay_edges(self, base, overlay):
+        class_key = ("class", EX.Institute)
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        edge = overlay.add_edge(EX.name, SummaryEdgeKind.ATTRIBUTE, class_key, vertex.key)
+        assert edge.key in overlay.neighbors(class_key)
+        assert set(base.neighbors(class_key)) <= set(overlay.neighbors(class_key))
+
+    def test_edges_with_label_merges(self, base, overlay):
+        vertex = overlay.add_value_vertex(Literal("AIFB"))
+        overlay.add_edge(EX.name, SummaryEdgeKind.ATTRIBUTE, ("class", EX.Institute), vertex.key)
+        labels = overlay.edges_with_label(EX.name)
+        assert len(labels) == len(base.edges_with_label(EX.name)) + 1
+
+
+class TestThing:
+    def test_reuses_base_thing(self, base, overlay):
+        if not base.has_element(THING_KEY):
+            pytest.skip("running example has no untyped entities")
+        assert overlay.ensure_thing() is base.vertex(THING_KEY)
+
+    def test_materializes_thing_in_overlay_when_base_lacks_it(self):
+        base = SummaryGraph()
+        overlay = OverlaySummaryGraph(base)
+        thing = overlay.ensure_thing()
+        assert thing.kind is SummaryVertexKind.THING
+        assert overlay.has_element(THING_KEY)
+        assert not base.has_element(THING_KEY)
+
+
+class TestStats:
+    def test_stats_account_for_overlay(self, base, overlay):
+        overlay.add_value_vertex(Literal("AIFB"))
+        assert overlay.stats()["vertices"] == base.stats()["vertices"] + 1
+        assert overlay.stats()["edges"] == base.stats()["edges"]
+
+    def test_totals_pass_through(self, base, overlay):
+        assert overlay.total_entities == base.total_entities
+        assert overlay.total_relation_edges == base.total_relation_edges
+        assert overlay.total_attribute_edges == base.total_attribute_edges
