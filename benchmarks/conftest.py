@@ -29,6 +29,26 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _REPORTS = defaultdict(list)
 
 
+def pytest_addoption(parser):
+    # Only registered when benchmarks/ is on the initial command line (the
+    # CI smoke job invokes `pytest benchmarks/test_fig_substrate.py --quick`);
+    # consumers read it through `config.getoption("--quick", False)` so a
+    # root-level `pytest` run, where the option never registers, still works.
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: tiny workloads, exercise the harness, "
+        "skip timing assertions (failures mean exceptions, not regressions)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_mode(pytestconfig):
+    """True when running as a CI smoke job (see ``--quick``)."""
+    return bool(pytestconfig.getoption("--quick", False))
+
+
 class Report:
     """Accumulates printable rows for one figure reproduction."""
 

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the top query and print its answers",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-query timing breakdown (keyword mapping, "
+        "augmentation, exploration, query mapping) to stderr",
+    )
+    parser.add_argument(
         "--sparql", action="store_true", help="print SPARQL instead of logic syntax"
     )
     parser.add_argument(
@@ -141,7 +147,11 @@ def main(argv: Optional[list] = None) -> int:
         print(f"# -{count} triples from {path}", file=sys.stderr)
 
     if args.filters:
-        filtered = engine.search_with_filters(args.keywords, k=args.k)
+        if args.profile:
+            print("# --profile is not supported with --filters", file=sys.stderr)
+        filtered = engine.search_with_filters(
+            args.keywords, k=args.k, dmax=args.dmax
+        )
         if not filtered:
             print("no interpretations found", file=sys.stderr)
             return 1
@@ -154,6 +164,19 @@ def main(argv: Optional[list] = None) -> int:
         return 0
 
     result = engine.search(args.keywords, k=args.k)
+    if args.profile:
+        timings = result.timings
+        breakdown = "  ".join(
+            f"{stage}={1000 * timings.get(stage, 0.0):.2f}ms"
+            for stage in (
+                "keyword_mapping",
+                "augmentation",
+                "exploration",
+                "query_mapping",
+                "total",
+            )
+        )
+        print(f"# timings: {breakdown}", file=sys.stderr)
     if result.ignored_keywords:
         print(f"# ignored keywords: {result.ignored_keywords}", file=sys.stderr)
     if not result.candidates:

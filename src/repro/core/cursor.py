@@ -4,6 +4,15 @@ A cursor represents one distinct path from a keyword element to the element
 it currently visits.  The path itself is recovered by recursive traversal of
 parent cursors, exactly as the paper describes; cursors are immutable, so a
 parent can be shared by many children without copying.
+
+Cursors created through :meth:`Cursor.origin_cursor` / :meth:`Cursor.expand`
+additionally carry ``path_set`` — a frozenset of the elements on the path —
+giving :meth:`visits` an O(1) membership check.  Directly constructed
+cursors may omit it (``path_set=None``) and :meth:`visits` falls back to
+the parent-chain walk; the exploration's hot loop does exactly that, since
+a live set per cursor measurably slows large explorations down (every GC
+pass has to scan them) while the chain walk is bounded by dmax and
+allocates nothing.
 """
 
 from __future__ import annotations
@@ -28,9 +37,12 @@ class Cursor:
         ``d`` — number of elements on the path after the origin.
     cost:
         ``w`` — accumulated path cost, including the origin's own cost.
+    path_set:
+        The set of elements on the path (optional; enables O(1) cycle
+        checks).
     """
 
-    __slots__ = ("element", "keyword", "origin", "parent", "distance", "cost")
+    __slots__ = ("element", "keyword", "origin", "parent", "distance", "cost", "path_set")
 
     def __init__(
         self,
@@ -40,6 +52,7 @@ class Cursor:
         parent: Optional["Cursor"],
         distance: int,
         cost: float,
+        path_set: Optional[FrozenSet[Hashable]] = None,
     ):
         object.__setattr__(self, "element", element)
         object.__setattr__(self, "keyword", keyword)
@@ -47,6 +60,7 @@ class Cursor:
         object.__setattr__(self, "parent", parent)
         object.__setattr__(self, "distance", distance)
         object.__setattr__(self, "cost", cost)
+        object.__setattr__(self, "path_set", path_set)
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Cursor is immutable")
@@ -54,10 +68,11 @@ class Cursor:
     @classmethod
     def origin_cursor(cls, element: Hashable, keyword: int, cost: float) -> "Cursor":
         """The initial cursor placed on a keyword element (Alg 1 line 4)."""
-        return cls(element, keyword, element, None, 0, cost)
+        return cls(element, keyword, element, None, 0, cost, frozenset((element,)))
 
     def expand(self, neighbor: Hashable, neighbor_cost: float) -> "Cursor":
         """A child cursor visiting ``neighbor`` (Alg 1 line 20)."""
+        path_set = self.path_set
         return Cursor(
             neighbor,
             self.keyword,
@@ -65,13 +80,16 @@ class Cursor:
             self,
             self.distance + 1,
             self.cost + neighbor_cost,
+            None if path_set is None else path_set | {neighbor},
         )
 
     def visits(self, element: Hashable) -> bool:
         """True if ``element`` lies on this cursor's path (cycle check,
-        Alg 1 line 17).  Walks the parent chain — paths are short (≤ dmax),
-        and avoiding a per-cursor set allocation matters: cursor creation
-        is the exploration's hot path."""
+        Alg 1 line 17).  One set lookup when ``path_set`` is carried;
+        otherwise a walk of the parent chain (paths are short, ≤ dmax)."""
+        path_set = self.path_set
+        if path_set is not None:
+            return element in path_set
         cursor: Optional[Cursor] = self
         while cursor is not None:
             if cursor.element == element:
@@ -96,6 +114,9 @@ class Cursor:
 
     def path_elements(self) -> FrozenSet[Hashable]:
         """The set of elements on the path."""
+        path_set = self.path_set
+        if path_set is not None:
+            return path_set
         return frozenset(self.path())
 
     def __len__(self) -> int:

@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.util import LruDict
+
 from repro.core.exploration import DEFAULT_DMAX, ExplorationResult, explore_top_k
 from repro.core.query_mapping import QueryMappingError, map_to_query
 from repro.maintenance import IndexManager
@@ -118,6 +120,23 @@ class SearchResult:
     def __iter__(self):
         return iter(self.candidates)
 
+    def copy(self) -> "SearchResult":
+        """A shallow copy with fresh list/dict containers.
+
+        Candidates, matches, and the exploration diagnostics are shared
+        (immutable in practice); the containers are fresh so a caller
+        sorting or trimming a result in place cannot poison the engine's
+        result cache.
+        """
+        return SearchResult(
+            self.keywords,
+            list(self.candidates),
+            [list(m) for m in self.matches],
+            list(self.ignored_keywords),
+            self.exploration,
+            dict(self.timings),
+        )
+
     def __repr__(self):
         return (
             f"SearchResult(keywords={self.keywords!r}, "
@@ -181,6 +200,17 @@ class KeywordSearchEngine:
         If true, a keyword with no matching element fails the search; if
         false (default) such keywords are ignored and reported in
         ``SearchResult.ignored_keywords``.
+    search_cache_size:
+        When positive, completed :class:`SearchResult` objects are
+        memoized (LRU) keyed on the keyword tuple, the effective search
+        parameters, and the summary/keyword-index version counters — so a
+        repeated query against unchanged data is served without touching
+        the pipeline.  :meth:`add_triples` / :meth:`remove_triples`
+        invalidate the cache through the :class:`~repro.maintenance.IndexManager`.
+        Every caller receives a container-fresh shallow copy of the
+        memoized result (shared candidates and the *original* ``timings``),
+        so in-place mutation of a result cannot poison the cache.
+        Disabled by default.
     """
 
     def __init__(
@@ -194,6 +224,7 @@ class KeywordSearchEngine:
         guided: bool = False,
         keyword_index: Optional[KeywordIndex] = None,
         summary: Optional[SummaryGraph] = None,
+        search_cache_size: int = 0,
     ):
         self.graph = graph
         self.cost_model = (
@@ -203,6 +234,9 @@ class KeywordSearchEngine:
         self.dmax = dmax
         self.strict_keywords = strict_keywords
         self.guided = guided
+        self._search_cache: Optional[LruDict] = (
+            LruDict(search_cache_size) if search_cache_size > 0 else None
+        )
 
         started = time.perf_counter()
         self.summary = summary or SummaryGraph.from_data_graph(graph)
@@ -218,6 +252,7 @@ class KeywordSearchEngine:
             store=self.store,
             evaluator=self.evaluator,
         )
+        self.index_manager.add_listener(self._invalidate_query_caches)
         self.preprocessing_seconds = time.perf_counter() - started
 
     @classmethod
@@ -241,6 +276,16 @@ class KeywordSearchEngine:
     def remove_triples(self, triples: Sequence[Triple]) -> int:
         """Remove triples; the incremental counterpart of :meth:`add_triples`."""
         return self.index_manager.remove_triples(triples)
+
+    def _invalidate_query_caches(self) -> None:
+        """Hooked into the IndexManager: runs after every applied batch.
+
+        The version counters baked into every cache key (summary graph,
+        keyword index) already prevent stale hits; clearing eagerly simply
+        releases the memory of results that can never be served again.
+        """
+        if self._search_cache is not None:
+            self._search_cache.clear()
 
     # ------------------------------------------------------------------
     # Search (Fig. 2, online part)
@@ -269,6 +314,25 @@ class KeywordSearchEngine:
             raise ValueError(f"k must be >= 1, got {k}")
         if dmax < 0:
             raise ValueError(f"dmax must be >= 0, got {dmax}")
+
+        # Result memo: only uncustomized lookups (matches is None) are
+        # cacheable, and the version counters keep keys from ever matching
+        # across data updates.
+        cache = self._search_cache
+        cache_key = None
+        if cache is not None and matches is None:
+            cache_key = (
+                tuple(keywords),
+                k,
+                dmax,
+                max_cursors,
+                self.summary.version,
+                self.keyword_index.version,
+            )
+            cached = cache.hit(cache_key)
+            if cached is not None:
+                return cached.copy()
+
         timings: Dict[str, float] = {}
         total_started = time.perf_counter()
 
@@ -287,7 +351,8 @@ class KeywordSearchEngine:
 
         if not effective:
             timings["total"] = time.perf_counter() - total_started
-            return SearchResult(keywords, [], matches, ignored, None, timings)
+            result = SearchResult(keywords, [], matches, ignored, None, timings)
+            return self._cache_result(cache_key, result)
 
         # Task 2: augmentation of the graph index.
         step = time.perf_counter()
@@ -313,7 +378,17 @@ class KeywordSearchEngine:
         timings["query_mapping"] = time.perf_counter() - step
 
         timings["total"] = time.perf_counter() - total_started
-        return SearchResult(keywords, candidates, matches, ignored, exploration, timings)
+        result = SearchResult(keywords, candidates, matches, ignored, exploration, timings)
+        return self._cache_result(cache_key, result)
+
+    def _cache_result(self, cache_key, result: SearchResult) -> SearchResult:
+        if cache_key is not None:
+            # The cache keeps the pristine instance; every caller —
+            # including this first one — gets a container-fresh copy, so
+            # in-place mutations of a returned result never leak back.
+            self._search_cache.put(cache_key, result)
+            return result.copy()
+        return result
 
     def _map_candidates(self, subgraphs, augmented_graph) -> List[QueryCandidate]:
         type_pred = self.graph.preferred_type_predicate
@@ -347,6 +422,8 @@ class KeywordSearchEngine:
         self,
         query: Union[str, Sequence[str]],
         k: Optional[int] = None,
+        dmax: Optional[int] = None,
+        max_cursors: Optional[int] = None,
     ) -> List[FilteredQuery]:
         """Keyword search where comparison keywords become FILTER operators.
 
@@ -355,6 +432,9 @@ class KeywordSearchEngine:
         keywords are interpreted as usual, and each computed query gets the
         filters bound to the matching attribute's variable — generalizing a
         pinned constant to a constrained variable where needed.
+
+        ``k``, ``dmax``, and ``max_cursors`` carry the same meaning as in
+        :meth:`search` and are forwarded to the underlying exploration.
 
         Returns the ranked filtered queries (candidates where a filter
         could not be bound to any attribute are dropped).
@@ -406,7 +486,11 @@ class KeywordSearchEngine:
 
         keywords = plain + [fk.source for fk in filter_keywords]
         result = self.search(
-            keywords, k=k, matches=plain_matches + filter_matches
+            keywords,
+            k=k,
+            dmax=dmax,
+            max_cursors=max_cursors,
+            matches=plain_matches + filter_matches,
         )
         out: List[FilteredQuery] = []
         for candidate in result.candidates:

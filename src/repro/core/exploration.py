@@ -3,38 +3,65 @@
 Cursors start at every keyword element and expand outward over the augmented
 summary graph, always cheapest-first across all keyword queues (implemented
 as one global heap — taking the global minimum is exactly "the top element
-of each Q_i").  Both vertices and edges are visited; expansion skips the
-parent element and any element already on the path (distinct, acyclic
-paths).  Every registration triggers the Algorithm 2 top-k check, and the
-invariant behind the guarantee — cursors pop in non-decreasing cost order
-(Theorem 1) — holds because element costs are strictly positive.
+of each Q_i").  Both vertices and edges are visited; expansion skips any
+element already on the path (distinct, acyclic paths).  Every registration
+triggers the Algorithm 2 top-k check, and the invariant behind the
+guarantee — cursors pop in non-decreasing cost order (Theorem 1) — holds
+because element costs are strictly positive.
 
 Implementation notes (performance, same semantics):
 
-* element keys are interned to integers for the duration of one query —
-  heap entries, cycle checks, and canonical subgraph keys then hash small
-  ints instead of nested URI tuples;
+* the query-invariant part of element interning lives in a **version-keyed
+  CSR substrate** cached on the base summary graph
+  (:mod:`repro.summary.substrate`): canonical key ↔ id tables and flat
+  ``array('l')`` adjacency rows are built once per graph version; per query
+  only the O(#matches) overlay elements get appended ids and adjacency
+  rows, so exploration setup is proportional to the keyword matches, not
+  the summary;
+* result identity is anchored to the **canonical merged id space** — the
+  ids a full per-query interning would have assigned.  The substrate path
+  explores on its own append-only ids but emits subgraphs in merged ids
+  (a monotone O(log #matches) translation), so tie-breaking among
+  equal-cost candidates, and therefore the returned ranking, is
+  byte-identical to the reference interning (``use_substrate=False``);
+* the cycle check walks the parent chain (≤ dmax pointer hops, zero
+  allocation) — per-cursor path sets/bitmasks were measured and rejected:
+  keeping hundreds of thousands of GC-tracked containers alive makes
+  garbage collection dominate on k≥20 workloads (see the hot loop);
+* per-element registration state is a flat list of per-keyword buckets,
+  updated inline (no wrapper objects or method calls on the hot path);
 * pushes are pruned when the target element already holds k registered
   paths for the cursor's keyword (pop order is cost-monotone, so such a
   cursor could never register);
 * new candidate combinations are enumerated best-first and cut off at the
-  candidate list's current k-th cost — combinations at the same element
-  that are worse than k existing candidates can never enter the top-k.
+  candidate list's current k-th cost — both when consuming them and inside
+  the enumeration heap, so long per-keyword lists cannot allocate
+  frontier state quadratically;
+* guided mode's per-keyword Dijkstra tables run on the CSR arrays and are
+  cached on the substrate per (cost table, keyword-element sets, overlay
+  signature), so repeated queries skip them entirely.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+from array import array
+from bisect import bisect_left, bisect_right
+from operator import itemgetter
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cursor import Cursor
 from repro.core.subgraph import MatchingSubgraph
 from repro.core.topk import CandidateList
+from repro.scoring.cost import split_cost_mapping
 from repro.summary.augmentation import AugmentedSummaryGraph
+from repro.summary.substrate import checked_cost
 
 #: Default bound on path length, counted in *elements* (a vertex→vertex hop
 #: crosses two elements: the edge and the far vertex).
 DEFAULT_DMAX = 10
+
+_INF = float("inf")
 
 
 class ExplorationResult:
@@ -76,11 +103,15 @@ class ExplorationResult:
 
 
 class _InternedGraph:
-    """Integer-id view of an augmented summary graph for one exploration."""
+    """Reference integer-id view, interned from scratch per exploration.
+
+    Kept as the fallback for graph objects without a substrate (and as the
+    byte-identity oracle the substrate path is property-tested against).
+    """
 
     __slots__ = ("keys", "ids", "neighbors", "costs")
 
-    def __init__(self, augmented: AugmentedSummaryGraph, element_costs: Dict[Hashable, float]):
+    def __init__(self, augmented: AugmentedSummaryGraph, element_costs):
         graph = augmented.graph
         # Canonical interning order (sorted by key repr) makes the whole
         # exploration — including tie-breaking among equal-cost cursors and
@@ -103,49 +134,174 @@ class _InternedGraph:
         self.neighbors: List[List[int]] = [[] for _ in range(n)]
         self.costs: List[float] = [0.0] * n
         for key, idx in self.ids.items():
-            cost = element_costs.get(key)
-            if cost is None:
-                raise KeyError(f"no cost assigned to element {key!r}")
-            if cost <= 0:
-                raise ValueError(f"element cost must be positive: {key!r} -> {cost}")
-            self.costs[idx] = cost
+            self.costs[idx] = checked_cost(key, element_costs.get(key))
             self.neighbors[idx] = sorted(self.ids[nb] for nb in graph.neighbors(key))
 
 
-class _ElementState:
-    """The per-element bookkeeping ``n(w, (C_1, ..., C_m))`` of Algorithm 1.
+class _SubstrateView:
+    """Per-query id space: a cached substrate plus appended overlay extras.
 
-    ``paths[i]`` holds the cursors that reached this element from keyword i,
-    in ascending cost order (pop order guarantees this), capped at k — the
-    paper's space bound of k cheapest paths per (element, keyword).
+    Base elements keep their substrate ids ``0..n-1``; the overlay's
+    O(#matches) elements get ids ``n..n+m-1`` in canonical (repr-sorted)
+    order.  ``to_merged`` translates a substrate id to the rank the element
+    holds in the *merged* canonical order over base + overlay — the id a
+    full per-query interning would have assigned — which is what emitted
+    subgraphs are expressed in (``None`` when there are no extras: the two
+    id spaces coincide).
     """
 
-    __slots__ = ("paths",)
+    __slots__ = (
+        "substrate",
+        "total",
+        "extra_keys",
+        "rows",
+        "costs",
+        "cost_token",
+        "cost_table",
+        "id_of",
+        "to_merged",
+        "decode",
+    )
 
-    def __init__(self, keyword_count: int):
-        self.paths: List[List[Cursor]] = [[] for _ in range(keyword_count)]
 
-    def register(self, cursor: Cursor, cap: int) -> bool:
-        """Record a path; False if the per-keyword cap is already reached."""
-        bucket = self.paths[cursor.keyword]
-        if len(bucket) >= cap:
-            return False
-        bucket.append(cursor)
-        return True
+def _build_substrate_view(
+    augmented: AugmentedSummaryGraph, element_costs
+) -> Optional[_SubstrateView]:
+    """Assemble the per-query view, or None if the graph has no substrate."""
+    graph = augmented.graph
+    base = getattr(graph, "base", None)
+    if base is None:
+        owner = graph
+        added_keys: Tuple[Hashable, ...] = ()
+        added_incident = {}
+    else:
+        owner = base
+        getter = getattr(graph, "added_element_keys", None)
+        if getter is None:
+            return None
+        added_keys = getter()
+        added_incident = graph.added_incident_map()
+    factory = getattr(owner, "exploration_substrate", None)
+    if factory is None:
+        return None
+    substrate = factory()
 
-    def is_connecting(self) -> bool:
-        """All C_i non-empty: at least one path per keyword meets here."""
-        return all(self.paths)
+    n = substrate.n
+    ids = substrate.ids
+    m = len(added_keys)
+
+    view = _SubstrateView()
+    view.substrate = substrate
+    view.total = n + m
+
+    if m:
+        # Stable repr-only sort: elements with equal reprs keep overlay
+        # insertion order, exactly like the canonical heap-merge.
+        extra_pairs = sorted(((repr(key), key) for key in added_keys), key=itemgetter(0))
+        extra_keys = tuple(key for _, key in extra_pairs)
+        base_reprs = substrate.reprs
+        ins = array("l", (bisect_right(base_reprs, text) for text, _ in extra_pairs))
+        extra_ranks = array("l", (ins[j] + j for j in range(m)))
+        extra_ids = {key: n + j for j, key in enumerate(extra_keys)}
+
+        def to_merged(sid: int, _ins=ins, _n=n, _ranks=extra_ranks) -> int:
+            return sid + bisect_right(_ins, sid) if sid < _n else _ranks[sid - _n]
+
+        def id_of(key, _extra=extra_ids.get, _base=ids.get) -> Optional[int]:
+            sid = _extra(key)
+            return sid if sid is not None else _base(key)
+
+        def decode(
+            mid: int, _ranks=extra_ranks, _keys=substrate.keys, _extra=extra_keys, _m=m
+        ) -> Hashable:
+            j = bisect_left(_ranks, mid)
+            if j < _m and _ranks[j] == mid:
+                return _extra[j]
+            return _keys[mid - j]
+
+        # Adjacency rows that differ from the substrate: every overlay
+        # element, plus base vertices that gained overlay edges.  Rows are
+        # ordered by merged rank — the order a full interning would expand
+        # neighbors in.
+        rows: Dict[int, Tuple[int, ...]] = {}
+        neighbors = graph.neighbors
+        for j, key in enumerate(extra_keys):
+            row = []
+            for nb in neighbors(key):
+                sid = extra_ids.get(nb)
+                row.append(sid if sid is not None else ids[nb])
+            row.sort(key=to_merged)
+            rows[n + j] = tuple(row)
+        offsets, targets = substrate.offsets, substrate.targets
+        for vkey, added in added_incident.items():
+            vsid = ids.get(vkey)
+            if vsid is None or not added:
+                continue  # overlay vertex (handled above) or no additions
+            merged_row = list(targets[offsets[vsid] : offsets[vsid + 1]])
+            merged_row.extend(extra_ids[edge] for edge in added)
+            merged_row.sort(key=to_merged)
+            rows[vsid] = tuple(merged_row)
+
+        view.extra_keys = extra_keys
+        view.rows = rows
+        view.id_of = id_of
+        view.to_merged = to_merged
+        view.decode = decode
+    else:
+        view.extra_keys = ()
+        view.rows = {}
+        view.id_of = ids.get
+        view.to_merged = None
+        view.decode = substrate.keys.__getitem__
+
+    # Cost slots: cached base array + O(#matches) per-query entries when
+    # the mapping is the cost models' (overrides, base) ChainMap; a fresh
+    # fill otherwise.
+    overrides, base_table = split_cost_mapping(element_costs)
+    if base_table is not None:
+        try:
+            base_array = substrate.cost_array(base_table)
+        except (KeyError, ValueError):
+            # Two-layer mapping whose base map alone is not a valid cost
+            # table (a missing element, or a non-positive entry masked by a
+            # per-query override) — read every element through the full
+            # mapping instead, which re-validates with reference semantics.
+            base_table = None
+    if base_table is not None:
+        costs = array("d", base_array)
+    else:
+        costs = substrate.fresh_cost_array(element_costs)
+    costs_get = element_costs.get
+    for key in view.extra_keys:
+        costs.append(checked_cost(key, costs_get(key)))
+    if base_table is not None:
+        ids_get = ids.get
+        for key, value in overrides.items():
+            sid = ids_get(key)
+            if sid is not None:
+                costs[sid] = checked_cost(key, value)
+        view.cost_token = (id(base_table), frozenset(overrides.items()))
+    else:
+        view.cost_token = None
+    view.cost_table = base_table
+    view.costs = costs
+    return view
 
 
 def _best_combinations(
     lists: Sequence[Sequence[Cursor]],
+    cutoff: Optional[Callable[[], float]] = None,
 ) -> Iterator[Tuple[float, Tuple[Cursor, ...]]]:
     """Cursor tuples across per-keyword lists, cheapest-sum first.
 
     Each list is sorted ascending by cost, so this is the classic
     k-smallest-sums frontier search from index vector (0, …, 0); the caller
-    decides when to stop consuming.
+    decides when to stop consuming.  ``cutoff``, when given, returns the
+    caller's current cut-off cost: successors at or above it are neither
+    pushed nor remembered in ``seen`` — they could only ever be consumed
+    past the caller's own stopping point (the cut-off never increases), so
+    pruning them bounds the frontier and the ``seen`` set by the cut-off
+    instead of letting them grow quadratically in the list lengths.
     """
     if any(not lst for lst in lists):
         return
@@ -157,17 +313,25 @@ def _best_combinations(
     while heap:
         cost, indices = heapq.heappop(heap)
         yield cost, tuple(lists[i][indices[i]] for i in range(m))
+        bound = cutoff() if cutoff is not None else None
         for i in range(m):
-            if indices[i] + 1 < len(lists[i]):
-                successor = indices[:i] + (indices[i] + 1,) + indices[i + 1 :]
-                if successor not in seen:
-                    seen.add(successor)
-                    step = lists[i][successor[i]].cost - lists[i][indices[i]].cost
-                    heapq.heappush(heap, (cost + step, successor))
+            nxt = indices[i] + 1
+            if nxt < len(lists[i]):
+                successor = indices[:i] + (nxt,) + indices[i + 1 :]
+                if successor in seen:
+                    continue
+                next_cost = cost + lists[i][nxt].cost - lists[i][indices[i]].cost
+                if bound is not None and next_cost >= bound:
+                    continue
+                seen.add(successor)
+                heapq.heappush(heap, (next_cost, successor))
 
 
-def _dijkstra(
-    seeds: Dict[int, float], neighbors: List[List[int]], costs: List[float]
+def _dijkstra_rows(
+    seeds: Dict[int, float],
+    row_of: Callable[[int], Sequence[int]],
+    costs: Sequence[float],
+    total: int,
 ) -> List[float]:
     """Cheapest path cost to every element from weighted seed elements.
 
@@ -175,8 +339,7 @@ def _dijkstra(
     the element being entered — matching the exploration's path-cost
     definition (origin cost included).
     """
-    n = len(costs)
-    dist = [float("inf")] * n
+    dist = [_INF] * total
     heap: List[Tuple[float, int]] = []
     for node, cost in seeds.items():
         if cost < dist[node]:
@@ -187,7 +350,7 @@ def _dijkstra(
         d, node = heapq.heappop(heap)
         if d != dist[node]:
             continue
-        for neighbor in neighbors[node]:
+        for neighbor in row_of(node):
             nd = d + costs[neighbor]
             if nd < dist[neighbor]:
                 dist[neighbor] = nd
@@ -195,11 +358,19 @@ def _dijkstra(
     return dist
 
 
+def _dijkstra(
+    seeds: Dict[int, float], neighbors: List[List[int]], costs: List[float]
+) -> List[float]:
+    """List-adjacency convenience wrapper around :func:`_dijkstra_rows`."""
+    return _dijkstra_rows(seeds, neighbors.__getitem__, costs, len(costs))
+
+
 def _completion_bounds(
-    keyword_sets: List[List[int]],
+    m: int,
     seed_costs: List[Dict[int, float]],
-    neighbors: List[List[int]],
-    costs: List[float],
+    row_of: Callable[[int], Sequence[int]],
+    costs: Sequence[float],
+    total: int,
 ) -> List[List[float]]:
     """Per-keyword admissible completion bounds L_i(n) (guided exploration).
 
@@ -213,36 +384,38 @@ def _completion_bounds(
     constraint, so they only ever *under*estimate: pruning on them
     preserves the exact top-k.
     """
-    m = len(keyword_sets)
     per_keyword_dist = [
-        _dijkstra(seed_costs[i], neighbors, costs) for i in range(m)
+        _dijkstra_rows(seed_costs[i], row_of, costs, total) for i in range(m)
     ]
     bounds: List[List[float]] = []
     for i in range(m):
         seeds: Dict[int, float] = {}
-        for node in range(len(costs)):
-            total = 0.0
+        for node in range(total):
+            acc = 0.0
             for j in range(m):
                 if j == i:
                     continue
                 dj = per_keyword_dist[j][node]
-                if dj == float("inf"):
-                    total = float("inf")
+                if dj == _INF:
+                    acc = _INF
                     break
-                total += dj
-            if total != float("inf"):
-                seeds[node] = total
-        bounds.append(_dijkstra(seeds, neighbors, costs) if seeds else [float("inf")] * len(costs))
+                acc += dj
+            if acc != _INF:
+                seeds[node] = acc
+        bounds.append(
+            _dijkstra_rows(seeds, row_of, costs, total) if seeds else [_INF] * total
+        )
     return bounds
 
 
 def explore_top_k(
     augmented: AugmentedSummaryGraph,
-    element_costs: Dict[Hashable, float],
+    element_costs,
     k: int = 10,
     dmax: int = DEFAULT_DMAX,
     max_cursors: Optional[int] = None,
     guided: bool = False,
+    use_substrate: Optional[bool] = None,
 ) -> ExplorationResult:
     """Run Algorithms 1+2 and return the k cheapest matching subgraphs.
 
@@ -267,94 +440,178 @@ def explore_top_k(
         precomputed, and cursors that provably cannot contribute a
         candidate better than the current k-th are discarded.  The result
         is identical; only the work changes.
+    use_substrate:
+        ``None`` (default) explores on the base graph's version-keyed CSR
+        substrate when available and falls back to per-query interning
+        otherwise; ``False`` forces the reference interning (the
+        byte-identity oracle used by tests and benchmarks); ``True``
+        requires the substrate and raises if the graph cannot provide one.
     """
-    keyword_sets = [ks for ks in augmented.keyword_elements if ks]
-    m = len(keyword_sets)
+    ordered_sets = [ks for ks in augmented.sorted_keyword_elements() if ks]
+    m = len(ordered_sets)
     candidates = CandidateList(k)
 
     if m == 0:
         return ExplorationResult([], 0, 0, 0, 0, "no-keywords", 0)
 
-    interned = _InternedGraph(augmented, element_costs)
-    neighbors = interned.neighbors
-    costs = interned.costs
+    view: Optional[_SubstrateView] = None
+    if use_substrate is not False:
+        view = _build_substrate_view(augmented, element_costs)
+    if view is not None:
+        costs: Sequence[float] = view.costs
+        total = view.total
+        id_of = view.id_of
+        to_merged = view.to_merged
+        decode = view.decode
+        extra_rows = view.rows
+        offsets = view.substrate.offsets
+        targets = view.substrate.targets
 
+        def row_of(
+            element: int, _get=extra_rows.get, _t=targets, _o=offsets
+        ) -> Sequence[int]:
+            row = _get(element)
+            return row if row is not None else _t[_o[element] : _o[element + 1]]
+
+    else:
+        if use_substrate is True:
+            raise ValueError(
+                "substrate exploration requires a summary graph (or overlay) "
+                f"with exploration_substrate(); got {type(augmented.graph).__name__}"
+            )
+        interned = _InternedGraph(augmented, element_costs)
+        costs = interned.costs
+        total = len(interned.keys)
+        id_of = interned.ids.get
+        to_merged = None
+        decode = interned.keys.__getitem__
+        row_of = interned.neighbors.__getitem__
+
+    # Deterministic seeding: K_i are sets, so a canonical order (by key
+    # repr, cached on the augmented graph) makes tie-breaking — and
+    # therefore ranking among equal-cost subgraphs — reproducible across
+    # processes.
     heap: List[Tuple[float, int, Cursor]] = []
     created = 0
+    seed_costs: List[Dict[int, float]] = [dict() for _ in range(m)]
+    for i, elements in enumerate(ordered_sets):
+        for key in elements:
+            element = id_of(key)
+            if element is None:
+                raise KeyError(f"keyword element {key!r} not in augmented graph")
+            cost = costs[element]
+            seed_costs[i][element] = cost
+            created += 1
+            heap.append((cost, created, Cursor.origin_cursor(element, i, cost)))
+    heapq.heapify(heap)
+
+    bounds: Optional[List[List[float]]] = None
+    if guided:
+        cache_key = None
+        if view is not None and view.cost_token is not None:
+            cache_key = (
+                view.cost_token,
+                view.extra_keys,
+                tuple(tuple(sorted(sc.items())) for sc in seed_costs),
+            )
+            bounds = view.substrate.get_bounds(cache_key, view.cost_table)
+        if bounds is None:
+            bounds = _completion_bounds(m, seed_costs, row_of, costs, total)
+            if cache_key is not None:
+                view.substrate.store_bounds(cache_key, view.cost_table, bounds)
+
+    # Per-element registration state: a flat list of m per-keyword buckets,
+    # ``states[element][i]`` holding the cursors that reached the element
+    # from keyword i in ascending cost order (pop order guarantees this),
+    # capped at k — the paper's space bound of k cheapest paths per
+    # (element, keyword).
+    states: Dict[int, List[List[Cursor]]] = {}
+    states_get = states.get
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    kth_cost = candidates.kth_cost
+    offer = candidates.offer
+
     popped = 0
     pruned = 0
     max_queue = 0
     terminated_by = "exhausted"
 
-    def _push(cursor: Cursor) -> None:
-        nonlocal created
-        created += 1
-        heapq.heappush(heap, (cursor.cost, created, cursor))
-
-    # Deterministic seeding: K_i are sets, so fix an order (by key repr) to
-    # make tie-breaking — and therefore ranking among equal-cost subgraphs —
-    # reproducible across processes.
-    seed_costs: List[Dict[int, float]] = [dict() for _ in range(m)]
-    for i, elements in enumerate(keyword_sets):
-        for key in sorted(elements, key=repr):
-            element = interned.ids.get(key)
-            if element is None:
-                raise KeyError(f"keyword element {key!r} not in augmented graph")
-            seed_costs[i][element] = costs[element]
-            _push(Cursor.origin_cursor(element, i, costs[element]))
-
-    bounds: Optional[List[List[float]]] = None
-    if guided:
-        bounds = _completion_bounds(
-            [list(sc) for sc in seed_costs], seed_costs, neighbors, costs
-        )
-
-    states: Dict[int, _ElementState] = {}
-
     while heap:
-        if len(heap) > max_queue:
-            max_queue = len(heap)
-        _, _, cursor = heapq.heappop(heap)
+        queue_size = len(heap)
+        if queue_size > max_queue:
+            max_queue = queue_size
+        _, _, cursor = heappop(heap)
         popped += 1
         element = cursor.element
+        distance = cursor.distance
 
-        if cursor.distance > dmax:
+        if distance > dmax:
             continue
+
+        kw = cursor.keyword
+        cursor_cost = cursor.cost
 
         # Guided pruning: if even the cheapest completion of this path
         # cannot beat the k-th candidate, the cursor is dead weight.
         # (The raw bound enters `element` once more; the cursor's cost
         # already covers it, hence the subtraction — see _completion_bounds.)
         if bounds is not None:
-            completion = bounds[cursor.keyword][element] - costs[element]
-            if cursor.cost + completion >= candidates.kth_cost():
+            completion = bounds[kw][element] - costs[element]
+            if cursor_cost + completion >= kth_cost():
                 pruned += 1
                 continue
 
-        state = states.get(element)
+        state = states_get(element)
         if state is None:
-            state = _ElementState(m)
+            state = [[] for _ in range(m)]
             states[element] = state
-        if not state.register(cursor, cap=k):
+        bucket = state[kw]
+        if len(bucket) >= k:
             pruned += 1
             continue
+        bucket.append(cursor)
 
-        # Expand to all neighbors except the parent, avoiding cycles
-        # (Alg 1 lines 13-22).  Registration happened, so paths of length
-        # dmax still contribute to connecting elements.
-        if cursor.distance < dmax:
-            parent_element = cursor.parent_element
-            kw = cursor.keyword
-            for neighbor in neighbors[element]:
-                if neighbor == parent_element:
+        # Expand to all neighbors not already on the path (Alg 1 lines
+        # 13-22; the parent is on the path, so the walk covers both
+        # checks).  The cycle check deliberately walks the parent chain
+        # (≤ dmax pointer hops) instead of carrying per-cursor path
+        # sets/bitmasks: measured on the Fig. 6a k=100 workload, a
+        # frozenset per cursor is ~25% slower end to end — hundreds of
+        # thousands of live GC-tracked containers make every collection
+        # scan far more expensive — while the chain walk allocates
+        # nothing.  Registration happened, so paths of length dmax still
+        # contribute to connecting elements.
+        if distance < dmax:
+            origin = cursor.origin
+            next_distance = distance + 1
+            for neighbor in row_of(element):
+                probe = cursor
+                while probe is not None and probe.element != neighbor:
+                    probe = probe.parent
+                if probe is not None:
                     continue
-                if cursor.visits(neighbor):
-                    continue
-                neighbor_state = states.get(neighbor)
-                if neighbor_state is not None and len(neighbor_state.paths[kw]) >= k:
+                neighbor_state = states_get(neighbor)
+                if neighbor_state is not None and len(neighbor_state[kw]) >= k:
                     pruned += 1
                     continue
-                _push(cursor.expand(neighbor, costs[neighbor]))
+                child_cost = cursor_cost + costs[neighbor]
+                created += 1
+                heappush(
+                    heap,
+                    (
+                        child_cost,
+                        created,
+                        Cursor(
+                            neighbor,
+                            kw,
+                            origin,
+                            cursor,
+                            next_distance,
+                            child_cost,
+                        ),
+                    ),
+                )
 
         # Algorithm 2: build the new candidate subgraphs this registration
         # enables — combinations that use this cursor for its keyword and
@@ -364,23 +621,28 @@ def explore_top_k(
         # can enter the top-k), or (b) k *distinct element sets* have been
         # produced here — any further combination is dominated by k
         # already-offered candidates at this element that cost no more.
-        if state.is_connecting():
-            other_lists = [
-                state.paths[i] if i != cursor.keyword else [cursor] for i in range(m)
-            ]
+        if all(state):
+            other_lists = [state[i] if i != kw else [cursor] for i in range(m)]
             distinct_sets = set()
-            for combo_cost, combo in _best_combinations(other_lists):
-                if len(candidates) >= k and combo_cost >= candidates.kth_cost():
+            for combo_cost, combo in _best_combinations(other_lists, kth_cost):
+                if len(candidates) >= k and combo_cost >= kth_cost():
                     break
-                merged = MatchingSubgraph.from_cursors(element, combo)
-                candidates.offer(merged)
+                if to_merged is None:
+                    merged = MatchingSubgraph.from_cursors(element, combo)
+                else:
+                    merged = MatchingSubgraph(
+                        to_merged(element),
+                        [[to_merged(e) for e in c.path()] for c in combo],
+                        sum(c.cost for c in combo),
+                    )
+                offer(merged)
                 distinct_sets.add(merged.canonical_key)
                 if len(distinct_sets) >= k:
                     break
 
         # Termination check: cheapest outstanding cursor bounds every
         # undiscovered subgraph from below.
-        lowest_remaining = heap[0][0] if heap else float("inf")
+        lowest_remaining = heap[0][0] if heap else _INF
         if candidates.should_terminate(lowest_remaining):
             terminated_by = "threshold"
             break
@@ -389,7 +651,6 @@ def explore_top_k(
             terminated_by = "budget"
             break
 
-    decode = interned.keys.__getitem__
     subgraphs = [sg.translated(decode) for sg in candidates.best()]
     return ExplorationResult(
         subgraphs=subgraphs,

@@ -23,6 +23,8 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.util import LruDict
+
 from repro.keyword.analysis import Analyzer
 from repro.keyword.inverted_index import InvertedIndex
 from repro.keyword.levenshtein import levenshtein, similarity
@@ -171,6 +173,11 @@ class KeywordIndex:
     max_matches_per_keyword:
         Keeps only the best-scoring elements per keyword; bounds the
         branching factor of the subsequent graph exploration.
+    lookup_cache_size:
+        LRU bound for memoized :meth:`lookup` results.  Entries are keyed
+        on :attr:`version`, which advances with every incremental index
+        mutation, so maintenance invalidates them automatically.  ``0``
+        disables the cache.
     """
 
     def __init__(
@@ -180,12 +187,17 @@ class KeywordIndex:
         lexicon: Optional[SynonymLexicon] = None,
         fuzzy_max_distance: int = 1,
         max_matches_per_keyword: int = 8,
+        lookup_cache_size: int = 1024,
     ):
         self._graph = graph
         self._analyzer = analyzer or Analyzer()
         self._lexicon = lexicon if lexicon is not None else DEFAULT_LEXICON
         self._fuzzy_max_distance = fuzzy_max_distance
         self._max_matches = max_matches_per_keyword
+
+        #: Monotone mutation counter; caches over lookups key on it.
+        self.version: int = 0
+        self._lookup_cache = LruDict(lookup_cache_size)
 
         self._index = InvertedIndex()
         # Attribute label -> {subject class (None = untyped): refcount}.
@@ -275,11 +287,13 @@ class KeywordIndex:
     # many triples share the predicate or the value.
 
     def refresh_class(self, cls: Term) -> None:
+        self.version += 1
         self._index.unindex((_KIND_CLASS, cls))
         if self._graph.vertex_kind(cls) is VertexKind.CLASS:
             self._index_class(cls)
 
     def refresh_relation_label(self, label: URI) -> None:
+        self.version += 1
         self._index.unindex((_KIND_RELATION, label))
         if self._graph.has_relation_label(label):
             self._index_relation_label(label)
@@ -298,6 +312,7 @@ class KeywordIndex:
         the pre-update snapshot for removals/retypings.  Postings for the
         attribute label and the value toggle with their existence.
         """
+        self.version += 1
         had_label = label in self._attribute_class_refs
         had_value = value in self._value_occurrence_refs
         self._adjust_occurrence_refs(label, value, classes, delta)
@@ -327,7 +342,25 @@ class KeywordIndex:
         element matches only if *every* keyword term matches its label, and
         the score combines per-term match quality with a coverage penalty
         for labels longer than the keyword (the paper's TF/IDF remark).
+
+        Results are memoized (LRU, ``lookup_cache_size`` entries) keyed on
+        ``(version, keyword)``: incremental maintenance advances
+        :attr:`version`, so stale entries can never be served — they just
+        age out of the LRU.  Matches are immutable; each call returns a
+        fresh list of the shared match objects.
         """
+        cache = self._lookup_cache
+        if cache.maxsize <= 0:
+            return self._lookup_uncached(keyword)
+        key = (self.version, keyword)
+        hit = cache.hit(key)
+        if hit is not None:
+            return list(hit)
+        matches = self._lookup_uncached(keyword)
+        cache.put(key, tuple(matches))
+        return matches
+
+    def _lookup_uncached(self, keyword: str) -> List[KeywordMatch]:
         terms = self._analyzer.analyze_unique(keyword)
         if not terms:
             return []

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from itertools import chain
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.keyword.keyword_index import KeywordIndex
 from repro.query.evaluator import QueryEvaluator
@@ -87,10 +87,22 @@ class IndexManager:
         self.summary = summary
         self.store = store
         self.evaluator = evaluator
+        self._listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register a callable invoked after every applied update batch.
+
+        This is the invalidation hook for query-time caches that live
+        outside the structures the manager mutates directly (e.g. the
+        engine's memoized search results).  Caches keyed on the summary
+        graph's or keyword index's version counters expire without it;
+        the callback lets them release memory eagerly as well.
+        """
+        self._listeners.append(callback)
 
     def add_triples(self, triples: Iterable[Triple]) -> int:
         """Insert triples, propagating deltas; returns #actually added."""
@@ -216,6 +228,8 @@ class IndexManager:
             ) from exc
         if self.evaluator is not None:
             self.evaluator.invalidate_statistics()
+        for callback in self._listeners:
+            callback()
 
         return len(adds) + len(removes)
 

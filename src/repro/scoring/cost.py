@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import weakref
 from collections import ChainMap
-from typing import Dict, Hashable, Mapping, Optional
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.summary.augmentation import AugmentedSummaryGraph
 from repro.summary.elements import (
@@ -32,6 +32,29 @@ from repro.summary.elements import (
 #: Elements never cost less than this — keeps Theorem 1's strictly-positive
 #: path-cost growth and avoids zero-cost cycles.
 DEFAULT_MIN_COST = 0.01
+
+
+def split_cost_mapping(
+    costs: Mapping[Hashable, float],
+) -> Tuple[Mapping[Hashable, float], Optional[Mapping[Hashable, float]]]:
+    """Split a cost mapping into ``(overrides, base_table)``.
+
+    :meth:`CostModel.element_costs` returns a two-layer
+    ``ChainMap(overrides, cached_base_costs)`` for overlay-augmented
+    graphs: the second map is the query-invariant base-cost table (cached
+    per summary-graph version and stable in identity across queries), the
+    first holds only the O(#matches) per-query entries.  The exploration
+    substrate keys its ``array('d')`` cost slots on that base table's
+    identity, so it needs the layers apart.
+
+    Any other mapping shape — a plain dict from tests, a non-cacheable
+    model's full recomputation — yields ``(costs, None)``: every element
+    must then be read through ``costs`` directly.
+    """
+    if isinstance(costs, ChainMap) and len(costs.maps) == 2:
+        overrides, base = costs.maps
+        return overrides, base
+    return costs, None
 
 
 class CostModel:

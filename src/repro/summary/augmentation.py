@@ -25,7 +25,7 @@ micro-benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.keyword.keyword_index import (
     AttributeMatch,
@@ -65,10 +65,24 @@ class AugmentedSummaryGraph:
         self.graph = graph
         self.keyword_elements = keyword_elements
         self.match_scores = match_scores
+        self._sorted_elements: Optional[Tuple[Tuple[Hashable, ...], ...]] = None
 
     @property
     def keyword_count(self) -> int:
         return len(self.keyword_elements)
+
+    def sorted_keyword_elements(self) -> Tuple[Tuple[Hashable, ...], ...]:
+        """``keyword_elements`` with each K_i in canonical (repr-sorted)
+        order, cached — the deterministic cursor-seeding order of the
+        exploration, computed once even when the same augmented graph is
+        explored repeatedly."""
+        cached = self._sorted_elements
+        if cached is None:
+            cached = tuple(
+                tuple(sorted(ks, key=repr)) for ks in self.keyword_elements
+            )
+            self._sorted_elements = cached
+        return cached
 
     def matching_score(self, element_key: Hashable) -> float:
         return self.match_scores.get(element_key, 1.0)

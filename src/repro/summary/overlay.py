@@ -194,6 +194,22 @@ class OverlaySummaryGraph:
         """Overlay-only edges (the per-query augmentation)."""
         return tuple(self._added_edges.values())
 
+    def added_element_keys(self) -> Tuple[Hashable, ...]:
+        """Keys of overlay-only elements (vertices, then edges).
+
+        The exploration substrate appends exactly these as per-query ids on
+        top of the base graph's cached CSR tables.
+        """
+        return tuple(chain(self._added_vertices, self._added_edges))
+
+    def added_incident_map(self) -> Dict[Hashable, List[Hashable]]:
+        """Vertex key → overlay edge keys attached at query time.
+
+        Includes entries for base vertices that gained A-edges; callers
+        must treat the mapping as read-only.
+        """
+        return self._added_incident
+
     def edges_with_label(self, label: URI) -> List[SummaryEdge]:
         out = self.base.edges_with_label(label)
         added = [e for e in self._added_edges.values() if e.label == label]

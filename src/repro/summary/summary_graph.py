@@ -25,6 +25,7 @@ from repro.summary.elements import (
     edge_key,
     is_edge_key,
 )
+from repro.summary.substrate import ExplorationSubstrate
 
 _SUBCLASS_LABEL = URI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
 
@@ -54,6 +55,8 @@ class SummaryGraph:
         self.version: int = 0
         # (version, (repr, key) pairs, keys) cache for the canonical order.
         self._canonical_cache: Optional[Tuple[int, Tuple, Tuple[Hashable, ...]]] = None
+        # (version, substrate) cache for the CSR exploration substrate.
+        self._substrate_cache: Optional[Tuple[int, ExplorationSubstrate]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -325,6 +328,22 @@ class SummaryGraph:
         :attr:`version` — the exploration's deterministic interning order."""
         self._canonical_pairs()
         return self._canonical_cache[2]
+
+    def exploration_substrate(self) -> ExplorationSubstrate:
+        """The CSR intern tables of this graph, cached per :attr:`version`.
+
+        The substrate is the query-invariant part of Algorithm 1's element
+        interning (canonical key ↔ id tables plus flat adjacency arrays);
+        any mutation advances :attr:`version` and therefore invalidates it
+        automatically — including every delta the
+        :class:`~repro.maintenance.IndexManager` propagates.
+        """
+        cached = self._substrate_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        substrate = ExplorationSubstrate(self._canonical_pairs(), self.neighbors)
+        self._substrate_cache = (self.version, substrate)
+        return substrate
 
     def neighbors(self, key: Hashable) -> Tuple[Hashable, ...]:
         """Neighbor *elements*: incident edges of a vertex, or endpoints of

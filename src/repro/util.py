@@ -1,0 +1,50 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class LruDict(OrderedDict):
+    """A bounded mapping with least-recently-used eviction.
+
+    The query-time memo layers (engine search results, keyword lookups,
+    guided bound tables) all share this shape: :meth:`hit` returns a value
+    and refreshes its recency, :meth:`put` inserts and evicts the oldest
+    entries beyond ``maxsize``.  ``None`` is not a valid value (it marks a
+    miss).
+
+    Concurrent queries against one engine share these caches, so both
+    operations tolerate a key disappearing between their individual
+    (GIL-atomic) dict steps — a lost recency refresh or a lost entry is
+    harmless; a raised ``KeyError`` out of a cache would not be.
+    """
+
+    def __init__(self, maxsize: int):
+        super().__init__()
+        self.maxsize = maxsize
+
+    def hit(self, key) -> Optional[object]:
+        """The cached value, refreshed as most-recent; None on a miss."""
+        value = self.get(key)
+        if value is not None:
+            try:
+                self.move_to_end(key)
+            except KeyError:  # evicted by a concurrent put
+                pass
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert a value as most-recent and evict least-recently-used
+        entries (overwriting an existing key refreshes its recency)."""
+        self[key] = value
+        try:
+            self.move_to_end(key)
+        except KeyError:  # removed by a concurrent eviction
+            pass
+        while len(self) > self.maxsize:
+            try:
+                self.popitem(last=False)
+            except KeyError:  # drained by a concurrent eviction
+                break

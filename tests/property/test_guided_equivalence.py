@@ -1,0 +1,88 @@
+"""Property: guided and unguided exploration return identical results.
+
+Guided mode (the Section VI-A/IX "indexing connectivity" speed-up) prunes
+cursors through admissible completion bounds; because the bounds only ever
+*under*estimate, pruning may change the work but never the answer.  On
+randomized graphs, keyword sets, costs, and k, both modes must return the
+same ranked sequence of subgraph element sets with the same costs — not
+just the same cost multiset (complements ``benchmarks/test_ablation_guarantee.py``,
+which measures the work difference on the paper workloads).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exploration import explore_top_k
+from repro.rdf.terms import URI
+from repro.summary.augmentation import AugmentedSummaryGraph
+from repro.summary.elements import SummaryEdgeKind
+from repro.summary.summary_graph import SummaryGraph
+
+
+def build_random_graph(n_vertices, edge_pairs):
+    graph = SummaryGraph()
+    keys = [
+        graph.add_class_vertex(URI(f"c:{i}"), agg_count=1).key
+        for i in range(n_vertices)
+    ]
+    for j, (a, b) in enumerate(edge_pairs):
+        graph.add_edge(
+            URI(f"e:{j}"),
+            SummaryEdgeKind.RELATION,
+            keys[a % n_vertices],
+            keys[b % n_vertices],
+        )
+    return graph, keys
+
+
+@st.composite
+def exploration_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    n_edges = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    m = draw(st.integers(min_value=1, max_value=3))
+    keyword_sets = [
+        set(draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=2)))
+        for _ in range(m)
+    ]
+    cost_choices = draw(
+        st.lists(
+            st.sampled_from([0.25, 0.5, 1.0, 1.5, 2.0]),
+            min_size=n + n_edges,
+            max_size=n + n_edges,
+        )
+    )
+    k = draw(st.integers(min_value=1, max_value=5))
+    return n, edges, keyword_sets, cost_choices, k
+
+
+def _signature(result):
+    return [(sg.elements, pytest.approx(sg.cost)) for sg in result.subgraphs]
+
+
+@given(exploration_cases())
+@settings(max_examples=150, deadline=None)
+def test_guided_and_unguided_return_identical_results(case):
+    n, edges, keyword_indices, cost_choices, k = case
+    graph, keys = build_random_graph(n, edges)
+    keyword_sets = [{keys[i] for i in indices} for indices in keyword_indices]
+
+    elements = [v.key for v in graph.vertices] + [e.key for e in graph.edges]
+    costs = {
+        el: (cost_choices[i] if i < len(cost_choices) else 1.0)
+        for i, el in enumerate(elements)
+    }
+
+    augmented = AugmentedSummaryGraph(graph, [set(ks) for ks in keyword_sets], {})
+    plain = explore_top_k(augmented, costs, k=k, dmax=6, guided=False)
+    guided = explore_top_k(augmented, costs, k=k, dmax=6, guided=True)
+
+    assert _signature(guided) == _signature(plain)
+    # Guided pruning is monotone: it never expands more cursors.
+    assert guided.cursors_created <= plain.cursors_created

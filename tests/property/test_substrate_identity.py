@@ -1,0 +1,186 @@
+"""Property: substrate exploration ≡ per-query interning, byte for byte.
+
+The version-keyed CSR substrate explores on append-only ids and translates
+emitted subgraphs back into the canonical merged id space — the ids a full
+per-query interning would have assigned.  The contract is *byte identity*:
+for any graph, keyword sets, costs, k, and guided mode, the substrate path
+(``use_substrate=True``) and the reference interning
+(``use_substrate=False``) must return identical subgraphs — same costs,
+same connecting elements, same per-keyword path tuples, same ranking among
+equal-cost candidates — and identical exploration diagnostics (the two
+runs take exactly the same decisions in the same order).
+
+The second test drives the whole engine pipeline: real keyword lookups,
+overlay augmentation (value vertices and A-edges on top of the shared
+summary graph), and incremental ``add_triples`` / ``remove_triples``
+batches whose version bumps must invalidate the substrate automatically.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import KeywordSearchEngine
+from repro.core.exploration import explore_top_k
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.summary.augmentation import AugmentedSummaryGraph, augment
+from repro.summary.elements import SummaryEdgeKind
+from repro.summary.summary_graph import SummaryGraph
+
+# ----------------------------------------------------------------------
+# Part 1: randomized raw summary graphs (no overlay)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def exploration_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    n_edges = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    m = draw(st.integers(min_value=1, max_value=3))
+    keyword_sets = [
+        set(draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=2)))
+        for _ in range(m)
+    ]
+    cost_choices = draw(
+        st.lists(
+            st.sampled_from([0.25, 0.5, 1.0, 1.5, 2.0]),
+            min_size=n + n_edges,
+            max_size=n + n_edges,
+        )
+    )
+    k = draw(st.integers(min_value=1, max_value=5))
+    return n, edges, keyword_sets, cost_choices, k
+
+
+def _bytes_signature(result):
+    return [
+        (sg.cost, sg.connecting_element, sg.paths, sg.elements)
+        for sg in result.subgraphs
+    ]
+
+
+def _diagnostics(result):
+    return (
+        result.cursors_created,
+        result.cursors_popped,
+        result.cursors_pruned,
+        result.candidates_offered,
+        result.terminated_by,
+        result.max_queue_size,
+    )
+
+
+def _assert_identical(augmented, costs, k, guided=False):
+    substrate = explore_top_k(augmented, costs, k=k, dmax=6, guided=guided, use_substrate=True)
+    reference = explore_top_k(augmented, costs, k=k, dmax=6, guided=guided, use_substrate=False)
+    assert _bytes_signature(substrate) == _bytes_signature(reference)
+    assert _diagnostics(substrate) == _diagnostics(reference)
+
+
+@given(exploration_cases(), st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_substrate_matches_reference_on_random_graphs(case, guided):
+    n, edges, keyword_indices, cost_choices, k = case
+    graph = SummaryGraph()
+    keys = [graph.add_class_vertex(URI(f"c:{i}"), agg_count=1).key for i in range(n)]
+    for j, (a, b) in enumerate(edges):
+        graph.add_edge(
+            URI(f"e:{j}"), SummaryEdgeKind.RELATION, keys[a % n], keys[b % n]
+        )
+    keyword_sets = [{keys[i] for i in indices} for indices in keyword_indices]
+    elements = [v.key for v in graph.vertices] + [e.key for e in graph.edges]
+    costs = {
+        el: (cost_choices[i] if i < len(cost_choices) else 1.0)
+        for i, el in enumerate(elements)
+    }
+    augmented = AugmentedSummaryGraph(graph, [set(ks) for ks in keyword_sets], {})
+    _assert_identical(augmented, costs, k, guided=guided)
+
+
+# ----------------------------------------------------------------------
+# Part 2: the full pipeline — overlay augmentation + index maintenance
+# ----------------------------------------------------------------------
+
+EX = "http://example.org/sub/"
+ENTITIES = [URI(EX + f"e{i}") for i in range(5)]
+CLASSES = [URI(EX + c) for c in ("Person", "Project", "Article")]
+RELATIONS = [URI(EX + r) for r in ("knows", "worksOn")]
+ATTRIBUTES = [URI(EX + a) for a in ("name", "year")]
+VALUES = [Literal(v) for v in ("alice", "bob", "2006")]
+
+#: Queries spanning class, relation, attribute, and value matches — the
+#: value/attribute ones force overlay elements (V-vertices, A-edges).
+QUERIES = ("person", "alice knows", "name 2006", "project bob", "year article")
+
+type_triples = st.builds(
+    lambda e, c: Triple(e, RDF.type, c),
+    st.sampled_from(ENTITIES),
+    st.sampled_from(CLASSES),
+)
+subclass_triples = st.builds(
+    lambda a, b: Triple(a, RDFS.subClassOf, b),
+    st.sampled_from(CLASSES),
+    st.sampled_from(CLASSES),
+)
+relation_triples = st.builds(
+    Triple,
+    st.sampled_from(ENTITIES),
+    st.sampled_from(RELATIONS),
+    st.sampled_from(ENTITIES),
+)
+attribute_triples = st.builds(
+    Triple,
+    st.sampled_from(ENTITIES),
+    st.sampled_from(ATTRIBUTES),
+    st.sampled_from(VALUES),
+)
+any_triple = st.one_of(
+    type_triples, subclass_triples, relation_triples, attribute_triples
+)
+
+batches = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.lists(any_triple, min_size=1, max_size=4),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _assert_engine_identity(engine, guided):
+    for query in QUERIES:
+        matches = [m for m in engine.keyword_index.lookup_all(query.split()) if m]
+        if not matches:
+            continue
+        augmented = augment(engine.summary, matches)
+        costs = engine.cost_model.element_costs(augmented)
+        _assert_identical(augmented, costs, k=5, guided=guided)
+
+
+@given(
+    initial=st.lists(any_triple, min_size=3, max_size=15),
+    batches=batches,
+    guided=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_substrate_matches_reference_through_maintenance(initial, batches, guided):
+    engine = KeywordSearchEngine(DataGraph(initial), cost_model="c3", k=5)
+    _assert_engine_identity(engine, guided)
+
+    for op, triples in batches:
+        if op == "add":
+            engine.add_triples(triples)
+        else:
+            engine.remove_triples(triples)
+        # The version bump must have invalidated the substrate: both paths
+        # agree on the *updated* graph, including overlay augmentation.
+        _assert_engine_identity(engine, guided)

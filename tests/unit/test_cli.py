@@ -118,3 +118,17 @@ def test_update_ntriples_repeatable(tmp_path, capsys, example_graph):
         )
         == 0
     )
+
+
+def test_profile_flag_prints_timing_breakdown(capsys):
+    assert main(["2006 cimiano aifb", "--profile"]) == 0
+    err = capsys.readouterr().err
+    assert "# timings:" in err
+    for stage in ("keyword_mapping", "augmentation", "exploration", "query_mapping", "total"):
+        assert f"{stage}=" in err
+
+
+def test_profile_flag_with_filters_reports_unsupported(capsys):
+    main(["cimiano before 2007", "--dataset", "dblp", "--scale", "200",
+          "--filters", "--profile"])
+    assert "--profile is not supported with --filters" in capsys.readouterr().err

@@ -147,3 +147,96 @@ class TestConfiguration:
         assert stats["keyword_index"]["terms"] > 0
         assert stats["graph_index"]["vertices"] > 0
         assert stats["data_graph"]["triples"] == 21
+
+
+def _memoized(first, second):
+    """True when ``second`` was served from the search-result cache.
+
+    Cache hits are container-fresh copies sharing the originally computed
+    internals — same exploration diagnostics object, same candidate
+    objects, and the original timings values.
+    """
+    return (
+        second is not first
+        and second.exploration is first.exploration
+        and second.timings == first.timings
+        and all(a is b for a, b in zip(second.candidates, first.candidates))
+    )
+
+
+class TestSearchResultCache:
+    def test_disabled_by_default(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5)
+        first = engine.search("aifb 2006")
+        assert not _memoized(first, engine.search("aifb 2006"))
+
+    def test_repeated_query_served_from_cache(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=8)
+        first = engine.search("aifb 2006")
+        assert _memoized(first, engine.search("aifb 2006"))
+        # Different effective parameters miss.
+        assert not _memoized(first, engine.search("aifb 2006", k=3))
+        assert not _memoized(first, engine.search("aifb 2006", dmax=4))
+
+    def test_explicit_matches_bypass_cache(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=8)
+        first = engine.search("aifb")
+        override = engine.keyword_index.lookup_all(["aifb"])
+        assert not _memoized(first, engine.search("aifb", matches=override))
+        # ... and never pollute it.
+        assert _memoized(first, engine.search("aifb"))
+
+    def test_caller_mutation_cannot_poison_the_cache(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=8)
+        first = engine.search("aifb 2006")
+        assert first.candidates
+        first.candidates.clear()
+        first.timings.clear()
+        again = engine.search("aifb 2006")
+        assert again.candidates
+        assert "total" in again.timings
+
+    def test_updates_invalidate_cache(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=8)
+        first = engine.search("aifb 2006")
+        triple = next(iter(engine.graph.triples))
+        engine.remove_triples([triple])
+        after_remove = engine.search("aifb 2006")
+        assert not _memoized(first, after_remove)
+        engine.add_triples([triple])
+        restored = engine.search("aifb 2006")
+        assert not _memoized(first, restored)
+        assert not _memoized(after_remove, restored)
+        # Re-adding restored the data: results are equal, objects fresh.
+        assert [c.cost for c in restored.candidates] == [
+            c.cost for c in first.candidates
+        ]
+
+    def test_lru_eviction(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=1)
+        first = engine.search("aifb")
+        engine.search("2006")  # evicts "aifb"
+        assert not _memoized(first, engine.search("aifb"))
+
+
+class TestFilterSearchParameters:
+    def test_dmax_and_max_cursors_threaded_to_search(self, example_graph, monkeypatch):
+        engine = KeywordSearchEngine(example_graph, k=5)
+        captured = {}
+        original = KeywordSearchEngine.search
+
+        def spy(self, *args, **kwargs):
+            captured.update(kwargs)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(KeywordSearchEngine, "search", spy)
+        engine.search_with_filters("cimiano before 2007", k=3, dmax=6, max_cursors=500)
+        assert captured["k"] == 3
+        assert captured["dmax"] == 6
+        assert captured["max_cursors"] == 500
+
+    def test_tight_dmax_constrains_filtered_search(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5)
+        wide = engine.search_with_filters("cimiano before 2007")
+        narrow = engine.search_with_filters("cimiano before 2007", dmax=0)
+        assert len(narrow) <= len(wide)

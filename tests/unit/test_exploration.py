@@ -211,6 +211,60 @@ class TestBestCombinations:
     def test_empty_list_yields_nothing(self):
         assert list(_best_combinations([[], self.cursors([1.0])])) == []
 
+    def test_cutoff_yields_every_combination_below_it(self):
+        """With a cut-off, the generator still enumerates every combination
+        cheaper than the bound, in ascending order — pruning only trims
+        frontier state the caller could never consume."""
+        lists = [self.cursors([1.0, 2.0, 5.0]), self.cursors([1.0, 3.0, 4.0], 1)]
+        unbounded = [(c, tuple(t)) for c, t in _best_combinations(lists)]
+        bound = 6.0
+        bounded = [(c, tuple(t)) for c, t in _best_combinations(lists, lambda: bound)]
+        expected = [entry for entry in unbounded if entry[0] < bound]
+        # The first combination is always yielded (pruning applies to
+        # successors); beyond that, exactly the below-bound prefix.
+        assert bounded[0] == unbounded[0]
+        assert [e for e in bounded if e[0] < bound] == expected
+
+    def test_cutoff_bounds_frontier_allocation(self):
+        """Long per-keyword lists must not allocate a quadratic frontier
+        when the cut-off is already tight."""
+        import heapq as heapq_module
+        from repro.core import exploration
+
+        lists = [self.cursors([float(i + 1) for i in range(60)]),
+                 self.cursors([float(i + 1) for i in range(60)], 1)]
+        pushes = 0
+        original = heapq_module.heappush
+
+        def counting_push(heap, item):
+            nonlocal pushes
+            pushes += 1
+            return original(heap, item)
+
+        exploration.heapq.heappush = counting_push
+        try:
+            consumed = 0
+            for cost, _ in _best_combinations(lists, lambda: 5.0):
+                if cost >= 5.0:
+                    break
+                consumed += 1
+            bounded_pushes = pushes
+
+            pushes = 0
+            for cost, _ in _best_combinations(lists):
+                if cost >= 5.0:
+                    break
+            unbounded_pushes = pushes
+        finally:
+            exploration.heapq.heappush = original
+
+        assert consumed > 0
+        # Without the bound the consumer's early break still leaves a
+        # frontier proportional to what was pushed; the bound keeps pushes
+        # to the few below-cut-off successors.
+        assert bounded_pushes < unbounded_pushes
+        assert bounded_pushes <= 2 * consumed + 2
+
 
 class TestDiagnostics:
     def test_counters_populated(self):

@@ -148,3 +148,36 @@ class TestMatchObjects:
         m = ClassMatch(EX.Publication, 0.5)
         with pytest.raises(AttributeError):
             m.score = 1.0
+
+
+class TestLookupCache:
+    def test_repeated_lookup_hits_cache(self, example_graph):
+        index = KeywordIndex(example_graph)
+        first = index.lookup("publication")
+        second = index.lookup("publication")
+        assert first is not second  # callers get fresh lists
+        assert [repr(m) for m in first] == [repr(m) for m in second]
+        assert (index.version, "publication") in index._lookup_cache
+
+    def test_version_bump_invalidates_entries(self, example_graph):
+        index = KeywordIndex(example_graph)
+        before = index.lookup("publication")
+        version = index.version
+        index.refresh_class(EX.Publication)
+        assert index.version > version
+        after = index.lookup("publication")
+        assert [repr(m) for m in after] == [repr(m) for m in before]
+        assert (version, "publication") in index._lookup_cache  # aged, not served
+        assert (index.version, "publication") in index._lookup_cache
+
+    def test_lru_bound_respected(self, example_graph):
+        index = KeywordIndex(example_graph, lookup_cache_size=2)
+        index.lookup("publication")
+        index.lookup("person")
+        index.lookup("article")
+        assert len(index._lookup_cache) == 2
+
+    def test_cache_disabled(self, example_graph):
+        index = KeywordIndex(example_graph, lookup_cache_size=0)
+        index.lookup("publication")
+        assert len(index._lookup_cache) == 0

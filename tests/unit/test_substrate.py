@@ -1,0 +1,188 @@
+"""Unit tests for the version-keyed CSR exploration substrate."""
+
+import pytest
+
+from repro.core.exploration import explore_top_k
+from repro.rdf.terms import URI, Literal
+from repro.summary.augmentation import AugmentedSummaryGraph, augment
+from repro.summary.elements import SummaryEdgeKind
+from repro.summary.overlay import OverlaySummaryGraph
+from repro.summary.substrate import ExplorationSubstrate, checked_cost
+from repro.summary.summary_graph import SummaryGraph
+
+
+def line_graph(n=4):
+    graph = SummaryGraph()
+    keys = [graph.add_class_vertex(URI(f"c:{i}"), agg_count=1).key for i in range(n)]
+    edges = [
+        graph.add_edge(
+            URI(f"e:{i}"), SummaryEdgeKind.RELATION, keys[i], keys[i + 1]
+        ).key
+        for i in range(n - 1)
+    ]
+    return graph, keys, edges
+
+
+class TestCaching:
+    def test_substrate_cached_per_version(self):
+        graph, keys, _ = line_graph()
+        first = graph.exploration_substrate()
+        assert graph.exploration_substrate() is first
+
+    def test_mutation_invalidates_substrate(self):
+        graph, keys, _ = line_graph()
+        first = graph.exploration_substrate()
+        graph.add_edge(URI("e:new"), SummaryEdgeKind.RELATION, keys[0], keys[2])
+        second = graph.exploration_substrate()
+        assert second is not first
+        assert second.n == first.n + 1
+
+    def test_copy_does_not_share_substrate(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        clone = graph.copy()
+        assert clone.exploration_substrate() is not substrate
+
+
+class TestStructure:
+    def test_keys_in_canonical_order(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        assert list(substrate.keys) == sorted(substrate.keys, key=repr)
+        assert substrate.reprs == sorted(substrate.reprs)
+
+    def test_csr_rows_match_graph_neighbors(self):
+        graph, _, _ = line_graph(5)
+        substrate = graph.exploration_substrate()
+        for key, element_id in substrate.ids.items():
+            expected = sorted(substrate.ids[nb] for nb in graph.neighbors(key))
+            assert list(substrate.row(element_id)) == expected
+
+    def test_stats_and_repr(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        stats = substrate.stats()
+        assert stats["elements"] == len(graph)
+        assert "ExplorationSubstrate" in repr(substrate)
+
+
+class TestCostSlots:
+    def test_cost_array_cached_by_table_identity(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        table = {key: 1.0 for key in substrate.keys}
+        first = substrate.cost_array(table)
+        assert substrate.cost_array(table) is first
+        assert substrate.cost_array(dict(table)) is not first
+
+    def test_missing_cost_raises_key_error(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        with pytest.raises(KeyError, match="no cost assigned"):
+            substrate.cost_array({})
+
+    def test_non_positive_cost_rejected(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        table = {key: 1.0 for key in substrate.keys}
+        table[substrate.keys[0]] = 0.0
+        with pytest.raises(ValueError, match="must be positive"):
+            substrate.fresh_cost_array(table)
+
+    def test_checked_cost_passthrough(self):
+        assert checked_cost("x", 0.5) == 0.5
+
+
+class TestBoundsCache:
+    def test_bounds_served_only_for_the_same_table_object(self):
+        """Guided bound entries verify the cost table by identity, so a
+        recycled ``id()`` of a dead table can never alias stale bounds."""
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        table_a = {key: 1.0 for key in substrate.keys}
+        table_b = {key: 2.0 for key in substrate.keys}
+        key = ((id(table_a), frozenset()), (), ((0, 1.0),))
+        substrate.store_bounds(key, table_a, [[1.0]])
+        assert substrate.get_bounds(key, table_a) == [[1.0]]
+        # Same cache key (as after id() reuse), different table object.
+        assert substrate.get_bounds(key, table_b) is None
+
+    def test_bounds_cache_is_lru_bounded(self):
+        graph, _, _ = line_graph()
+        substrate = graph.exploration_substrate()
+        table = {}
+        for i in range(substrate.MAX_BOUNDS + 5):
+            substrate.store_bounds((i,), table, [[float(i)]])
+        assert len(substrate._bounds_cache) == substrate.MAX_BOUNDS
+
+
+class TestExplorationIntegration:
+    def _costs(self, graph):
+        out = {v.key: 1.0 for v in graph.vertices}
+        out.update({e.key: 1.0 for e in graph.edges})
+        return out
+
+    def test_force_substrate_matches_reference(self):
+        graph, keys, edges = line_graph(4)
+        augmented = AugmentedSummaryGraph(graph, [{keys[0]}, {keys[3]}], {})
+        costs = self._costs(graph)
+        a = explore_top_k(augmented, costs, k=3, use_substrate=True)
+        b = explore_top_k(augmented, costs, k=3, use_substrate=False)
+        assert [sg.elements for sg in a.subgraphs] == [sg.elements for sg in b.subgraphs]
+        assert [sg.paths for sg in a.subgraphs] == [sg.paths for sg in b.subgraphs]
+
+    def test_masked_non_positive_base_cost_falls_back(self):
+        """A two-layer ChainMap whose base holds a non-positive entry that
+        a per-query override rescores positive must behave like the
+        reference interning: succeed, reading through the full mapping."""
+        from collections import ChainMap
+
+        graph, keys, _ = line_graph(3)
+        base = self._costs(graph)
+        base[keys[1]] = -5.0
+        costs = ChainMap({keys[1]: 2.0}, base)
+        augmented = AugmentedSummaryGraph(graph, [{keys[0]}, {keys[2]}], {})
+        a = explore_top_k(augmented, costs, k=2, use_substrate=True)
+        b = explore_top_k(augmented, costs, k=2, use_substrate=False)
+        assert [sg.cost for sg in a.subgraphs] == [sg.cost for sg in b.subgraphs]
+        assert a.subgraphs
+
+    def test_use_substrate_requires_summary_graph(self):
+        class Fake:
+            vertices = ()
+            edges = ()
+
+            def neighbors(self, key):  # pragma: no cover - never reached
+                return ()
+
+        augmented = AugmentedSummaryGraph(Fake(), [{"a"}], {})
+        with pytest.raises(ValueError, match="substrate exploration requires"):
+            explore_top_k(augmented, {"a": 1.0}, k=1, use_substrate=True)
+
+    def test_overlay_elements_get_appended_ids(self):
+        """A query whose matches add overlay elements explores identically
+        through the substrate, and the base substrate stays unmutated."""
+        from repro.keyword.keyword_index import ValueMatch
+
+        graph, keys, _ = line_graph(3)
+        substrate = graph.exploration_substrate()
+        n_before = substrate.n
+
+        match = ValueMatch(
+            Literal("v"), frozenset([(URI("a:attr"), URI("c:0"))]), 1.0
+        )
+        # Class term URI("c:0") exists: line_graph uses ("class", URI("c:0")).
+        augmented = augment(graph, [[match]])
+        assert isinstance(augmented.graph, OverlaySummaryGraph)
+        added = augmented.graph.added_element_keys()
+        assert added  # V-vertex + A-edge live in the overlay
+        costs = dict.fromkeys(
+            [v.key for v in augmented.graph.vertices]
+            + [e.key for e in augmented.graph.edges],
+            1.0,
+        )
+        a = explore_top_k(augmented, costs, k=2, use_substrate=True)
+        b = explore_top_k(augmented, costs, k=2, use_substrate=False)
+        assert [sg.elements for sg in a.subgraphs] == [sg.elements for sg in b.subgraphs]
+        assert graph.exploration_substrate() is substrate
+        assert substrate.n == n_before

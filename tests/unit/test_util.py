@@ -1,0 +1,26 @@
+"""Unit tests for shared utilities."""
+
+from repro.util import LruDict
+
+
+def test_hit_refreshes_recency():
+    cache = LruDict(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.hit("a") == 1
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.hit("b") is None
+    assert cache.hit("a") == 1
+    assert cache.hit("c") == 3
+
+
+def test_put_evicts_beyond_maxsize():
+    cache = LruDict(3)
+    for i in range(10):
+        cache.put(i, i + 1)
+    assert len(cache) == 3
+    assert list(cache) == [7, 8, 9]
+
+
+def test_miss_returns_none():
+    assert LruDict(1).hit("missing") is None
