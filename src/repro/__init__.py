@@ -27,6 +27,8 @@ Package map (mirrors the paper's architecture, Fig. 2):
 * :mod:`repro.baselines` — BANKS / bidirectional / BLINKS-style comparators
 * :mod:`repro.datasets` — DBLP/LUBM/TAP-style generators + workloads
 * :mod:`repro.eval` — MRR, index statistics, timing harness
+* :mod:`repro.maintenance` — incremental index maintenance (epochs)
+* :mod:`repro.service` — snapshot-isolated concurrent serving + HTTP
 """
 
 from repro.rdf import (

@@ -1,4 +1,14 @@
-"""Command-line interface: keyword search over bundled or custom datasets.
+"""Command-line interface: subcommands over the engine and the serving layer.
+
+::
+
+    repro search "cimiano 2006" --dataset dblp --execute   # one-shot search
+    repro serve --dataset dblp --port 8080 --cache 256     # HTTP service
+    repro bench --dataset dblp --clients 4 --requests 20   # closed-loop QPS
+
+The original positional form (``repro "cimiano 2006" ...``) is kept as an
+alias for ``repro search`` — any first argument that is not a subcommand
+name is treated as the keyword query.
 
 Examples::
 
@@ -7,6 +17,7 @@ Examples::
     python -m repro "cimiano before 2005" --dataset dblp --filters
     python -m repro "professor department0" --data my_data.nt --guided
     python -m repro "new paper" --data base.nt --update-ntriples delta.nt
+    python -m repro serve --dataset example --port 8080
 """
 
 from __future__ import annotations
@@ -18,6 +29,8 @@ from typing import Optional
 from repro.core.engine import KeywordSearchEngine
 from repro.rdf.graph import DataGraph
 from repro.rdf.ntriples import parse_ntriples
+
+SUBCOMMANDS = ("search", "serve", "bench")
 
 
 def _load_graph(args) -> DataGraph:
@@ -50,13 +63,7 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Keyword search on RDF data through top-k query computation "
-        "(Tran et al., ICDE 2009).",
-    )
-    parser.add_argument("keywords", help="the keyword query, e.g. 'cimiano 2006'")
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset",
         choices=("example", "dblp", "lubm", "tap"),
@@ -64,23 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="bundled dataset to search (default: the paper's running example)",
     )
     parser.add_argument("--data", help="path to an N-Triples file to search instead")
-    parser.add_argument(
-        "--update-ntriples",
-        metavar="FILE",
-        action="append",
-        default=[],
-        help="N-Triples file of triples to ADD through incremental index "
-        "maintenance before searching (repeatable)",
-    )
-    parser.add_argument(
-        "--remove-ntriples",
-        metavar="FILE",
-        action="append",
-        default=[],
-        help="N-Triples file of triples to REMOVE through incremental index "
-        "maintenance before searching (repeatable)",
-    )
     parser.add_argument("--scale", type=int, default=1000, help="dataset scale knob")
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-k",
         type=_positive_int,
@@ -97,6 +91,54 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--guided", action="store_true", help="distance-information pruning"
     )
+
+
+def _build_engine(args, search_cache_size: int = 0) -> KeywordSearchEngine:
+    graph = _load_graph(args)
+    print(f"# dataset: {graph}", file=sys.stderr)
+    return KeywordSearchEngine(
+        graph,
+        cost_model=args.cost_model,
+        k=args.k,
+        dmax=args.dmax,
+        guided=args.guided,
+        search_cache_size=search_cache_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# repro search (also the legacy positional form)
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro search`` argument parser (the legacy top-level shape)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Keyword search on RDF data through top-k query computation "
+        "(Tran et al., ICDE 2009).  Subcommands: search (this form; the bare "
+        "positional query is an alias), serve (HTTP service), bench "
+        "(closed-loop throughput).",
+        epilog="See also: `repro serve --help` and `repro bench --help`.",
+    )
+    parser.add_argument("keywords", help="the keyword query, e.g. 'cimiano 2006'")
+    _add_dataset_args(parser)
+    parser.add_argument(
+        "--update-ntriples",
+        metavar="FILE",
+        action="append",
+        default=[],
+        help="N-Triples file of triples to ADD through incremental index "
+        "maintenance before searching (repeatable)",
+    )
+    parser.add_argument(
+        "--remove-ntriples",
+        metavar="FILE",
+        action="append",
+        default=[],
+        help="N-Triples file of triples to REMOVE through incremental index "
+        "maintenance before searching (repeatable)",
+    )
+    _add_engine_args(parser)
     parser.add_argument(
         "--filters",
         action="store_true",
@@ -122,18 +164,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[list] = None) -> int:
+def search_command(argv) -> int:
     args = build_parser().parse_args(argv)
-    graph = _load_graph(args)
-    print(f"# dataset: {graph}", file=sys.stderr)
-
-    engine = KeywordSearchEngine(
-        graph,
-        cost_model=args.cost_model,
-        k=args.k,
-        dmax=args.dmax,
-        guided=args.guided,
-    )
+    engine = _build_engine(args)
+    graph = engine.graph
 
     # Apply deltas through the incremental index maintenance path — the
     # offline indexes are updated in place, not rebuilt.
@@ -191,6 +225,189 @@ def main(argv: Optional[list] = None) -> int:
         for answer in engine.execute(result.best(), limit=args.limit):
             print(" ", {str(v): graph.label_of(t) for v, t in answer.as_dict().items()})
     return 0
+
+
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve /search, /execute, /update, /stats as JSON over HTTP.",
+    )
+    _add_dataset_args(parser)
+    _add_engine_args(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="worker-pool size for batched search",
+    )
+    parser.add_argument(
+        "--max-pending", type=_positive_int, default=64,
+        help="admission bound on in-flight queries (excess gets HTTP 429)",
+    )
+    parser.add_argument(
+        "--cache", type=int, default=256, metavar="N",
+        help="search-result memo size (0 disables)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-query deadline, seconds, for batched search",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    return parser
+
+
+def serve_command(argv) -> int:
+    from repro.service import EngineService, ReproServer
+
+    args = build_serve_parser().parse_args(argv)
+    engine = _build_engine(args, search_cache_size=max(0, args.cache))
+    service = EngineService(
+        engine,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        default_timeout=args.timeout,
+    )
+    server = ReproServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(f"# serving on {server.url}", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    finally:
+        server.close()
+        service.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro bench
+# ----------------------------------------------------------------------
+
+_BENCH_QUERIES = {
+    "example": ["cimiano 2006", "aifb publication", "2006 article"],
+    "lubm": ["professor department0", "student course", "university publication"],
+}
+
+
+def _bench_queries(args, engine) -> list:
+    """A workload whose keywords actually match the chosen data.
+
+    Curated sets for the bundled datasets; for ``--data`` files (or any
+    gap), keywords are sampled from the engine's own keyword index so the
+    benchmark always exercises the full pipeline instead of silently
+    measuring no-match short-circuits.
+    """
+    if args.queries:
+        return list(args.queries)
+    if args.data is None:
+        if args.dataset == "dblp":
+            from repro.datasets.workloads import dblp_performance_queries
+
+            return [" ".join(q.keywords) for q in dblp_performance_queries()[:5]]
+        if args.dataset == "tap":
+            from repro.datasets.workloads import tap_effectiveness_workload
+
+            return [" ".join(q.keywords) for q in tap_effectiveness_workload()[:5]]
+        if args.dataset in _BENCH_QUERIES:
+            return _BENCH_QUERIES[args.dataset]
+    # Derive from the data: words of the first few indexed labels.
+    words = []
+    for term in engine.graph.triples:
+        if not hasattr(term.object, "lexical"):
+            continue
+        for word in str(term.object.lexical).split():
+            if word.isalpha() and len(word) > 2:
+                words.append(word.lower())
+        if len(words) >= 8:
+            break
+    if not words:
+        raise SystemExit("bench: no textual labels in the data; pass --query")
+    return [" ".join(words[i : i + 2]) for i in range(0, min(len(words), 8), 2)]
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Closed-loop throughput (QPS, p50/p99) against the "
+        "serving layer.",
+    )
+    _add_dataset_args(parser)
+    _add_engine_args(parser)
+    parser.add_argument(
+        "--clients", type=_positive_int, default=4,
+        help="concurrent closed-loop clients",
+    )
+    parser.add_argument(
+        "--requests", type=_positive_int, default=20,
+        help="requests per client",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=4, help="service worker pool"
+    )
+    parser.add_argument(
+        "--cache", type=int, default=0, metavar="N",
+        help="search-result memo size (0 = every request runs the pipeline)",
+    )
+    parser.add_argument(
+        "--query", dest="queries", action="append", default=[], metavar="KEYWORDS",
+        help="benchmark query (repeatable; default: a workload matching "
+        "the chosen dataset)",
+    )
+    return parser
+
+
+def bench_command(argv) -> int:
+    from repro.service import EngineService, closed_loop_benchmark
+
+    args = build_bench_parser().parse_args(argv)
+    engine = _build_engine(args, search_cache_size=max(0, args.cache))
+    queries = _bench_queries(args, engine)
+
+    service = EngineService(
+        engine, workers=args.workers, max_pending=args.clients * args.requests + 1
+    )
+    try:
+        for clients in sorted({1, args.clients}):
+            row = closed_loop_benchmark(
+                service, queries, clients=clients,
+                requests_per_client=args.requests,
+            )
+            print(
+                f"clients={row['clients']:<3d} completed={row['completed']:<5d} "
+                f"qps={row['qps']:8.1f}  p50={row['p50_ms']:7.2f}ms  "
+                f"p99={row['p99_ms']:7.2f}ms  errors={row['errors']}"
+            )
+    finally:
+        service.close()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+    else:
+        # Legacy alias: `repro "cimiano 2006" ...` == `repro search ...`.
+        command, rest = "search", argv
+    if command == "serve":
+        return serve_command(rest)
+    if command == "bench":
+        return bench_command(rest)
+    return search_command(rest)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,6 +17,16 @@ onto it through an :class:`~repro.summary.overlay.OverlaySummaryGraph`
 view.  :meth:`KeywordSearchEngine.execute` then runs a chosen query on the
 store, completing the paper's search paradigm: *compute queries, let the
 user pick, let the database answer*.
+
+The online pipeline is factored for concurrent serving: ``search`` is
+snapshot acquisition (:meth:`KeywordSearchEngine.snapshot`, an
+:class:`~repro.core.snapshot.EngineSnapshot` pinning the formal
+``(summary version, keyword-index version)`` key) followed by **pure
+pipeline stages** (:func:`_match_stage`, :func:`_augment_stage`,
+:func:`_explore_stage`, :func:`_map_stage`) that read everything through
+the snapshot they are handed.  :class:`~repro.service.EngineService` runs
+the same stages from a worker pool against one shared snapshot; results
+are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -52,6 +62,7 @@ from repro.query.sparql import to_sparql
 from repro.query.sql import to_sql
 from repro.rdf.graph import DataGraph
 from repro.rdf.triples import Triple
+from repro.core.snapshot import EngineSnapshot
 from repro.scoring.cost import CostModel, make_cost_model
 from repro.store.triple_store import TripleStore
 from repro.summary.augmentation import augment
@@ -179,6 +190,79 @@ def split_keywords(query: str) -> List[str]:
     return out
 
 
+# ----------------------------------------------------------------------
+# The pure pipeline stages (Section VI's five tasks).
+#
+# Each stage reads *only* through the EngineSnapshot it is handed — no
+# engine attributes — so a search that pinned version (s, i) computes on
+# version (s, i) from start to finish, no matter what the engine object
+# does meanwhile.  That property is what lets the serving layer fan one
+# snapshot over a worker pool and still return results byte-identical to
+# sequential execution.
+# ----------------------------------------------------------------------
+
+
+def _match_stage(
+    snapshot: EngineSnapshot, keywords: Sequence[str]
+) -> List[List[KeywordMatch]]:
+    """Task 1: keyword-to-element mapping through the pinned index."""
+    return snapshot.keyword_index.lookup_all(keywords)
+
+
+def _augment_stage(snapshot: EngineSnapshot, effective):
+    """Task 2: zero-copy augmentation + element costs on the pinned summary."""
+    augmented = augment(snapshot.summary, effective)
+    costs = snapshot.cost_model.element_costs(augmented)
+    return augmented, costs
+
+
+def _explore_stage(
+    snapshot: EngineSnapshot,
+    augmented,
+    costs,
+    k: int,
+    dmax: int,
+    max_cursors: Optional[int],
+) -> ExplorationResult:
+    """Tasks 3+4: exploration and top-k on the pinned CSR substrate."""
+    return explore_top_k(
+        augmented,
+        costs,
+        k=k,
+        dmax=dmax,
+        max_cursors=max_cursors,
+        guided=snapshot.guided,
+    )
+
+
+def _map_stage(
+    snapshot: EngineSnapshot, subgraphs, augmented_graph
+) -> List[QueryCandidate]:
+    """Task 5: map matching subgraphs to deduplicated, ranked queries."""
+    type_pred = snapshot.graph.preferred_type_predicate
+    subclass_pred = snapshot.graph.preferred_subclass_predicate
+    candidates: List[QueryCandidate] = []
+    seen_forms = {}
+    for subgraph in subgraphs:
+        try:
+            query = map_to_query(
+                subgraph,
+                augmented_graph,
+                type_predicate=type_pred,
+                subclass_predicate=subclass_pred,
+            )
+        except QueryMappingError:
+            continue
+        form = canonical_form(query)
+        if form in seen_forms:  # cheaper duplicate already ranked
+            continue
+        seen_forms[form] = True
+        candidates.append(
+            QueryCandidate(query, subgraph.cost, subgraph, rank=len(candidates) + 1)
+        )
+    return candidates
+
+
 class KeywordSearchEngine:
     """Keyword search through top-k query computation over RDF data.
 
@@ -288,8 +372,38 @@ class KeywordSearchEngine:
             self._search_cache.clear()
 
     # ------------------------------------------------------------------
-    # Search (Fig. 2, online part)
+    # Search (Fig. 2, online part): snapshot acquisition + pure stages
     # ------------------------------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        """Pin the current engine state as an immutable read view.
+
+        The snapshot records the formal ``(summary version, keyword-index
+        version)`` key and references every structure the pipeline stages
+        read — including the version-keyed CSR substrate and the cost
+        model whose base table is keyed on the pinned summary version.
+        Consistency across a racing update is the serving layer's job
+        (:class:`~repro.service.EngineService` excludes writers while any
+        search holds a read view); single-threaded use needs no
+        coordination because nothing mutates mid-search.
+        """
+        summary = self.summary
+        return EngineSnapshot(
+            graph=self.graph,
+            summary=summary,
+            keyword_index=self.keyword_index,
+            store=self.store,
+            evaluator=self.evaluator,
+            cost_model=self.cost_model,
+            substrate=summary.exploration_substrate(),
+            summary_version=summary.snapshot_key,
+            index_version=self.keyword_index.snapshot_key,
+            epoch=self.index_manager.epoch,
+            k=self.k,
+            dmax=self.dmax,
+            strict_keywords=self.strict_keywords,
+            guided=self.guided,
+        )
 
     def search(
         self,
@@ -304,20 +418,49 @@ class KeywordSearchEngine:
         ``matches`` overrides the keyword-to-element mapping (one match
         list per keyword) — used by extensions such as the filter operator
         support, which inject attribute-level interpretations.
+
+        An empty keyword query (no keywords, or only whitespace) raises
+        ``ValueError``: there is nothing to explore, and silently
+        returning zero candidates reads like "no interpretation exists"
+        when the real problem is upstream input handling.
+        """
+        return self.search_on_snapshot(
+            self.snapshot(), query, k=k, dmax=dmax, max_cursors=max_cursors,
+            matches=matches,
+        )
+
+    def search_on_snapshot(
+        self,
+        snapshot: EngineSnapshot,
+        query: Union[str, Sequence[str]],
+        k: Optional[int] = None,
+        dmax: Optional[int] = None,
+        max_cursors: Optional[int] = None,
+        matches: Optional[List[List[KeywordMatch]]] = None,
+    ) -> SearchResult:
+        """Run the five pipeline stages against a pinned snapshot.
+
+        This is :meth:`search` minus the snapshot acquisition — the entry
+        point the serving layer uses to run a whole batch against one
+        consistent ``(summary version, index version)`` pair.
         """
         keywords = split_keywords(query) if isinstance(query, str) else list(query)
+        if not keywords or all(not kw.strip() for kw in keywords):
+            raise ValueError(
+                "empty keyword query: provide at least one non-whitespace keyword"
+            )
         if k is None:
-            k = self.k
+            k = snapshot.k
         if dmax is None:
-            dmax = self.dmax
+            dmax = snapshot.dmax
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if dmax < 0:
             raise ValueError(f"dmax must be >= 0, got {dmax}")
 
         # Result memo: only uncustomized lookups (matches is None) are
-        # cacheable, and the version counters keep keys from ever matching
-        # across data updates.
+        # cacheable, and the pinned version counters keep keys from ever
+        # matching across data updates.
         cache = self._search_cache
         cache_key = None
         if cache is not None and matches is None:
@@ -326,8 +469,8 @@ class KeywordSearchEngine:
                 k,
                 dmax,
                 max_cursors,
-                self.summary.version,
-                self.keyword_index.version,
+                snapshot.summary_version,
+                snapshot.index_version,
             )
             cached = cache.hit(cache_key)
             if cached is not None:
@@ -339,13 +482,13 @@ class KeywordSearchEngine:
         # Task 1: keyword-to-element mapping.
         step = time.perf_counter()
         if matches is None:
-            matches = self.keyword_index.lookup_all(keywords)
+            matches = _match_stage(snapshot, keywords)
         elif len(matches) != len(keywords):
             raise ValueError("matches must align one list per keyword")
         timings["keyword_mapping"] = time.perf_counter() - step
 
         ignored = [kw for kw, m in zip(keywords, matches) if not m]
-        if ignored and self.strict_keywords:
+        if ignored and snapshot.strict_keywords:
             raise KeyError(f"keywords with no matching element: {ignored}")
         effective = [m for m in matches if m]
 
@@ -356,25 +499,17 @@ class KeywordSearchEngine:
 
         # Task 2: augmentation of the graph index.
         step = time.perf_counter()
-        augmented = augment(self.summary, effective)
-        costs = self.cost_model.element_costs(augmented)
+        augmented, costs = _augment_stage(snapshot, effective)
         timings["augmentation"] = time.perf_counter() - step
 
         # Tasks 3+4: exploration and top-k.
         step = time.perf_counter()
-        exploration = explore_top_k(
-            augmented,
-            costs,
-            k=k,
-            dmax=dmax,
-            max_cursors=max_cursors,
-            guided=self.guided,
-        )
+        exploration = _explore_stage(snapshot, augmented, costs, k, dmax, max_cursors)
         timings["exploration"] = time.perf_counter() - step
 
         # Task 5: query mapping.
         step = time.perf_counter()
-        candidates = self._map_candidates(exploration.subgraphs, augmented.graph)
+        candidates = _map_stage(snapshot, exploration.subgraphs, augmented.graph)
         timings["query_mapping"] = time.perf_counter() - step
 
         timings["total"] = time.perf_counter() - total_started
@@ -389,30 +524,6 @@ class KeywordSearchEngine:
             self._search_cache.put(cache_key, result)
             return result.copy()
         return result
-
-    def _map_candidates(self, subgraphs, augmented_graph) -> List[QueryCandidate]:
-        type_pred = self.graph.preferred_type_predicate
-        subclass_pred = self.graph.preferred_subclass_predicate
-        candidates: List[QueryCandidate] = []
-        seen_forms = {}
-        for subgraph in subgraphs:
-            try:
-                query = map_to_query(
-                    subgraph,
-                    augmented_graph,
-                    type_predicate=type_pred,
-                    subclass_predicate=subclass_pred,
-                )
-            except QueryMappingError:
-                continue
-            form = canonical_form(query)
-            if form in seen_forms:  # cheaper duplicate already ranked
-                continue
-            seen_forms[form] = True
-            candidates.append(
-                QueryCandidate(query, subgraph.cost, subgraph, rank=len(candidates) + 1)
-            )
-        return candidates
 
     # ------------------------------------------------------------------
     # Filter extension (the paper's Section IX future work)
@@ -630,6 +741,14 @@ class KeywordSearchEngine:
             "graph_index": self.summary.stats(),
             "data_graph": {k: float(v) for k, v in self.graph.stats().items()},
         }
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss statistics of the query-time memo layers (the numbers
+        the service's ``/stats`` endpoint reports as cache hit rates)."""
+        stats = {"keyword_lookups": self.keyword_index.cache_stats()}
+        if self._search_cache is not None:
+            stats["search_results"] = self._search_cache.cache_stats()
+        return stats
 
     def __repr__(self):
         return (

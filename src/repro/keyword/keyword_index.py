@@ -335,6 +335,20 @@ class KeywordIndex:
     # Lookup
     # ------------------------------------------------------------------
 
+    @property
+    def snapshot_key(self) -> int:
+        """The formal snapshot key of this index: its mutation version.
+
+        The lookup memo keys on it, and
+        :class:`~repro.core.snapshot.EngineSnapshot` pins it (paired
+        with the summary graph's key) as the identity of one engine state.
+        """
+        return self.version
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the lookup memo (service ``/stats``)."""
+        return self._lookup_cache.cache_stats()
+
     def lookup(self, keyword: str) -> List[KeywordMatch]:
         """All elements matching a keyword, best score first.
 

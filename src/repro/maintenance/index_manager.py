@@ -87,13 +87,20 @@ class IndexManager:
         self.summary = summary
         self.store = store
         self.evaluator = evaluator
-        self._listeners: List[Callable[[], None]] = []
+        #: Monotone batch counter: the number of committed update epochs.
+        #: Together with the summary/keyword-index version counters this
+        #: is the serving layer's notion of "which state am I reading".
+        self.epoch: int = 0
+        self._listeners: List[Tuple[int, int, Callable[[], None]]] = []
+        self._epoch_hooks: List[
+            Tuple[Optional[Callable[[int], None]], Optional[Callable[[int], None]]]
+        ] = []
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
-    def add_listener(self, callback: Callable[[], None]) -> None:
+    def add_listener(self, callback: Callable[[], None], priority: int = 0) -> None:
         """Register a callable invoked after every applied update batch.
 
         This is the invalidation hook for query-time caches that live
@@ -101,16 +108,68 @@ class IndexManager:
         engine's memoized search results).  Caches keyed on the summary
         graph's or keyword index's version counters expire without it;
         the callback lets them release memory eagerly as well.
+
+        Ordering guarantees: listeners run only after *every* structure
+        (data graph, keyword index, summary graph, triple store) reflects
+        the batch and the version counters have advanced; they run in
+        ascending ``priority``, ties in registration order, so cache
+        invalidation (priority 0, registered by the engine constructor)
+        always precedes later-registered observers such as service stats.
+        Listeners run inside the update epoch — before the commit hooks —
+        so a coordinator that excludes readers for the epoch's span
+        guarantees no search ever observes a mutated structure whose
+        dependent caches have not been invalidated yet.
         """
-        self._listeners.append(callback)
+        self._listeners.append((priority, len(self._listeners), callback))
+        self._listeners.sort(key=lambda entry: (entry[0], entry[1]))
+
+    def add_epoch_hooks(
+        self,
+        begin: Optional[Callable[[int], None]] = None,
+        commit: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Register begin/commit hooks bracketing every update batch.
+
+        ``begin(epoch)`` runs before the batch touches *any* structure
+        (even before the dedup read of the data graph); ``commit(epoch)``
+        runs in a ``finally`` — after listeners on success, and on failure
+        too — so a hook pair acquiring and releasing a writer lock can
+        never deadlock the manager.  The serving layer uses exactly that
+        to serialize writes and drain readers around each epoch, which
+        covers updates issued directly through the engine as well.
+        """
+        self._epoch_hooks.append((begin, commit))
 
     def add_triples(self, triples: Iterable[Triple]) -> int:
         """Insert triples, propagating deltas; returns #actually added."""
-        return self._apply(adds=triples, removes=())
+        return self.apply_batch(adds=triples)
 
     def remove_triples(self, triples: Iterable[Triple]) -> int:
         """Remove triples, propagating deltas; returns #actually removed."""
-        return self._apply(adds=(), removes=triples)
+        return self.apply_batch(removes=triples)
+
+    def apply_batch(
+        self, adds: Iterable[Triple] = (), removes: Iterable[Triple] = ()
+    ) -> int:
+        """Apply one atomic update epoch (removes then adds).
+
+        Returns the number of triples actually toggled.  Epoch hooks
+        bracket the whole application; a batch that toggles nothing still
+        runs the hooks but does not advance :attr:`epoch`.
+        """
+        epoch = self.epoch
+        for begin, _ in self._epoch_hooks:
+            if begin is not None:
+                begin(epoch)
+        try:
+            changed = self._apply(adds=adds, removes=removes)
+            if changed:
+                self.epoch += 1
+            return changed
+        finally:
+            for _, commit in self._epoch_hooks:
+                if commit is not None:
+                    commit(self.epoch)
 
     # ------------------------------------------------------------------
     # Delta application
@@ -228,7 +287,7 @@ class IndexManager:
             ) from exc
         if self.evaluator is not None:
             self.evaluator.invalidate_statistics()
-        for callback in self._listeners:
+        for _, _, callback in self._listeners:
             callback()
 
         return len(adds) + len(removes)

@@ -1,0 +1,29 @@
+"""The serving layer: snapshot-isolated concurrent search over one engine.
+
+``EngineSnapshot`` pins one (summary version, keyword-index version) pair
+for the duration of a search; ``EngineService`` coordinates lock-free
+reads against pinned snapshots with serialized, exclusive update epochs,
+fans batches over a bounded worker pool, and keeps service-level stats;
+``ReproServer`` is the stdlib HTTP front end behind ``repro serve``.
+"""
+
+from repro.core.snapshot import EngineSnapshot, SnapshotKey
+from repro.service.http import ReproServer, candidate_to_json, result_to_json
+from repro.service.service import (
+    AdmissionError,
+    BatchOutcome,
+    EngineService,
+    closed_loop_benchmark,
+)
+
+__all__ = [
+    "AdmissionError",
+    "BatchOutcome",
+    "EngineService",
+    "EngineSnapshot",
+    "ReproServer",
+    "SnapshotKey",
+    "candidate_to_json",
+    "closed_loop_benchmark",
+    "result_to_json",
+]

@@ -1,0 +1,273 @@
+"""Stdlib-only HTTP front end: the ``repro serve`` endpoints.
+
+Four JSON endpoints over one :class:`~repro.service.EngineService`:
+
+==========  ======  =====================================================
+path        method  body / query parameters
+==========  ======  =====================================================
+/search     GET     ``q`` (keywords), optional ``k``, ``dmax``
+/search     POST    ``{"q": "..."}`` or ``{"queries": [...]}`` (batch →
+                    ``search_many`` under one snapshot), optional ``k``,
+                    ``dmax``, ``timeout``
+/execute    POST    ``{"q": "...", "rank": 1, "limit": 10}`` — search,
+                    run the rank-th interpretation, return its answers
+/update     POST    ``{"add": "<N-Triples>", "remove": "<N-Triples>"}`` —
+                    one atomic epoch through incremental maintenance
+/stats      GET     service counters, latency percentiles, cache rates
+==========  ======  =====================================================
+
+Error mapping: bad input → 400, unknown path → 404, admission bound → 429
+(backpressure), anything else → 500.  The handler threads come from
+``ThreadingHTTPServer``; concurrency control is entirely the service's —
+the HTTP layer holds no state of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.rdf.ntriples import parse_ntriples
+from repro.service.service import AdmissionError, EngineService
+
+__all__ = ["ReproServer", "result_to_json", "candidate_to_json"]
+
+
+# ----------------------------------------------------------------------
+# JSON shapes
+# ----------------------------------------------------------------------
+
+def candidate_to_json(candidate) -> Dict[str, object]:
+    return {
+        "rank": candidate.rank,
+        "cost": candidate.cost,
+        "query": str(candidate.query),
+        "sparql": candidate.to_sparql(),
+        "text": candidate.verbalize(),
+    }
+
+
+def result_to_json(result) -> Dict[str, object]:
+    return {
+        "keywords": result.keywords,
+        "ignored_keywords": result.ignored_keywords,
+        "candidates": [candidate_to_json(c) for c in result.candidates],
+        "timings_ms": {
+            stage: 1000 * seconds for stage, seconds in result.timings.items()
+        },
+    }
+
+
+def _outcome_to_json(outcome) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "index": outcome.index,
+        "status": outcome.status,
+        "latency_ms": 1000 * outcome.latency_seconds,
+    }
+    if outcome.ok:
+        payload["result"] = result_to_json(outcome.result)
+    elif outcome.error is not None:
+        payload["error"] = str(outcome.error)
+    return payload
+
+
+def _answers_to_json(answers) -> List[Dict[str, str]]:
+    return [
+        {str(var): term.n3() for var, term in zip(a.variables, a.values)}
+        for a in answers
+    ]
+
+
+# ----------------------------------------------------------------------
+# Handler
+# ----------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+
+    @property
+    def service(self) -> EngineService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler, *args) -> None:
+        try:
+            handler(*args)
+        except AdmissionError as exc:
+            self._send_json(429, {"error": str(exc)})
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:
+        url = urlparse(self.path)
+        if url.path == "/search":
+            self._dispatch(self._get_search, parse_qs(url.query))
+        elif url.path == "/stats":
+            self._dispatch(lambda: self._send_json(200, self.service.stats()))
+        else:
+            self._send_json(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:
+        url = urlparse(self.path)
+        routes = {
+            "/search": self._post_search,
+            "/execute": self._post_execute,
+            "/update": self._post_update,
+        }
+        handler = routes.get(url.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {url.path!r}"})
+            return
+        self._dispatch(handler)
+
+    def _get_search(self, params: Dict[str, List[str]]) -> None:
+        if "q" not in params:
+            raise ValueError("missing query parameter 'q'")
+        k = int(params["k"][0]) if "k" in params else None
+        dmax = int(params["dmax"][0]) if "dmax" in params else None
+        result = self.service.search(params["q"][0], k=k, dmax=dmax)
+        self._send_json(200, result_to_json(result))
+
+    def _post_search(self) -> None:
+        body = self._read_json()
+        # Coerce numeric knobs up front: a malformed value is the client's
+        # mistake (400), not a server bug (500).
+        k = int(body["k"]) if body.get("k") is not None else None
+        dmax = int(body["dmax"]) if body.get("dmax") is not None else None
+        timeout = float(body["timeout"]) if body.get("timeout") is not None else None
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list):
+                raise ValueError("'queries' must be a list")
+            outcomes = self.service.search_many(
+                queries, k=k, dmax=dmax, timeout=timeout
+            )
+            self._send_json(
+                200, {"outcomes": [_outcome_to_json(o) for o in outcomes]}
+            )
+            return
+        if "q" not in body:
+            raise ValueError("provide 'q' (one query) or 'queries' (a batch)")
+        result = self.service.search(body["q"], k=k, dmax=dmax)
+        self._send_json(200, result_to_json(result))
+
+    def _post_execute(self) -> None:
+        body = self._read_json()
+        if "q" not in body:
+            raise ValueError("missing 'q'")
+        candidate, answers = self.service.execute_ranked(
+            body["q"],
+            rank=int(body.get("rank", 1)),
+            limit=int(body.get("limit", 10)),
+        )
+        if candidate is None:
+            self._send_json(404, {"error": "no interpretation at that rank"})
+            return
+        self._send_json(
+            200,
+            {
+                "candidate": candidate_to_json(candidate),
+                "answers": _answers_to_json(answers),
+            },
+        )
+
+    def _post_update(self) -> None:
+        body = self._read_json()
+        adds = list(parse_ntriples(body.get("add", "")))
+        removes = list(parse_ntriples(body.get("remove", "")))
+        if not adds and not removes:
+            raise ValueError("provide 'add' and/or 'remove' as N-Triples text")
+        self._send_json(200, self.service.update(adds=adds, removes=removes))
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+
+class ReproServer:
+    """A threading HTTP server bound to one :class:`EngineService`.
+
+    ``port=0`` binds an ephemeral port (read it back via :attr:`port`) —
+    the shape the integration tests and embedded uses want.  ``start()``
+    serves from a daemon thread; ``serve_forever()`` serves inline (the
+    CLI path).
+    """
+
+    def __init__(
+        self,
+        service: EngineService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

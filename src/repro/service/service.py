@@ -1,0 +1,493 @@
+"""Reader/writer coordination and batched search execution for one engine.
+
+The paper's paradigm is interactive — many users fire keyword queries and
+refine against the top-k interpretations — so the serving shape is: *reads
+vastly outnumber writes, both must coexist, and every read must be
+consistent*.  The offline structures are mutated in place by the
+:class:`~repro.maintenance.IndexManager`, so consistency is enforced by
+**epoch coordination** rather than copy-on-write:
+
+* **Reads** pin an :class:`~repro.core.snapshot.EngineSnapshot` under a
+  shared read hold.  Acquiring the hold is one short critical section
+  (bump a counter); the search itself runs lock-free against the pinned
+  structures, concurrently with any number of other reads.
+* **Writes** are serialized and exclusive.  The service registers epoch
+  begin/commit hooks on the engine's ``IndexManager``, so *every* update
+  batch — including one issued directly through
+  ``engine.add_triples``/``remove_triples`` by code unaware of the
+  service — drains active readers, applies under exclusion, and then
+  readmits readers.  Writer preference keeps a steady read stream from
+  starving updates.
+
+:meth:`EngineService.search_many` fans a batch of queries over a bounded
+worker pool **under one shared snapshot**, so its results are
+byte-identical to sequential ``engine.search`` calls on that snapshot.
+Admission control bounds the number of in-flight queries
+(:class:`AdmissionError` = backpressure, HTTP 429), and per-query
+deadlines expire queued work without running it (a Python search cannot be
+preempted mid-flight; the deadline is checked at dispatch).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "AdmissionError",
+    "BatchOutcome",
+    "EngineService",
+    "closed_loop_benchmark",
+]
+
+
+class AdmissionError(RuntimeError):
+    """The service is at its in-flight query bound; retry later."""
+
+
+class _ReadWriteLock:
+    """Many readers / one writer, writer-preferring.
+
+    ``acquire_read`` blocks while a writer is active *or waiting* — so a
+    continuous stream of reads cannot starve updates — and is otherwise
+    one counter bump.  ``acquire_write`` waits for active readers to
+    drain.  Not reentrant in either direction.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class BatchOutcome:
+    """One query's fate inside a :meth:`EngineService.search_many` batch.
+
+    ``status`` is ``"ok"`` (``result`` is the :class:`SearchResult`),
+    ``"timeout"`` (the per-query deadline expired before the query was
+    dispatched), or ``"error"`` (``error`` carries the exception).
+    Outcomes are returned in input order.
+    """
+
+    __slots__ = ("index", "query", "status", "result", "error", "latency_seconds")
+
+    def __init__(self, index, query, status, result=None, error=None, latency_seconds=0.0):
+        self.index = index
+        self.query = query
+        self.status = status
+        self.result = result
+        self.error = error
+        self.latency_seconds = latency_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def __repr__(self):
+        return (
+            f"BatchOutcome(index={self.index}, status={self.status!r}, "
+            f"latency_ms={1000 * self.latency_seconds:.2f})"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sequence (0 on empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = int(q * (len(sorted_values) - 1) + 0.5)
+    return sorted_values[rank]
+
+
+class EngineService:
+    """Snapshot-isolated concurrent serving over one :class:`KeywordSearchEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  The service registers epoch hooks on its
+        ``IndexManager``; build **one** service per engine (a second
+        registration would deadlock writes against itself).
+    workers:
+        Bounded worker-pool size for :meth:`search_many`.
+    max_pending:
+        Admission bound on concurrently in-flight queries across the whole
+        service (single searches and batch members alike).  Work beyond it
+        is rejected with :class:`AdmissionError` instead of queuing without
+        bound.
+    default_timeout:
+        Default per-query deadline (seconds) for :meth:`search_many`;
+        ``None`` means no deadline.
+    latency_window:
+        How many recent per-query latencies feed the p50/p99 stats.
+    """
+
+    def __init__(
+        self,
+        engine,
+        workers: int = 4,
+        max_pending: int = 64,
+        default_timeout: Optional[float] = None,
+        latency_window: int = 2048,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.engine = engine
+        self.workers = workers
+        self.max_pending = max_pending
+        self.default_timeout = default_timeout
+        self._rw = _ReadWriteLock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-search"
+        )
+        self._closed = False
+
+        self._stats_lock = threading.Lock()
+        self._epoch_at_begin = -1
+        self._inflight = 0
+        self._completed = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._rejected = 0
+        self._updates = 0
+        self._latencies: deque = deque(maxlen=latency_window)  # (end time, seconds)
+        self._started_at = time.monotonic()
+
+        # Every update batch — whichever path issues it — excludes readers
+        # for exactly the span of its mutations.
+        engine.index_manager.add_epoch_hooks(
+            begin=self._epoch_begin, commit=self._epoch_commit
+        )
+
+    # ------------------------------------------------------------------
+    # Write path (serialized, exclusive)
+    # ------------------------------------------------------------------
+
+    def _epoch_begin(self, epoch: int) -> None:
+        self._rw.acquire_write()
+        # Safe unlocked: writes are serialized, so exactly one epoch is
+        # between begin and commit at any time.
+        self._epoch_at_begin = epoch
+
+    def _epoch_commit(self, epoch: int) -> None:
+        # Commit hooks run even for aborted/no-op batches (the lock must
+        # be released); only a batch that advanced the epoch is an update.
+        if epoch != self._epoch_at_begin:
+            with self._stats_lock:
+                self._updates += 1
+        self._rw.release_write()
+
+    def update(self, adds: Sequence = (), removes: Sequence = ()) -> Dict[str, int]:
+        """Apply one atomic update batch (adds + removes, one epoch).
+
+        Blocks until active readers drain, applies under exclusion, and
+        returns the applied counts plus the new epoch/versions.
+        """
+        changed = self.engine.index_manager.apply_batch(adds=adds, removes=removes)
+        return {
+            "changed": changed,
+            "epoch": self.engine.index_manager.epoch,
+            "summary_version": self.engine.summary.snapshot_key,
+            "index_version": self.engine.keyword_index.snapshot_key,
+        }
+
+    # ------------------------------------------------------------------
+    # Read path (shared, lock-free against the pinned snapshot)
+    # ------------------------------------------------------------------
+
+    def _admit(self, count: int) -> None:
+        with self._stats_lock:
+            if self._inflight + count > self.max_pending:
+                self._rejected += count
+                raise AdmissionError(
+                    f"{self._inflight} queries in flight + {count} admitted would "
+                    f"exceed max_pending={self.max_pending}"
+                )
+            self._inflight += count
+
+    def _release(self, count: int) -> None:
+        with self._stats_lock:
+            self._inflight -= count
+
+    def _record(self, latency: float, status: str) -> None:
+        with self._stats_lock:
+            if status == "ok":
+                self._completed += 1
+                self._latencies.append((time.monotonic(), latency))
+            elif status == "timeout":
+                self._timeouts += 1
+            else:
+                self._errors += 1
+
+    def search(self, query, k=None, dmax=None, max_cursors=None):
+        """One search under a fresh read hold; the concurrent-safe analogue
+        of ``engine.search``.  Raises :class:`AdmissionError` at the
+        in-flight bound."""
+        self._admit(1)
+        try:
+            started = time.monotonic()
+            self._rw.acquire_read()
+            try:
+                snapshot = self.engine.snapshot()
+                result = self.engine.search_on_snapshot(
+                    snapshot, query, k=k, dmax=dmax, max_cursors=max_cursors
+                )
+            finally:
+                self._rw.release_read()
+            self._record(time.monotonic() - started, "ok")
+            return result
+        except AdmissionError:
+            raise
+        except Exception:
+            self._record(0.0, "error")
+            raise
+        finally:
+            self._release(1)
+
+    def search_many(
+        self,
+        queries: Sequence,
+        k=None,
+        dmax=None,
+        max_cursors=None,
+        timeout: Optional[float] = None,
+    ) -> List[BatchOutcome]:
+        """Run a batch of keyword queries over the worker pool, all against
+        **one** pinned snapshot.
+
+        The whole batch is admitted (or rejected) atomically; each query
+        gets the deadline ``now + timeout`` (``default_timeout`` when
+        ``None``) checked at dispatch.  Results are byte-identical to
+        sequential ``engine.search`` calls on the same snapshot — the pool
+        only changes wall-clock, never output.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        queries = list(queries)
+        if not queries:
+            return []
+        if timeout is None:
+            timeout = self.default_timeout
+        self._admit(len(queries))
+        try:
+            self._rw.acquire_read()
+            try:
+                snapshot = self.engine.snapshot()
+                deadline = None if timeout is None else time.monotonic() + timeout
+                futures = [
+                    self._pool.submit(
+                        self._run_one, snapshot, i, q, k, dmax, max_cursors, deadline
+                    )
+                    for i, q in enumerate(queries)
+                ]
+                outcomes = [f.result() for f in futures]
+            finally:
+                self._rw.release_read()
+        finally:
+            self._release(len(queries))
+        for outcome in outcomes:
+            self._record(outcome.latency_seconds, outcome.status)
+        return outcomes
+
+    def _run_one(self, snapshot, index, query, k, dmax, max_cursors, deadline):
+        started = time.monotonic()
+        if deadline is not None and started >= deadline:
+            return BatchOutcome(index, query, "timeout")
+        try:
+            result = self.engine.search_on_snapshot(
+                snapshot, query, k=k, dmax=dmax, max_cursors=max_cursors
+            )
+        except Exception as exc:  # per-query isolation: one bad query
+            return BatchOutcome(  # never poisons its batch siblings
+                index, query, "error", error=exc,
+                latency_seconds=time.monotonic() - started,
+            )
+        return BatchOutcome(
+            index, query, "ok", result=result,
+            latency_seconds=time.monotonic() - started,
+        )
+
+    def execute_ranked(self, query, rank: int = 1, limit: Optional[int] = 10):
+        """Search, then run the rank-th candidate on the store — both under
+        one read hold, so the answers come from the same epoch as the
+        interpretation.  Returns ``(candidate, answers)``; candidate is
+        ``None`` when the search has fewer than ``rank`` interpretations.
+        """
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        self._admit(1)
+        try:
+            started = time.monotonic()
+            self._rw.acquire_read()
+            try:
+                snapshot = self.engine.snapshot()
+                result = self.engine.search_on_snapshot(snapshot, query)
+                if len(result.candidates) < rank:
+                    return None, []
+                candidate = result.candidates[rank - 1]
+                answers = snapshot.evaluator.evaluate(candidate.query, limit=limit)
+            finally:
+                self._rw.release_read()
+            self._record(time.monotonic() - started, "ok")
+            return candidate, answers
+        except Exception:
+            self._record(0.0, "error")
+            raise
+        finally:
+            self._release(1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Service-level counters: QPS, latency percentiles, admission and
+        epoch state, and the engine's memo-layer hit rates."""
+        now = time.monotonic()
+        with self._stats_lock:
+            records = list(self._latencies)
+            completed = self._completed
+            counters = {
+                "completed": completed,
+                "errors": self._errors,
+                "timeouts": self._timeouts,
+                "rejected": self._rejected,
+                "updates": self._updates,
+                "inflight": self._inflight,
+            }
+            uptime = now - self._started_at
+        latencies = sorted(seconds for _, seconds in records)
+        recent = [t for t, _ in records if t > now - 60.0]
+        window = min(uptime, 60.0)
+        engine = self.engine
+        return {
+            "service": {
+                "workers": self.workers,
+                "max_pending": self.max_pending,
+                "uptime_seconds": uptime,
+            },
+            "queries": dict(
+                counters,
+                qps=(completed / uptime) if uptime > 0 else 0.0,
+                recent_qps=(len(recent) / window) if window > 0 else 0.0,
+                p50_ms=1000 * _percentile(latencies, 0.50),
+                p99_ms=1000 * _percentile(latencies, 0.99),
+            ),
+            "caches": engine.cache_stats(),
+            "snapshot": {
+                "epoch": engine.index_manager.epoch,
+                "summary_version": engine.summary.snapshot_key,
+                "index_version": engine.keyword_index.snapshot_key,
+            },
+            "data": {"triples": len(engine.graph)},
+        }
+
+    def close(self) -> None:
+        """Shut the worker pool down.  The epoch hooks stay registered —
+        direct engine updates remain serialized — but no further batches
+        are accepted."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return (
+            f"EngineService(workers={self.workers}, "
+            f"max_pending={self.max_pending}, engine={self.engine!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Closed-loop load generation (repro bench + benchmarks/test_fig_serving)
+# ----------------------------------------------------------------------
+
+def closed_loop_benchmark(
+    service: EngineService,
+    queries: Sequence[Union[str, Sequence[str]]],
+    clients: int = 1,
+    requests_per_client: int = 20,
+) -> Dict[str, float]:
+    """Closed-loop throughput: each client fires its next query the moment
+    the previous one returns, round-robin over ``queries``.
+
+    Returns QPS and latency percentiles measured at the clients (not the
+    service's internal counters), so coordination overhead is included.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(slot: int) -> None:
+        barrier.wait()
+        mine = latencies[slot]
+        for i in range(requests_per_client):
+            query = queries[(slot + i * clients) % len(queries)]
+            started = time.monotonic()
+            try:
+                service.search(query)
+            except Exception:
+                errors[slot] += 1
+                continue
+            mine.append(time.monotonic() - started)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.monotonic()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - started
+
+    merged = sorted(x for chunk in latencies for x in chunk)
+    return {
+        "clients": clients,
+        "completed": len(merged),
+        "errors": sum(errors),
+        "seconds": elapsed,
+        "qps": (len(merged) / elapsed) if elapsed > 0 else 0.0,
+        "p50_ms": 1000 * _percentile(merged, 0.50),
+        "p99_ms": 1000 * _percentile(merged, 0.99),
+    }

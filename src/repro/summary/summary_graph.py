@@ -307,6 +307,20 @@ class SummaryGraph:
         exploration is direction-agnostic, Section VI-A)."""
         return tuple(self._incident.get(vertex_key, ()))
 
+    @property
+    def snapshot_key(self) -> int:
+        """The formal snapshot key of this graph: its mutation version.
+
+        Every cache derived from the summary graph (canonical order,
+        exploration substrate, cost base tables, memoized search results)
+        keys validity on this value, and
+        :class:`~repro.core.snapshot.EngineSnapshot` pins it for the
+        duration of a search.  It is :attr:`version` by another name — the
+        property exists so "what identifies a summary state" is an API
+        contract, not a convention spread across call sites.
+        """
+        return self.version
+
     def _canonical_pairs(self) -> Tuple:
         """Cached ``(repr, key)`` pairs sorted by repr; overlay views merge
         their few added elements into this without re-sorting the base."""

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 
 class LruDict(OrderedDict):
-    """A bounded mapping with least-recently-used eviction.
+    """A bounded, thread-safe mapping with least-recently-used eviction.
 
     The query-time memo layers (engine search results, keyword lookups,
     guided bound tables) all share this shape: :meth:`hit` returns a value
@@ -15,36 +16,59 @@ class LruDict(OrderedDict):
     entries beyond ``maxsize``.  ``None`` is not a valid value (it marks a
     miss).
 
-    Concurrent queries against one engine share these caches, so both
-    operations tolerate a key disappearing between their individual
-    (GIL-atomic) dict steps — a lost recency refresh or a lost entry is
-    harmless; a raised ``KeyError`` out of a cache would not be.
+    The serving layer (:mod:`repro.service`) runs many searches against
+    one engine from a worker pool, so these caches are hammered from
+    several threads at once.  :meth:`hit`, :meth:`put`, and :meth:`clear`
+    therefore hold a private lock for the duration of their (short,
+    non-reentrant) critical sections: the size bound holds at every
+    quiescent point, and no internal ``KeyError``/``RuntimeError`` can
+    escape from interleaved eviction, overwrite, and clear.
+
+    Hit/miss counters are maintained for service-level cache statistics
+    (:meth:`cache_stats`); they count :meth:`hit` calls only, so code that
+    bypasses the memo protocol does not skew the rates.
     """
 
     def __init__(self, maxsize: int):
+        self._lock = threading.Lock()
         super().__init__()
         self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
 
     def hit(self, key) -> Optional[object]:
         """The cached value, refreshed as most-recent; None on a miss."""
-        value = self.get(key)
-        if value is not None:
-            try:
-                self.move_to_end(key)
-            except KeyError:  # evicted by a concurrent put
-                pass
-        return value
+        with self._lock:
+            value = self.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
         """Insert a value as most-recent and evict least-recently-used
         entries (overwriting an existing key refreshes its recency)."""
-        self[key] = value
-        try:
+        with self._lock:
+            self[key] = value
             self.move_to_end(key)
-        except KeyError:  # removed by a concurrent eviction
-            pass
-        while len(self) > self.maxsize:
-            try:
+            while len(self) > self.maxsize:
                 self.popitem(last=False)
-            except KeyError:  # drained by a concurrent eviction
-                break
+
+    def clear(self) -> None:  # type: ignore[override]
+        with self._lock:
+            super().clear()
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Size, bound, and hit/miss counts — the service ``/stats`` shape."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            lookups = hits + misses
+            return {
+                "size": len(self),
+                "maxsize": self.maxsize,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,136 @@
+"""End-to-end test of the `repro serve` HTTP front end.
+
+Spins the stdlib server on an ephemeral port over the running example and
+exercises /search (GET + batched POST), /execute, /update, /stats as a
+real HTTP client would.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.rdf.graph import DataGraph
+from repro.rdf.ntriples import serialize_ntriples
+from repro.service import EngineService, ReproServer
+
+
+@pytest.fixture()
+def server(example_graph):
+    engine = KeywordSearchEngine(
+        DataGraph(example_graph.triples), k=5, search_cache_size=16
+    )
+    service = EngineService(engine, workers=2)
+    with ReproServer(service, port=0).start() as srv:
+        yield srv
+    service.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def test_search_endpoint(server):
+    status, body = _get(f"{server.url}/search?q=cimiano+2006&k=3")
+    assert status == 200
+    assert body["keywords"] == ["cimiano", "2006"]
+    assert body["candidates"], "the running example must yield interpretations"
+    top = body["candidates"][0]
+    assert top["rank"] == 1
+    assert "SELECT" in top["sparql"]
+    assert "total" in body["timings_ms"]
+
+
+def test_batch_search_endpoint(server):
+    status, body = _post(
+        f"{server.url}/search", {"queries": ["cimiano 2006", "aifb"], "k": 3}
+    )
+    assert status == 200
+    outcomes = body["outcomes"]
+    assert [o["status"] for o in outcomes] == ["ok", "ok"]
+    assert outcomes[0]["result"]["keywords"] == ["cimiano", "2006"]
+
+
+def test_execute_endpoint(server):
+    status, body = _post(
+        f"{server.url}/execute", {"q": "2006 cimiano aifb", "rank": 1, "limit": 5}
+    )
+    assert status == 200
+    assert body["candidate"]["rank"] == 1
+    assert isinstance(body["answers"], list)
+    assert body["answers"], "the top interpretation has answers in the example"
+
+
+def test_update_then_search_sees_new_data(server):
+    miss_status, miss = _get(f"{server.url}/search?q=zzzservenew")
+    assert miss["ignored_keywords"] == ["zzzservenew"]
+
+    ntriples = (
+        '<http://example.org/servepub> '
+        '<http://www.w3.org/2000/01/rdf-schema#label> "zzzservenew paper" .'
+    )
+    status, body = _post(f"{server.url}/update", {"add": ntriples})
+    assert status == 200
+    assert body["changed"] == 1
+    assert body["epoch"] == 1
+
+    status, hit = _get(f"{server.url}/search?q=zzzservenew")
+    assert status == 200
+    assert hit["ignored_keywords"] == []
+
+
+def test_update_remove(server, example_graph):
+    victim = next(t for t in example_graph.triples if "2006" in t.n3())
+    status, body = _post(
+        f"{server.url}/update", {"remove": serialize_ntriples([victim])}
+    )
+    assert status == 200
+    assert body["changed"] == 1
+
+
+def test_stats_endpoint(server):
+    _get(f"{server.url}/search?q=cimiano")
+    _get(f"{server.url}/search?q=cimiano")
+    status, stats = _get(f"{server.url}/stats")
+    assert status == 200
+    assert stats["queries"]["completed"] >= 2
+    assert stats["service"]["workers"] == 2
+    assert stats["caches"]["search_results"]["hits"] >= 1
+    assert "summary_version" in stats["snapshot"]
+
+
+def test_bad_requests(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{server.url}/search")  # missing q
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{server.url}/search?q=%20")  # whitespace-only query
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{server.url}/nope")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{server.url}/update", {})
+    assert excinfo.value.code == 400
+    # Malformed numeric knobs in a POST body are the client's mistake
+    # (400), same as on the GET path — never a 500.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{server.url}/search", {"q": "cimiano", "k": "abc"})
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(f"{server.url}/search", {"queries": ["cimiano"], "timeout": "soon"})
+    assert excinfo.value.code == 400

@@ -132,3 +132,42 @@ def test_profile_flag_with_filters_reports_unsupported(capsys):
     main(["cimiano before 2007", "--dataset", "dblp", "--scale", "200",
           "--filters", "--profile"])
     assert "--profile is not supported with --filters" in capsys.readouterr().err
+
+
+class TestSubcommands:
+    """`repro search|serve|bench`, with the bare positional form kept as
+    an alias for `search`."""
+
+    def test_search_subcommand_matches_legacy_alias(self, capsys):
+        assert main(["search", "2006 cimiano aifb"]) == 0
+        via_subcommand = capsys.readouterr().out
+        assert main(["2006 cimiano aifb"]) == 0
+        assert capsys.readouterr().out == via_subcommand
+
+    def test_search_subcommand_flags(self, capsys):
+        assert main(["search", "aifb 2006", "--sparql"]) == 0
+        assert "SELECT" in capsys.readouterr().out
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.max_pending == 64
+        assert args.cache == 256
+
+    def test_bench_subcommand_runs(self, capsys):
+        assert main(["bench", "--dataset", "example", "--clients", "2",
+                     "--requests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "clients=1" in out
+        assert "clients=2" in out
+        assert "qps=" in out
+
+    def test_bench_parser_rejects_bad_clients(self, capsys):
+        from repro.cli import build_bench_parser
+
+        with pytest.raises(SystemExit):
+            build_bench_parser().parse_args(["--clients", "0"])
+        assert "must be >= 1" in capsys.readouterr().err

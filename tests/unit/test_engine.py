@@ -240,3 +240,56 @@ class TestFilterSearchParameters:
         wide = engine.search_with_filters("cimiano before 2007")
         narrow = engine.search_with_filters("cimiano before 2007", dmax=0)
         assert len(narrow) <= len(wide)
+
+
+class TestEmptyQueryRejected:
+    """An empty keyword query is an input error, not "zero candidates"."""
+
+    def test_empty_string(self, engine):
+        with pytest.raises(ValueError, match="empty keyword query"):
+            engine.search("")
+
+    def test_whitespace_only_string(self, engine):
+        with pytest.raises(ValueError, match="empty keyword query"):
+            engine.search("   \t ")
+
+    def test_empty_list(self, engine):
+        with pytest.raises(ValueError, match="empty keyword query"):
+            engine.search([])
+
+    def test_all_whitespace_keywords(self, engine):
+        with pytest.raises(ValueError, match="empty keyword query"):
+            engine.search(["  ", "\t"])
+
+    def test_nonempty_query_still_works(self, engine):
+        assert engine.search("cimiano").keywords == ["cimiano"]
+
+
+class TestSnapshotPipeline:
+    """search == snapshot acquisition + pure stages on that snapshot."""
+
+    def test_search_on_snapshot_matches_search(self, engine):
+        snapshot = engine.snapshot()
+        direct = engine.search("2006 cimiano aifb", k=5)
+        via_snapshot = engine.search_on_snapshot(snapshot, "2006 cimiano aifb", k=5)
+        assert [str(c.query) for c in direct] == [str(c.query) for c in via_snapshot]
+        assert [c.cost for c in direct] == [c.cost for c in via_snapshot]
+
+    def test_snapshot_carries_engine_defaults(self, engine):
+        snapshot = engine.snapshot()
+        assert snapshot.k == engine.k
+        assert snapshot.dmax == engine.dmax
+        assert snapshot.guided == engine.guided
+        assert snapshot.key == (
+            engine.summary.snapshot_key,
+            engine.keyword_index.snapshot_key,
+        )
+
+    def test_cache_stats_shape(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=4)
+        engine.search("cimiano")
+        engine.search("cimiano")
+        stats = engine.cache_stats()
+        assert stats["search_results"]["hits"] == 1
+        assert stats["search_results"]["misses"] == 1
+        assert "keyword_lookups" in stats

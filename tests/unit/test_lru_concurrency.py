@@ -1,0 +1,82 @@
+"""Thread-safety stress test for the shared LRU memo (`repro.util.LruDict`).
+
+The serving layer hammers one LruDict from a worker pool (search-result
+memo, keyword-lookup memo) while maintenance clears it, so the contract
+is: no internal exception ever escapes `hit`/`put`/`clear`, and the size
+bound holds whenever the dict is quiescent.
+"""
+
+import random
+import threading
+
+from repro.util import LruDict
+
+THREADS = 8
+OPS_PER_THREAD = 4000
+MAXSIZE = 8
+KEYSPACE = 32
+
+
+def _hammer(cache, seed, failures, barrier):
+    rng = random.Random(seed)
+    barrier.wait()
+    try:
+        for i in range(OPS_PER_THREAD):
+            key = rng.randrange(KEYSPACE)
+            op = rng.random()
+            if op < 0.45:
+                cache.hit(key)
+            elif op < 0.97:
+                cache.put(key, key + 1)
+            else:
+                cache.clear()
+    except BaseException as exc:  # noqa: BLE001 - the assertion target
+        failures.append(exc)
+
+
+def test_concurrent_hit_put_clear_never_raises_and_size_bounded():
+    cache = LruDict(MAXSIZE)
+    failures = []
+    barrier = threading.Barrier(THREADS)
+    threads = [
+        threading.Thread(
+            target=_hammer, args=(cache, seed, failures, barrier), daemon=True
+        )
+        for seed in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+        assert not t.is_alive(), "stress thread wedged (deadlock?)"
+
+    assert failures == []
+    assert len(cache) <= MAXSIZE
+    # The cache still works after the storm.
+    cache.put("after", "storm")
+    assert cache.hit("after") == "storm"
+    assert len(cache) <= MAXSIZE
+
+
+def test_counters_and_stats_shape():
+    cache = LruDict(2)
+    assert cache.hit("missing") is None
+    cache.put("a", 1)
+    assert cache.hit("a") == 1
+    stats = cache.cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["maxsize"] == 2
+    assert stats["size"] == 1
+
+
+def test_eviction_order_unchanged():
+    cache = LruDict(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.hit("a")  # refresh: "b" is now the eviction victim
+    cache.put("c", 3)
+    assert cache.hit("b") is None
+    assert cache.hit("a") == 1
+    assert cache.hit("c") == 3

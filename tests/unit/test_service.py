@@ -1,0 +1,261 @@
+"""Unit tests for the serving layer (`repro.service`).
+
+The acceptance bar: `EngineService.search_many` returns results
+byte-identical to sequential `engine.search` calls on the same snapshot;
+admission control and per-query deadlines behave as documented; epoch
+hooks and listener ordering on the IndexManager hold.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.service import AdmissionError, EngineService
+
+
+def _render(result):
+    """A byte-comparable rendering of a SearchResult."""
+    return (
+        tuple(result.keywords),
+        tuple(result.ignored_keywords),
+        tuple((c.rank, c.cost, str(c.query), c.to_sparql()) for c in result.candidates),
+    )
+
+
+@pytest.fixture()
+def engine(example_graph):
+    # Fresh graph per test: the update tests mutate it, and the
+    # session-scoped fixture is shared with the whole suite.
+    from repro.rdf.graph import DataGraph
+
+    return KeywordSearchEngine(DataGraph(example_graph.triples), k=5)
+
+
+@pytest.fixture()
+def service(engine):
+    svc = EngineService(engine, workers=4)
+    yield svc
+    svc.close()
+
+
+QUERIES = ["cimiano 2006", "aifb", "2006 article", "cimiano 2006", "publication"]
+
+
+class TestSearchMany:
+    def test_byte_identical_to_sequential(self, engine, service):
+        snapshot = engine.snapshot()
+        expected = [
+            _render(engine.search_on_snapshot(snapshot, q)) for q in QUERIES
+        ]
+        outcomes = service.search_many(QUERIES)
+        assert [o.status for o in outcomes] == ["ok"] * len(QUERIES)
+        assert [o.index for o in outcomes] == list(range(len(QUERIES)))
+        assert [_render(o.result) for o in outcomes] == expected
+
+    def test_single_search_matches_engine(self, engine, service):
+        assert _render(service.search("cimiano 2006")) == _render(
+            engine.search("cimiano 2006")
+        )
+
+    def test_empty_batch(self, service):
+        assert service.search_many([]) == []
+
+    def test_per_query_error_isolated(self, service):
+        outcomes = service.search_many(["cimiano", "   "])
+        assert outcomes[0].status == "ok"
+        assert outcomes[1].status == "error"
+        assert isinstance(outcomes[1].error, ValueError)
+
+    def test_expired_deadline_skips_dispatch(self, service):
+        outcomes = service.search_many(QUERIES, timeout=0.0)
+        assert {o.status for o in outcomes} == {"timeout"}
+        assert all(o.result is None for o in outcomes)
+
+
+class TestAdmissionControl:
+    def test_batch_beyond_bound_rejected(self, engine):
+        svc = EngineService(engine, workers=2, max_pending=3)
+        try:
+            with pytest.raises(AdmissionError):
+                svc.search_many(QUERIES)  # 5 > 3
+            # The failed admission released its slots: smaller batches pass.
+            assert all(o.ok for o in svc.search_many(QUERIES[:3]))
+        finally:
+            svc.close()
+
+    def test_rejections_counted(self, engine):
+        svc = EngineService(engine, workers=2, max_pending=1)
+        try:
+            with pytest.raises(AdmissionError):
+                svc.search_many(QUERIES[:2])
+            assert svc.stats()["queries"]["rejected"] == 2
+        finally:
+            svc.close()
+
+
+class TestUpdates:
+    def test_update_visible_to_later_searches(self, engine, service):
+        before = service.search("zzznewthing")
+        assert not before.candidates
+        pub = URI("http://example.org/pubNew")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        report = service.update(
+            adds=[Triple(pub, label, Literal("zzznewthing"))]
+        )
+        assert report["changed"] == 1
+        assert report["epoch"] == engine.index_manager.epoch
+        after = service.search("zzznewthing")
+        assert after.keywords == ["zzznewthing"]
+        assert not after.ignored_keywords
+
+    def test_direct_engine_update_also_serialized(self, engine, service):
+        """add_triples bypassing the service still runs inside an epoch:
+        the hook-held write lock must be released afterwards (a stuck lock
+        would hang this test's subsequent search)."""
+        pub = URI("http://example.org/pubDirect")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        engine.add_triples([Triple(pub, label, Literal("directupdate"))])
+        assert service.search("directupdate").keywords == ["directupdate"]
+        assert service.stats()["queries"]["updates"] == 1
+
+    def test_concurrent_searches_during_update(self, engine, service):
+        """A writer racing a stream of readers: everything completes and
+        every result is internally consistent (no exception, no hang)."""
+        pub = URI("http://example.org/pubRace")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    service.search("cimiano 2006")
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(5):
+                service.update(adds=[Triple(pub, label, Literal(f"race {i}"))])
+        finally:
+            stop.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "reader wedged against the writer"
+        assert failures == []
+        assert service.stats()["queries"]["updates"] == 5
+
+
+class TestStats:
+    def test_counters_and_percentiles(self, service):
+        for q in QUERIES:
+            service.search(q)
+        stats = service.stats()
+        assert stats["queries"]["completed"] == len(QUERIES)
+        assert stats["queries"]["qps"] > 0
+        assert stats["queries"]["p50_ms"] >= 0
+        assert stats["queries"]["p99_ms"] >= stats["queries"]["p50_ms"]
+        assert stats["queries"]["inflight"] == 0
+        assert "keyword_lookups" in stats["caches"]
+        assert stats["snapshot"]["epoch"] == 0
+        assert stats["data"]["triples"] > 0
+
+    def test_search_cache_rates_reported(self, example_graph):
+        engine = KeywordSearchEngine(example_graph, k=5, search_cache_size=8)
+        svc = EngineService(engine, workers=2)
+        try:
+            svc.search("cimiano 2006")
+            svc.search("cimiano 2006")
+            cache = svc.stats()["caches"]["search_results"]
+            assert cache["hits"] == 1
+            assert cache["misses"] == 1
+        finally:
+            svc.close()
+
+
+class TestSnapshot:
+    def test_snapshot_pins_versions(self, engine):
+        snap = engine.snapshot()
+        assert snap.key == (
+            engine.summary.snapshot_key,
+            engine.keyword_index.snapshot_key,
+        )
+        assert snap.is_current()
+        pub = URI("http://example.org/pubSnap")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        engine.add_triples([Triple(pub, label, Literal("snapshotted"))])
+        assert not snap.is_current()
+        assert engine.snapshot().is_current()
+
+    def test_substrate_pinned_eagerly(self, engine):
+        snap = engine.snapshot()
+        assert snap.substrate is engine.summary.exploration_substrate()
+
+
+class TestEpochHooks:
+    def test_begin_commit_bracket_the_batch(self, engine):
+        events = []
+        engine.index_manager.add_epoch_hooks(
+            begin=lambda epoch: events.append(("begin", epoch)),
+            commit=lambda epoch: events.append(("commit", epoch)),
+        )
+        pub = URI("http://example.org/pubHook")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        engine.add_triples([Triple(pub, label, Literal("hooked"))])
+        assert events == [("begin", 0), ("commit", 1)]
+        # A no-op batch still brackets but does not advance the epoch.
+        engine.add_triples([])
+        assert events == [("begin", 0), ("commit", 1), ("begin", 1), ("commit", 1)]
+
+    def test_commit_runs_on_failure(self, example_graph):
+        from repro.rdf.graph import DataGraph, GraphIntegrityError
+
+        # A strict graph rejects Definition 1 violations mid-batch; the
+        # commit hook must still run (a lock-holding hook pair would
+        # otherwise deadlock every later update).
+        engine = KeywordSearchEngine(DataGraph(example_graph.triples, strict=True))
+        events = []
+        engine.index_manager.add_epoch_hooks(
+            begin=lambda epoch: events.append("begin"),
+            commit=lambda epoch: events.append("commit"),
+        )
+        type_pred = engine.graph.preferred_type_predicate
+        with pytest.raises(GraphIntegrityError):
+            engine.add_triples(
+                [Triple(URI("http://example.org/e"), type_pred, Literal("v"))]
+            )
+        assert events == ["begin", "commit"]
+        assert engine.index_manager.epoch == 0
+
+    def test_aborted_batch_not_counted_as_update(self, example_graph):
+        from repro.rdf.graph import DataGraph, GraphIntegrityError
+
+        engine = KeywordSearchEngine(DataGraph(example_graph.triples, strict=True))
+        svc = EngineService(engine, workers=1)
+        try:
+            type_pred = engine.graph.preferred_type_predicate
+            with pytest.raises(GraphIntegrityError):
+                svc.update(
+                    adds=[Triple(URI("http://example.org/e"), type_pred, Literal("v"))]
+                )
+            assert svc.stats()["queries"]["updates"] == 0
+            # The write lock was released: a later search completes.
+            assert svc.search("cimiano").keywords == ["cimiano"]
+        finally:
+            svc.close()
+
+    def test_listener_priority_order(self, engine):
+        order = []
+        engine.index_manager.add_listener(lambda: order.append("late"), priority=10)
+        engine.index_manager.add_listener(lambda: order.append("early"), priority=-1)
+        engine.index_manager.add_listener(lambda: order.append("mid"))
+        pub = URI("http://example.org/pubOrder")
+        label = URI("http://www.w3.org/2000/01/rdf-schema#label")
+        engine.add_triples([Triple(pub, label, Literal("ordered"))])
+        assert order == ["early", "mid", "late"]
