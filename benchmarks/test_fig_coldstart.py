@@ -1,0 +1,288 @@
+"""Cold start: build the offline layer from triples vs load a bundle.
+
+The paper's offline/online split only pays off operationally when the
+offline product survives the process: before ``repro.storage``, every
+``repro serve`` restart re-analyzed every label, re-projected every
+R-edge, and re-interned the summary graph.  This benchmark prices the
+whole lifecycle on the DBLP generator:
+
+* **parse+build** — the pre-bundle cold start: N-Triples file → DataGraph
+  → engine (keyword index, summary graph, triple store) → first search;
+* **build** — the same minus parsing (triples already in memory);
+* **load (serving)** — ``KeywordSearchEngine.load``: decode the keyword
+  index + summary, mmap the CSR substrate, first search.  The data
+  graph's heavy state and the triple store stay as mmap-backed thunks
+  (``repro.storage.lazy``) because serving a search never reads them;
+* **load (full)** — ``load(lazy=False)``: everything materialized, the
+  bound for update/execute-heavy restarts.
+
+Peak-RSS rows run each path in a fresh subprocess and read
+``ru_maxrss``; the lazy load's resident set excludes whatever stays on
+disk until first touch.  A second table isolates the substrate: CSR
+construction from the summary graph vs ``mmap`` + zero-copy
+``memoryview`` adoption on the ring-with-chords synthetic summary of
+``test_fig_substrate``.
+
+Results land in ``benchmarks/results/fig_coldstart.txt``.  The ≥ 5x
+acceptance assertion is skipped in ``--quick`` mode and on CI runners.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import DblpConfig, generate_dblp
+from repro.rdf.graph import DataGraph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.storage.codec import decode_raw_ids, encode_raw_ids
+from repro.summary.substrate import ExplorationSubstrate
+
+_IN_CI = os.environ.get("CI") == "true"
+_QUERY = "conference 2005"
+
+_ROWS = {}
+
+
+def _best(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _child_rss_kb(code: str) -> int:
+    """Peak RSS (KB) of one cold start in a fresh interpreter.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (containers are seen
+    clamping ``ru_maxrss``); falls back to ``ru_maxrss`` where /proc is
+    unavailable.
+    """
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    wrapped = (
+        code
+        + "\nimport resource, sys"
+        + "\npeak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss"
+        + "\ntry:"
+        + "\n    for line in open('/proc/self/status'):"
+        + "\n        if line.startswith('VmHWM:'): peak = int(line.split()[1])"
+        + "\nexcept OSError: pass"
+        + "\nsys.stdout.write(str(peak))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", wrapped],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return int(out.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def coldstart_artifacts(tmp_path_factory, pytestconfig):
+    quick = bool(pytestconfig.getoption("--quick", False))
+    publications = 300 if quick else 2000
+    tmp = tmp_path_factory.mktemp("coldstart")
+    graph = generate_dblp(DblpConfig(publications=publications))
+    nt_path = tmp / "dblp.nt"
+    nt_path.write_text(serialize_ntriples(graph.triples))
+    bundle_path = tmp / "dblp.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(graph.triples))
+    engine.save(bundle_path)
+    return {
+        "quick": quick,
+        "triples": list(graph.triples),
+        "nt_path": str(nt_path),
+        "bundle_path": str(bundle_path),
+        "triple_count": len(graph),
+        "bundle_bytes": os.path.getsize(bundle_path),
+    }
+
+
+def test_build_vs_load_wall_time(coldstart_artifacts):
+    art = coldstart_artifacts
+    repeats = 2 if art["quick"] else 4
+    triples = art["triples"]
+
+    def parse_build():
+        with open(art["nt_path"]) as fh:
+            engine = KeywordSearchEngine(DataGraph(parse_ntriples(fh)))
+        engine.search(_QUERY)
+        return engine
+
+    def build():
+        engine = KeywordSearchEngine(DataGraph(triples))
+        engine.search(_QUERY)
+        return engine
+
+    def load_serving():
+        engine = KeywordSearchEngine.load(art["bundle_path"])
+        engine.search(_QUERY)
+        # Release the single-writer WAL lock so the next repetition (and
+        # load_full below) can attach to the same artifact.
+        engine.delta_log.close()
+        return engine
+
+    def load_full():
+        engine = KeywordSearchEngine.load(art["bundle_path"], lazy=False)
+        engine.delta_log.close()
+        return engine
+
+    parse_build_s, reference = _best(parse_build, repeats)
+    build_s, _ = _best(build, repeats)
+    load_s, loaded = _best(load_serving, repeats)
+    load_full_s, _ = _best(load_full, repeats)
+
+    # Identical output is part of the contract, not just speed.
+    ref = [(str(c.query), c.cost) for c in reference.search(_QUERY)]
+    got = [(str(c.query), c.cost) for c in loaded.search(_QUERY)]
+    assert got == ref
+
+    _ROWS["wall"] = {
+        "triples": art["triple_count"],
+        "bundle_mb": art["bundle_bytes"] / 1e6,
+        "parse_build_ms": parse_build_s * 1e3,
+        "build_ms": build_s * 1e3,
+        "load_ms": load_s * 1e3,
+        "load_full_ms": load_full_s * 1e3,
+    }
+    if not art["quick"] and not _IN_CI:
+        assert build_s >= 5.0 * load_s, (
+            f"cold start via load() ({load_s * 1e3:.1f}ms incl. first search) "
+            f"should be >= 5x faster than build-from-triples "
+            f"({build_s * 1e3:.1f}ms incl. first search)"
+        )
+
+
+def test_build_vs_load_rss(coldstart_artifacts):
+    art = coldstart_artifacts
+    build_code = (
+        "from repro.core.engine import KeywordSearchEngine\n"
+        "from repro.rdf.graph import DataGraph\n"
+        "from repro.rdf.ntriples import parse_ntriples\n"
+        f"engine = KeywordSearchEngine(DataGraph(parse_ntriples(open({art['nt_path']!r}).read())))\n"
+        f"engine.search({_QUERY!r})\n"
+    )
+    load_code = (
+        "from repro.core.engine import KeywordSearchEngine\n"
+        f"engine = KeywordSearchEngine.load({art['bundle_path']!r})\n"
+        f"engine.search({_QUERY!r})\n"
+    )
+    _ROWS["rss"] = {
+        "build_rss_mb": _child_rss_kb(build_code) / 1024.0,
+        "load_rss_mb": _child_rss_kb(load_code) / 1024.0,
+    }
+
+
+def test_substrate_mmap_vs_rebuild(coldstart_artifacts):
+    """The mmap story in isolation: adopting the CSR sections off disk vs
+    re-walking the summary graph's adjacency (the ring-with-chords
+    synthetic summary of the substrate benchmark, where interning work
+    dominates)."""
+    from repro.rdf.terms import URI
+    from repro.summary.elements import SummaryEdgeKind
+    from repro.summary.summary_graph import SummaryGraph
+
+    art = coldstart_artifacts
+    n = 500 if art["quick"] else 20000
+    repeats = 2 if art["quick"] else 5
+    summary = SummaryGraph()
+    keys = [
+        summary.add_class_vertex(URI(f"c:{i:06d}"), agg_count=1).key for i in range(n)
+    ]
+    for i in range(n):
+        summary.add_edge(
+            URI(f"e:r{i:06d}"), SummaryEdgeKind.RELATION, keys[i], keys[(i + 1) % n]
+        )
+    for i in range(0, n, 3):
+        summary.add_edge(
+            URI(f"e:x{i:06d}"), SummaryEdgeKind.RELATION, keys[i], keys[(i * 7 + 3) % n]
+        )
+    substrate = summary.exploration_substrate()
+    pairs = summary._canonical_pairs()
+
+    with tempfile.NamedTemporaryFile(delete=False) as fh:
+        offsets_blob = encode_raw_ids(substrate.offsets)
+        fh.write(offsets_blob)
+        fh.write(encode_raw_ids(substrate.targets))
+        section_path = fh.name
+    try:
+        import mmap as mmap_module
+
+        def rebuild():
+            return ExplorationSubstrate(pairs, summary.neighbors)
+
+        def adopt():
+            with open(section_path, "rb") as raw:
+                mapped = mmap_module.mmap(raw.fileno(), 0, access=mmap_module.ACCESS_READ)
+            view = memoryview(mapped)
+            return ExplorationSubstrate.from_arrays(
+                pairs,
+                decode_raw_ids(view[: len(offsets_blob)]),
+                decode_raw_ids(view[len(offsets_blob) :]),
+                backing=mapped,
+            )
+
+        rebuild_s, built = _best(rebuild, repeats)
+        adopt_s, adopted = _best(adopt, repeats)
+        assert list(adopted.offsets) == list(built.offsets)
+        assert list(adopted.targets) == list(built.targets)
+        _ROWS["substrate"] = {
+            "elements": substrate.n,
+            "rebuild_ms": rebuild_s * 1e3,
+            "adopt_ms": adopt_s * 1e3,
+        }
+    finally:
+        os.unlink(section_path)
+
+
+def test_report(report):
+    out = report("fig_coldstart")
+    out.line("Cold start: offline build from triples vs bundle load (DBLP)")
+    out.line("(every wall-time row includes the first search)")
+    out.line("")
+    wall = _ROWS.get("wall")
+    if wall:
+        out.line(
+            f"DBLP generator: {wall['triples']} triples, "
+            f"bundle {wall['bundle_mb']:.2f} MB"
+        )
+        rows = [
+            ("parse .nt + build", f"{wall['parse_build_ms']:.1f}",
+             f"{wall['parse_build_ms'] / wall['load_ms']:.1f}x"),
+            ("build from in-memory triples", f"{wall['build_ms']:.1f}",
+             f"{wall['build_ms'] / wall['load_ms']:.1f}x"),
+            ("load() bundle (serving-ready)", f"{wall['load_ms']:.1f}", "1.0x"),
+            ("load(lazy=False) (fully materialized)", f"{wall['load_full_ms']:.1f}",
+             f"{wall['load_full_ms'] / wall['load_ms']:.1f}x"),
+        ]
+        out.table(("cold-start path", "wall ms", "vs load"), rows)
+        out.line("")
+    rss = _ROWS.get("rss")
+    if rss:
+        out.table(
+            ("peak RSS (fresh process)", "MB"),
+            [
+                ("parse + build + search", f"{rss['build_rss_mb']:.1f}"),
+                ("load bundle + search", f"{rss['load_rss_mb']:.1f}"),
+            ],
+        )
+        out.line("")
+    sub = _ROWS.get("substrate")
+    if sub:
+        out.line(
+            f"Substrate CSR sections ({sub['elements']} elements): "
+            f"rebuild {sub['rebuild_ms']:.1f}ms vs mmap-adopt "
+            f"{sub['adopt_ms']:.1f}ms "
+            f"({sub['rebuild_ms'] / max(sub['adopt_ms'], 1e-9):.1f}x)"
+        )

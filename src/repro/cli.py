@@ -5,10 +5,17 @@
     repro search "cimiano 2006" --dataset dblp --execute   # one-shot search
     repro serve --dataset dblp --port 8080 --cache 256     # HTTP service
     repro bench --dataset dblp --clients 4 --requests 20   # closed-loop QPS
+    repro build --dataset dblp -o dblp.reprobundle         # offline artifact
+    repro compact dblp.reprobundle                         # fold WAL into it
 
 The original positional form (``repro "cimiano 2006" ...``) is kept as an
 alias for ``repro search`` — any first argument that is not a subcommand
 name is treated as the keyword query.
+
+``search``/``serve``/``bench`` accept ``--bundle PATH`` to warm-start
+from a ``repro build`` artifact instead of rebuilding the offline layer
+from raw triples; serving then starts in milliseconds and ``/update``
+epochs are logged durably next to the bundle.
 
 Examples::
 
@@ -17,7 +24,8 @@ Examples::
     python -m repro "cimiano before 2005" --dataset dblp --filters
     python -m repro "professor department0" --data my_data.nt --guided
     python -m repro "new paper" --data base.nt --update-ntriples delta.nt
-    python -m repro serve --dataset example --port 8080
+    python -m repro build --data my_data.nt -o my_data.reprobundle
+    python -m repro serve --bundle my_data.reprobundle --port 8080
 """
 
 from __future__ import annotations
@@ -26,11 +34,12 @@ import argparse
 import sys
 from typing import Optional
 
+from repro import __version__
 from repro.core.engine import KeywordSearchEngine
 from repro.rdf.graph import DataGraph
 from repro.rdf.ntriples import parse_ntriples
 
-SUBCOMMANDS = ("search", "serve", "bench")
+SUBCOMMANDS = ("search", "serve", "bench", "build", "compact")
 
 
 def _load_graph(args) -> DataGraph:
@@ -63,7 +72,9 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+def _add_dataset_args(
+    parser: argparse.ArgumentParser, bundle: bool = True
+) -> None:
     parser.add_argument(
         "--dataset",
         choices=("example", "dblp", "lubm", "tap"),
@@ -72,28 +83,114 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--data", help="path to an N-Triples file to search instead")
     parser.add_argument("--scale", type=int, default=1000, help="dataset scale knob")
+    if bundle:
+        parser.add_argument(
+            "--bundle",
+            metavar="PATH",
+            help="warm-start from a `repro build` index bundle instead of "
+            "building the offline layer from triples (replays and attaches "
+            "the bundle's delta log)",
+        )
+
+
+#: Engine configuration applied when a flag is not given on the command
+#: line.  The parser defaults are ``None`` so `--bundle` can distinguish
+#: "user asked for this" (flag wins) from "unspecified" (the config the
+#: bundle was built with wins — overriding it silently would serve the
+#: artifact under a different cost model than it was built for).
+_ENGINE_DEFAULTS = {"k": 5, "cost_model": "c3", "dmax": 10, "guided": False}
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-k",
         type=_positive_int,
-        default=5,
-        help="number of queries to compute (>= 1)",
+        default=None,
+        help="number of queries to compute (>= 1; default 5, or the "
+        "bundle's setting with --bundle)",
     )
     parser.add_argument(
         "--cost-model",
         choices=("c1", "c2", "c3", "pagerank"),
-        default="c3",
-        help="scoring function (Section V)",
+        default=None,
+        help="scoring function (Section V; default c3, or the bundle's "
+        "setting with --bundle)",
     )
-    parser.add_argument("--dmax", type=int, default=10, help="exploration depth bound")
     parser.add_argument(
-        "--guided", action="store_true", help="distance-information pruning"
+        "--dmax", type=int, default=None,
+        help="exploration depth bound (default 10, or the bundle's setting "
+        "with --bundle)",
+    )
+    parser.add_argument(
+        "--guided", action=argparse.BooleanOptionalAction, default=None,
+        help="distance-information pruning (--no-guided overrides a "
+        "bundle built with --guided)",
     )
 
 
-def _build_engine(args, search_cache_size: int = 0) -> KeywordSearchEngine:
+def _resolve_engine_args(args) -> None:
+    """Fill unset engine flags with the stock defaults (non-bundle paths)."""
+    for name, value in _ENGINE_DEFAULTS.items():
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+
+def _build_engine(
+    args, search_cache_size: int = 0, writer: bool = False
+) -> KeywordSearchEngine:
+    if getattr(args, "bundle", None):
+        from repro.storage import BundleError, WalError
+
+        if args.data is not None or args.dataset != "example" or args.scale != 1000:
+            # Silently serving the bundle while the user believes their
+            # --data/--dataset took effect is worse than an error.
+            raise SystemExit(
+                "repro: --bundle conflicts with --data/--dataset/--scale — "
+                "the bundle already contains its data; rebuild it with "
+                "`repro build` to change datasets"
+            )
+
+        # Warm start: the offline layer comes off disk.  Flags the user
+        # actually passed override the saved engine configuration;
+        # unspecified ones keep the settings the bundle was built with
+        # (load() ignores None overrides).  Only commands that can write
+        # (`serve` with /update, `search` with --update/--remove-ntriples)
+        # attach the WAL and take its single-writer lock; read-only
+        # commands coexist with a running server on the same artifact.
+        try:
+            engine = KeywordSearchEngine.load(
+                args.bundle,
+                attach_wal=writer,
+                cost_model=args.cost_model,
+                k=args.k,
+                dmax=args.dmax,
+                guided=args.guided,
+                search_cache_size=search_cache_size,
+            )
+        except FileNotFoundError as exc:
+            raise SystemExit(f"repro: --bundle: {exc}") from exc
+        except (BundleError, WalError) as exc:
+            raise SystemExit(f"repro: --bundle: {exc}") from exc
+        # Post-load: resolve the remaining None flags to the engine's
+        # effective settings for code that reads them directly
+        # (search_command's k/dmax forwarding).
+        if args.k is None:
+            args.k = engine.k
+        if args.dmax is None:
+            args.dmax = engine.dmax
+        if args.guided is None:
+            args.guided = engine.guided
+        if args.cost_model is None:
+            args.cost_model = engine.cost_model.name
+        artifact = engine.artifact
+        print(
+            f"# bundle: {args.bundle} (epoch {artifact['epoch_at_save']}, "
+            f"+{artifact['wal_epochs_replayed']} WAL epochs, "
+            f"{1000 * artifact['load_seconds']:.1f}ms)",
+            file=sys.stderr,
+        )
+        return engine
+    _resolve_engine_args(args)
     graph = _load_graph(args)
     print(f"# dataset: {graph}", file=sys.stderr)
     return KeywordSearchEngine(
@@ -166,7 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def search_command(argv) -> int:
     args = build_parser().parse_args(argv)
-    engine = _build_engine(args)
+    engine = _build_engine(
+        args, writer=bool(args.update_ntriples or args.remove_ntriples)
+    )
     graph = engine.graph
 
     # Apply deltas through the incremental index maintenance path — the
@@ -268,7 +367,7 @@ def serve_command(argv) -> int:
     from repro.service import EngineService, ReproServer
 
     args = build_serve_parser().parse_args(argv)
-    engine = _build_engine(args, search_cache_size=max(0, args.cache))
+    engine = _build_engine(args, search_cache_size=max(0, args.cache), writer=True)
     service = EngineService(
         engine,
         workers=args.workers,
@@ -309,7 +408,10 @@ def _bench_queries(args, engine) -> list:
     """
     if args.queries:
         return list(args.queries)
-    if args.data is None:
+    # A bundle's contents are opaque to the dataset flags (which stay at
+    # their defaults), so the curated per-dataset workloads would silently
+    # benchmark no-match short-circuits; sample from the loaded data.
+    if args.data is None and not getattr(args, "bundle", None):
         if args.dataset == "dblp":
             from repro.datasets.workloads import dblp_performance_queries
 
@@ -393,11 +495,94 @@ def bench_command(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro build / repro compact (the offline artifact lifecycle)
+# ----------------------------------------------------------------------
+
+def build_build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro build",
+        description="Build the offline layer once and save it as a versioned "
+        "index bundle that `search`/`serve`/`bench --bundle` warm-start from.",
+    )
+    _add_dataset_args(parser, bundle=False)
+    _add_engine_args(parser)
+    parser.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        metavar="PATH",
+        help="bundle file to write (conventionally *.reprobundle)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing bundle (refused otherwise)",
+    )
+    return parser
+
+
+def build_command(argv) -> int:
+    from repro.storage import BundleError, WalError
+
+    args = build_build_parser().parse_args(argv)
+    engine = _build_engine(args)
+    try:
+        info = engine.save(args.output, force=args.force)
+    except (BundleError, WalError) as exc:
+        # WalError covers overwriting an artifact whose delta log another
+        # engine currently holds — same clean refusal as `repro compact`.
+        print(f"repro build: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"# wrote {info['path']}: {info['bytes']} bytes, "
+        f"{info['sections']} sections, format v{info['format_version']}, "
+        f"epoch {info['epoch']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_compact_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro compact",
+        description="Fold a bundle's write-ahead delta log back into the "
+        "bundle and truncate the log.",
+    )
+    parser.add_argument("bundle", help="path to the *.reprobundle file")
+    return parser
+
+
+def compact_command(argv) -> int:
+    from repro.storage import BundleError, WalError, compact_bundle
+
+    args = build_compact_parser().parse_args(argv)
+    try:
+        info = compact_bundle(args.bundle)
+    except FileNotFoundError as exc:
+        print(f"repro compact: {exc}", file=sys.stderr)
+        return 1
+    except (BundleError, WalError) as exc:
+        print(f"repro compact: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"# compacted {info['path']}: folded {info['wal_epochs_folded']} WAL "
+        f"epochs, now at epoch {info['epoch']} ({info['bytes']} bytes)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
 def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("--version", "-V"):
+        # Handled before dispatch: the legacy positional alias would
+        # otherwise swallow the flag as a keyword query.
+        print(f"repro {__version__}")
+        return 0
     if argv and argv[0] in SUBCOMMANDS:
         command, rest = argv[0], argv[1:]
     else:
@@ -407,6 +592,10 @@ def main(argv: Optional[list] = None) -> int:
         return serve_command(rest)
     if command == "bench":
         return bench_command(rest)
+    if command == "build":
+        return build_command(rest)
+    if command == "compact":
+        return compact_command(rest)
     return search_command(rest)
 
 

@@ -308,6 +308,7 @@ class KeywordSearchEngine:
         guided: bool = False,
         keyword_index: Optional[KeywordIndex] = None,
         summary: Optional[SummaryGraph] = None,
+        store: Optional[TripleStore] = None,
         search_cache_size: int = 0,
     ):
         self.graph = graph
@@ -321,13 +322,29 @@ class KeywordSearchEngine:
         self._search_cache: Optional[LruDict] = (
             LruDict(search_cache_size) if search_cache_size > 0 else None
         )
+        #: Provenance of a bundle-loaded engine (path, format version,
+        #: epoch at save, WAL state) — ``None`` for a built engine.  The
+        #: serving layer surfaces it through ``/stats``.
+        self.artifact: Optional[Dict[str, object]] = None
+        #: The attached write-ahead delta log of a bundle-loaded engine
+        #: (``None`` otherwise).  The log is single-writer (an exclusive
+        #: lock is held while attached); ``delta_log.close()`` releases
+        #: it so another engine may take over the artifact.
+        self.delta_log = None
 
         started = time.perf_counter()
-        self.summary = summary or SummaryGraph.from_data_graph(graph)
-        self.keyword_index = keyword_index or KeywordIndex(
-            graph, max_matches_per_keyword=max_matches_per_keyword
+        # `is None`, not truthiness: a supplied-but-empty component (e.g. a
+        # zero-triple bundle's lazy store) must be adopted, not silently
+        # rebuilt.
+        self.summary = (
+            summary if summary is not None else SummaryGraph.from_data_graph(graph)
         )
-        self.store = TripleStore.from_graph(graph)
+        self.keyword_index = (
+            keyword_index
+            if keyword_index is not None
+            else KeywordIndex(graph, max_matches_per_keyword=max_matches_per_keyword)
+        )
+        self.store = store if store is not None else TripleStore.from_graph(graph)
         self.evaluator = QueryEvaluator(self.store)
         self.index_manager = IndexManager(
             graph=graph,
@@ -342,6 +359,60 @@ class KeywordSearchEngine:
     @classmethod
     def from_triples(cls, triples: Sequence[Triple], **kwargs) -> "KeywordSearchEngine":
         return cls(DataGraph(triples), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Persistence (the offline layer as a durable artifact)
+    # ------------------------------------------------------------------
+
+    def save(self, path, force: bool = False) -> Dict[str, object]:
+        """Write the whole offline layer to a ``.reprobundle`` file.
+
+        The bundle (``repro.storage``) holds the triple store, keyword
+        index, summary graph, and CSR substrate in a versioned,
+        checksummed, pickle-free binary format keyed on the formal
+        ``(summary version, keyword-index version)`` snapshot pair;
+        :meth:`load` reconstitutes an engine that is byte-identical in
+        behavior to this one.  Refuses to overwrite an existing file
+        unless ``force``.  Returns an info dict (path, size, epoch).
+        """
+        from repro.storage import save_bundle
+
+        return save_bundle(self, path, force=force)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        replay_wal: bool = True,
+        attach_wal: bool = True,
+        wal_path=None,
+        lazy: bool = True,
+        **overrides,
+    ) -> "KeywordSearchEngine":
+        """Reconstitute an engine from a bundle in milliseconds-not-minutes.
+
+        Loading decodes the serialized offline structures (no rebuild, no
+        re-analysis) and maps the substrate's CSR sections straight from
+        the file; the engine configuration saved in the bundle applies
+        unless overridden (``cost_model``, ``k``, ``dmax``,
+        ``strict_keywords``, ``guided``, ``search_cache_size``).  A delta
+        log next to the bundle has its committed tail replayed through
+        incremental maintenance (``replay_wal``) and is then kept
+        attached (``attach_wal``) so future :meth:`add_triples` /
+        :meth:`remove_triples` epochs survive a restart.  The resulting
+        engine records its provenance in :attr:`artifact`.
+        """
+        from repro.storage import load_engine
+
+        return load_engine(
+            path,
+            replay_wal=replay_wal,
+            attach_wal=attach_wal,
+            wal_path=wal_path,
+            lazy=lazy,
+            **overrides,
+        )
 
     # ------------------------------------------------------------------
     # Updates (incremental offline-index maintenance)

@@ -65,6 +65,29 @@ class InvertedIndex:
         return True
 
     # ------------------------------------------------------------------
+    # Persistence (used by repro.storage)
+    # ------------------------------------------------------------------
+
+    def state_for_persistence(self) -> Dict[str, object]:
+        """Read-only references to the postings and the reverse map
+        (``_indexed_elements`` is derivable as the reverse map's keys)."""
+        return {"postings": self._postings, "element_terms": self._element_terms}
+
+    @classmethod
+    def from_state(
+        cls,
+        postings: Dict[str, Dict[Hashable, List[int]]],
+        element_terms: Dict[Hashable, set],
+    ) -> "InvertedIndex":
+        """Adopt pre-built postings; ``[tf, total]`` lists must be fresh
+        (they are mutated in place by later :meth:`index` calls)."""
+        index = cls.__new__(cls)
+        index._postings = postings
+        index._element_terms = element_terms
+        index._indexed_elements = set(element_terms)
+        return index
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 

@@ -332,6 +332,75 @@ class KeywordIndex:
             self._index.unindex((_KIND_VALUE, value))
 
     # ------------------------------------------------------------------
+    # Persistence (used by repro.storage)
+    # ------------------------------------------------------------------
+
+    def uses_default_analysis(self) -> bool:
+        """True when analyzer and lexicon are the stock configuration.
+
+        The bundle format stores no code, so only the default analysis
+        chain round-trips; a custom analyzer or lexicon makes the index
+        unsaveable (the storage layer refuses loudly rather than load an
+        index whose future maintenance would analyze differently).
+        """
+        default = Analyzer()
+        analyzer = self._analyzer
+        return (
+            type(analyzer) is Analyzer
+            and analyzer.__dict__ == default.__dict__
+            and self._lexicon is DEFAULT_LEXICON
+        )
+
+    def state_for_persistence(self) -> Dict[str, object]:
+        """Read-only references to the state :meth:`from_state` restores."""
+        return {
+            "version": self.version,
+            "fuzzy_max_distance": self._fuzzy_max_distance,
+            "max_matches": self._max_matches,
+            "lookup_cache_size": self._lookup_cache.maxsize,
+            "build_seconds": self.build_seconds,
+            "index": self._index.state_for_persistence(),
+            "attribute_class_refs": self._attribute_class_refs,
+            "value_occurrence_refs": self._value_occurrence_refs,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        graph: DataGraph,
+        inverted_index: InvertedIndex,
+        attribute_class_refs: Dict[URI, Dict[Optional[Term], int]],
+        value_occurrence_refs: Dict[Literal, Dict[Tuple[URI, Optional[Term]], int]],
+        *,
+        version: int,
+        fuzzy_max_distance: int,
+        max_matches: Optional[int],
+        lookup_cache_size: int,
+        build_seconds: float,
+    ) -> "KeywordIndex":
+        """Reconstitute an index around restored postings and refcounts.
+
+        The analysis chain is the stock one (see
+        :meth:`uses_default_analysis` — the save side enforces it), the
+        mutation ``version`` is carried over so the restored index's
+        :attr:`snapshot_key` equals the saved one, and the lookup memo
+        starts cold.
+        """
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._analyzer = Analyzer()
+        index._lexicon = DEFAULT_LEXICON
+        index._fuzzy_max_distance = fuzzy_max_distance
+        index._max_matches = max_matches
+        index.version = version
+        index._lookup_cache = LruDict(lookup_cache_size)
+        index._index = inverted_index
+        index._attribute_class_refs = attribute_class_refs
+        index._value_occurrence_refs = value_occurrence_refs
+        index.build_seconds = build_seconds
+        return index
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 

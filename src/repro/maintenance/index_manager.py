@@ -93,7 +93,11 @@ class IndexManager:
         self.epoch: int = 0
         self._listeners: List[Tuple[int, int, Callable[[], None]]] = []
         self._epoch_hooks: List[
-            Tuple[Optional[Callable[[int], None]], Optional[Callable[[int], None]]]
+            Tuple[
+                Optional[Callable[[int], None]],
+                Optional[Callable[[int], None]],
+                Optional[Callable[[int, Sequence[Triple], Sequence[Triple]], None]],
+            ]
         ] = []
 
     # ------------------------------------------------------------------
@@ -127,8 +131,11 @@ class IndexManager:
         self,
         begin: Optional[Callable[[int], None]] = None,
         commit: Optional[Callable[[int], None]] = None,
+        record: Optional[
+            Callable[[int, Sequence[Triple], Sequence[Triple]], None]
+        ] = None,
     ) -> None:
-        """Register begin/commit hooks bracketing every update batch.
+        """Register begin/record/commit hooks bracketing every update batch.
 
         ``begin(epoch)`` runs before the batch touches *any* structure
         (even before the dedup read of the data graph); ``commit(epoch)``
@@ -137,8 +144,18 @@ class IndexManager:
         never deadlock the manager.  The serving layer uses exactly that
         to serialize writes and drain readers around each epoch, which
         covers updates issued directly through the engine as well.
+
+        ``record(epoch, adds, removes)`` is the *write-ahead* hook: it
+        runs after the batch is deduplicated against the data graph but
+        before any structure mutates, and only for batches that will
+        actually toggle triples (and therefore advance :attr:`epoch` on
+        success).  The persistence layer's
+        :class:`~repro.storage.wal.DeltaLog` appends the batch durably
+        here; pairing it with ``commit`` — whose epoch argument reveals
+        whether the batch committed (advanced) or failed (unchanged) —
+        yields exactly write-ahead-logging semantics.
         """
-        self._epoch_hooks.append((begin, commit))
+        self._epoch_hooks.append((begin, commit, record))
 
     def add_triples(self, triples: Iterable[Triple]) -> int:
         """Insert triples, propagating deltas; returns #actually added."""
@@ -158,18 +175,36 @@ class IndexManager:
         runs the hooks but does not advance :attr:`epoch`.
         """
         epoch = self.epoch
-        for begin, _ in self._epoch_hooks:
+        for begin, _, _ in self._epoch_hooks:
             if begin is not None:
                 begin(epoch)
+        applied = False
         try:
             changed = self._apply(adds=adds, removes=removes)
             if changed:
                 self.epoch += 1
+            applied = True
             return changed
         finally:
-            for _, commit in self._epoch_hooks:
+            # Every commit hook runs even if an earlier one raises: the
+            # hooks are independent resources (the WAL's commit marker,
+            # the serving layer's writer-lock release), and skipping the
+            # lock release because the log hit ENOSPC would wedge the
+            # server forever.  The first hook failure is re-raised — but
+            # only when the batch itself succeeded (explicit flag, not
+            # sys.exc_info(), which would also see an unrelated exception
+            # the *caller* happens to be handling), so it never masks the
+            # in-flight exception.
+            first_exc = None
+            for _, commit, _ in self._epoch_hooks:
                 if commit is not None:
-                    commit(self.epoch)
+                    try:
+                        commit(self.epoch)
+                    except BaseException as exc:
+                        if first_exc is None:
+                            first_exc = exc
+            if first_exc is not None and applied:
+                raise first_exc
 
     # ------------------------------------------------------------------
     # Delta application
@@ -182,6 +217,13 @@ class IndexManager:
         removes = [t for t in dict.fromkeys(removes) if t in graph]
         if not adds and not removes:
             return 0
+
+        # Write-ahead hooks: the deduplicated batch is now known to be
+        # effective, but nothing has mutated yet — a delta log persisting
+        # it here can redo the epoch after a crash at any later point.
+        for _, _, record in self._epoch_hooks:
+            if record is not None:
+                record(self.epoch, adds, removes)
 
         kind = graph.edge_kind
         type_adds = [t for t in adds if kind(t) is EdgeKind.TYPE]

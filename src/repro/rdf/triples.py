@@ -17,7 +17,7 @@ class Triple:
         s, p, o = triple
     """
 
-    __slots__ = ("subject", "predicate", "object")
+    __slots__ = ("subject", "predicate", "object", "_hash")
 
     def __init__(self, subject: Term, predicate: URI, obj: Term):
         if not isinstance(subject, (URI, BNode)):
@@ -35,6 +35,9 @@ class Triple:
         object.__setattr__(self, "subject", subject)
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "object", obj)
+        # Cached like the terms' hashes: triples key every index (graph,
+        # store, buckets), so each one is hashed many times over its life.
+        object.__setattr__(self, "_hash", hash((subject, predicate, obj)))
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("Triple is immutable")
@@ -53,7 +56,7 @@ class Triple:
         )
 
     def __hash__(self):
-        return hash((self.subject, self.predicate, self.object))
+        return self._hash
 
     def __repr__(self):
         return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -392,7 +392,12 @@ class EngineService:
         recent = [t for t, _ in records if t > now - 60.0]
         window = min(uptime, 60.0)
         engine = self.engine
+        # Bundle provenance of a warm-started engine: which artifact this
+        # process serves, at which saved epoch, and how many delta-log
+        # epochs the load replayed on top.  Built engines report None.
+        artifact = getattr(engine, "artifact", None)
         return {
+            "artifact": dict(artifact) if artifact is not None else None,
             "service": {
                 "workers": self.workers,
                 "max_pending": self.max_pending,

@@ -1,0 +1,55 @@
+"""Persistent index artifacts: the offline layer as a durable product.
+
+The paper's economics — one offline indexing pass amortized over many
+online queries — only materialize when the offline product *survives the
+process*.  This package provides that lifecycle:
+
+* :func:`save_bundle` / :func:`load_bundle` — the versioned, pickle-free,
+  checksummed ``.reprobundle`` container holding the triple store,
+  keyword index, summary graph, and mmap-backed CSR substrate;
+* :func:`load_engine` — bundle → ready
+  :class:`~repro.core.engine.KeywordSearchEngine` (what
+  ``KeywordSearchEngine.load`` and the CLI's ``--bundle`` call);
+* :class:`DeltaLog` — the write-ahead N-Triples delta log that makes
+  update epochs restart-safe;
+* :func:`compact_bundle` — folds the log back into a fresh bundle.
+
+``repro build`` / ``repro compact`` and the ``--bundle`` option of
+``search``/``serve``/``bench`` are the command-line surface.
+"""
+
+from repro.storage.bundle import (
+    BUNDLE_SUFFIX,
+    FORMAT_VERSION,
+    MAGIC,
+    compact_bundle,
+    load_bundle,
+    load_engine,
+    save_bundle,
+)
+from repro.storage.errors import (
+    BundleChecksumError,
+    BundleError,
+    BundleExistsError,
+    BundleFormatError,
+    UnsupportedEngineError,
+    WalError,
+)
+from repro.storage.wal import DeltaLog
+
+__all__ = [
+    "BUNDLE_SUFFIX",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "BundleChecksumError",
+    "BundleError",
+    "BundleExistsError",
+    "BundleFormatError",
+    "DeltaLog",
+    "UnsupportedEngineError",
+    "WalError",
+    "compact_bundle",
+    "load_bundle",
+    "load_engine",
+    "save_bundle",
+]

@@ -1,0 +1,1104 @@
+"""The versioned on-disk index bundle: build → save → mmap → load.
+
+A ``.reprobundle`` file is the whole offline layer of one engine —
+triple store, keyword index, summary graph, and the CSR exploration
+substrate — as one self-describing artifact::
+
+    magic "RPROBNDL" | format version u32 | header length u32
+    header JSON  (snapshot-key pair, engine config, section table)
+    sections     (8-aligned binary payloads, one CRC32 each)
+
+The header carries the formal ``(SummaryGraph.snapshot_key,
+KeywordIndex.snapshot_key)`` pair and the update epoch, so a bundle *is*
+one engine state in the same sense an
+:class:`~repro.core.snapshot.EngineSnapshot` is.  Every section is
+checksummed; a version mismatch raises
+:class:`~repro.storage.errors.BundleFormatError` and a checksum mismatch
+:class:`~repro.storage.errors.BundleChecksumError` — a reader never
+produces an engine it cannot prove equivalent to the one saved.
+
+Loading is built around two cost classes:
+
+* Python-object state (term table, postings, refcounts, groupings) is
+  decoded through C-speed blob reads plus slice comprehensions — no
+  per-triple ``add()`` replay, no re-analysis, no re-projection;
+* the substrate's flat ``offsets``/``targets`` CSR sections stay on disk:
+  they are wrapped as ``memoryview('q')`` casts over the ``mmap``-ed
+  file, so restoring the exploration substrate reads *no* adjacency
+  bytes at all — the page cache faults rows in as queries touch them.
+
+The loaded engine is **equivalent by construction and identical by
+test**: ``tests/property/test_persistence_identity.py`` asserts
+``load(save(engine))`` reproduces a freshly built engine's ``search()``
+output byte for byte, including after a WAL tail replay.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import time
+import zlib
+from collections import defaultdict
+from itertools import chain
+from typing import Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.keyword.inverted_index import InvertedIndex
+from repro.keyword.keyword_index import KeywordIndex
+from repro.rdf.terms import Literal, Term, URI
+from repro.rdf.triples import Triple
+from repro.scoring.cost import COST_MODELS, CostModel, make_cost_model
+from repro.store.triple_store import TripleStore, _nested
+from repro.summary.elements import (
+    THING_KEY,
+    SummaryEdgeKind,
+    SummaryVertex,
+    SummaryVertexKind,
+)
+from repro.summary.substrate import ExplorationSubstrate
+from repro.summary.summary_graph import SummaryGraph
+
+from repro.storage.codec import (
+    Interner,
+    Reader,
+    TermInterner,
+    decode_grouping,
+    decode_raw_ids,
+    decode_strings,
+    decode_terms,
+    encode_grouping,
+    encode_ids,
+    encode_raw_ids,
+    encode_strings,
+    encode_terms,
+    fsync_directory,
+)
+from repro.storage.errors import (
+    BundleChecksumError,
+    BundleExistsError,
+    BundleFormatError,
+    UnsupportedEngineError,
+    WalError,
+)
+from repro.storage.lazy import LazyDataGraph, LazyTripleStore
+
+MAGIC = b"RPROBNDL"
+#: Bump on any change to the section layout or encodings; readers refuse
+#: other versions outright (rebuild is cheap and always correct, a
+#: misdecoded engine never is).
+FORMAT_VERSION = 1
+
+#: Conventional file extension (the CLI and docs use it; the reader only
+#: trusts the magic).
+BUNDLE_SUFFIX = ".reprobundle"
+
+_U32 = struct.Struct("<I")
+
+# Stable wire codes for the element/edge/vertex kinds.
+_ELEMENT_KINDS = ("class", "relation", "attribute", "value")
+_ELEMENT_CODE = {kind: code for code, kind in enumerate(_ELEMENT_KINDS)}
+_VERTEX_KINDS = (
+    SummaryVertexKind.CLASS,
+    SummaryVertexKind.THING,
+    SummaryVertexKind.VALUE,
+    SummaryVertexKind.ARTIFICIAL,
+)
+_VERTEX_CODE = {kind: code for code, kind in enumerate(_VERTEX_KINDS)}
+_EDGE_KINDS = (
+    SummaryEdgeKind.RELATION,
+    SummaryEdgeKind.ATTRIBUTE,
+    SummaryEdgeKind.SUBCLASS,
+)
+_EDGE_CODE = {kind: code for code, kind in enumerate(_EDGE_KINDS)}
+
+
+# ----------------------------------------------------------------------
+# Cost-model persistability
+# ----------------------------------------------------------------------
+
+
+def _config_equivalent(a, b) -> bool:
+    """True when two cost models are configured identically (recursing
+    through composed models, ignoring their runtime caches)."""
+    if type(a) is not type(b):
+        return False
+    skip = {"_base_cost_cache", "_ranks"}
+    da = {k: v for k, v in vars(a).items() if k not in skip}
+    db = {k: v for k, v in vars(b).items() if k not in skip}
+    if da.keys() != db.keys():
+        return False
+    for key, value in da.items():
+        other = db[key]
+        if isinstance(value, CostModel) or isinstance(other, CostModel):
+            if not _config_equivalent(value, other):
+                return False
+        elif value != other:
+            return False
+    return True
+
+
+def persistable_cost_model_name(model: CostModel) -> str:
+    """The factory name that reproduces ``model``, or a loud refusal.
+
+    The bundle stores a *name*, not code; a customized instance (non-stock
+    parameters, a composed base, a bespoke subclass) would come back as
+    the stock model and silently rank differently — exactly the failure
+    mode the format forbids.
+    """
+    name = getattr(model, "name", None)
+    if name in COST_MODELS and _config_equivalent(model, make_cost_model(name)):
+        return name
+    raise UnsupportedEngineError(
+        f"cost model {model!r} is not a stock configuration "
+        f"({sorted(COST_MODELS)}); bundles store the model by name, so a "
+        "customized instance cannot be persisted faithfully"
+    )
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers over interned ids
+# ----------------------------------------------------------------------
+
+
+def _encode_count_pairs(mapping, key_id) -> bytes:
+    """``{key: int}`` → interleaved ``(key id, count)`` blob."""
+    return encode_ids(chain.from_iterable((key_id(k), c) for k, c in mapping.items()))
+
+
+def _decode_count_pairs(reader: Reader, terms) -> Dict:
+    flat = reader.ids()
+    it = iter(flat)
+    return {terms[k]: c for k, c in zip(it, it)}
+
+
+def _encode_pair_refs(mapping, key_id) -> bytes:
+    """``{(a, b): int}`` → interleaved ``(a, b, count)`` blob."""
+    return encode_ids(
+        chain.from_iterable((key_id(a), key_id(b), c) for (a, b), c in mapping.items())
+    )
+
+
+def _decode_pair_refs(reader: Reader, terms) -> Dict:
+    flat = reader.ids()
+    it = iter(flat)
+    return {(terms[a], terms[b]): c for a, b, c in zip(it, it, it)}
+
+
+def _encode_adjacency(mapping, key_id) -> bytes:
+    """``{vertex: {(pred, other): None}}`` → grouping with (pred, other)
+    pairs flattened into the value blob."""
+    return encode_grouping(
+        (
+            key_id(vertex),
+            chain.from_iterable((key_id(p), key_id(o)) for p, o in pairs),
+        )
+        for vertex, pairs in mapping.items()
+    )
+
+
+def _decode_adjacency(reader: Reader, terms) -> Dict:
+    keys, offsets, values = decode_grouping(reader)
+    term_of = terms.__getitem__
+    value_terms = list(map(term_of, values))
+    out = defaultdict(dict)
+    for i, k in enumerate(keys):
+        segment = value_terms[offsets[i] : offsets[i + 1]]
+        out[term_of(k)] = dict.fromkeys(zip(segment[::2], segment[1::2]))
+    return out
+
+
+def _encode_triple_buckets(mapping, key_id, triple_index) -> bytes:
+    """``{pred: {Triple: None}}`` → grouping of triple indices."""
+    return encode_grouping(
+        (key_id(pred), (triple_index[t] for t in bucket))
+        for pred, bucket in mapping.items()
+    )
+
+
+def _decode_triple_buckets(reader: Reader, terms, triples) -> Dict:
+    keys, offsets, values = decode_grouping(reader)
+    triple_of = triples.__getitem__
+    return {
+        terms[k]: dict.fromkeys(map(triple_of, values[offsets[i] : offsets[i + 1]]))
+        for i, k in enumerate(keys)
+    }
+
+
+def _encode_labels(labels, label_rank, key_id) -> bytes:
+    out = [struct.pack("<Q", len(labels))]
+    for term, text in labels.items():
+        data = text.encode("utf-8")
+        out.append(struct.pack("<QQI", key_id(term), label_rank[term], len(data)))
+        out.append(data)
+    return b"".join(out)
+
+
+def _decode_labels(reader: Reader, terms) -> Tuple[Dict, Dict]:
+    labels: Dict[Term, str] = {}
+    ranks: Dict[Term, int] = {}
+    for _ in range(reader.u64()):
+        term_id = reader.u64()
+        rank = reader.u64()
+        term = terms[term_id]
+        labels[term] = reader.string()
+        ranks[term] = rank
+    return labels, ranks
+
+
+def _encode_two_level(mapping, key_id) -> bytes:
+    """``{a: {b: iterable-of-c}}`` → five id blobs (the triple-store
+    index shape)."""
+    outer: List[int] = []
+    outer_offsets: List[int] = [0]
+    inner: List[int] = []
+    inner_offsets: List[int] = [0]
+    leaf: List[int] = []
+    for a, inner_map in mapping.items():
+        outer.append(key_id(a))
+        for b, cs in inner_map.items():
+            inner.append(key_id(b))
+            leaf.extend(key_id(c) for c in cs)
+            inner_offsets.append(len(leaf))
+        outer_offsets.append(len(inner))
+    return (
+        encode_ids(outer)
+        + encode_ids(outer_offsets)
+        + encode_ids(inner)
+        + encode_ids(inner_offsets)
+        + encode_ids(leaf)
+    )
+
+
+def _decode_two_level(reader: Reader, terms):
+    """Restore one SPO-shaped index into the store's defaultdict nesting."""
+    outer = reader.ids()
+    outer_offsets = reader.ids()
+    inner = reader.ids()
+    inner_offsets = reader.ids()
+    leaf = reader.ids()
+    if len(outer_offsets) != len(outer) + 1 or len(inner_offsets) != len(inner) + 1:
+        raise BundleFormatError("two-level index offsets are inconsistent")
+    term_of = terms.__getitem__
+    # One C-level pass per blob, then plain dict stores over slices — the
+    # per-triple `add()` hashing this bypasses is the cold-start cost.
+    leaf_terms = list(map(term_of, leaf))
+    inner_terms = list(map(term_of, inner))
+    index = _nested()
+    size = len(leaf)
+    for i, a in enumerate(outer):
+        inner_map = index[term_of(a)]
+        for j in range(outer_offsets[i], outer_offsets[i + 1]):
+            inner_map[inner_terms[j]] = set(leaf_terms[inner_offsets[j] : inner_offsets[j + 1]])
+    return index, size
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+
+
+def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
+    """Serialize an engine's offline layer to ``path``.
+
+    Refuses to overwrite an existing file unless ``force`` (the CLI's
+    ``repro build`` surfaces this as its ``--force`` guard).  The write
+    goes through a same-directory temporary file and ``os.replace`` so a
+    crash never leaves a half-written bundle under the final name.
+
+    Returns a small info dict (path, bytes written, section count,
+    format version, epoch).
+    """
+    path = os.fspath(path)
+    if os.path.exists(path) and not force:
+        raise BundleExistsError(
+            f"refusing to overwrite existing bundle {path!r} (pass force=True / --force)"
+        )
+    keyword_index = engine.keyword_index
+    if not keyword_index.uses_default_analysis():
+        raise UnsupportedEngineError(
+            "the keyword index uses a custom analyzer or lexicon; bundles "
+            "store no code, so only the stock analysis chain round-trips"
+        )
+    cost_model_name = persistable_cost_model_name(engine.cost_model)
+
+    interner = TermInterner()
+    term_id = interner.id
+    graph_state = engine.graph.state_for_persistence()
+    triples: List[Triple] = list(graph_state["triples"])
+    triple_index = {t: i for i, t in enumerate(triples)}
+
+    sections: List[Tuple[str, bytes]] = []
+    add = sections.append
+
+    add(
+        (
+            "triples",
+            encode_ids(
+                chain.from_iterable(
+                    (term_id(t.subject), term_id(t.predicate), term_id(t.object))
+                    for t in triples
+                )
+            ),
+        )
+    )
+
+    # -- data graph ----------------------------------------------------
+    add(("graph.entity_refs", _encode_count_pairs(graph_state["entity_refs"], term_id)))
+    add(("graph.class_refs", _encode_count_pairs(graph_state["class_refs"], term_id)))
+    add(("graph.value_refs", _encode_count_pairs(graph_state["value_refs"], term_id)))
+    add(("graph.type_pairs", _encode_pair_refs(graph_state["type_pair_refs"], term_id)))
+    add(
+        (
+            "graph.subclass_pairs",
+            _encode_pair_refs(graph_state["subclass_pair_refs"], term_id),
+        )
+    )
+    add(("graph.out", _encode_adjacency(graph_state["out"], term_id)))
+    add(("graph.in", _encode_adjacency(graph_state["in"], term_id)))
+    add(
+        (
+            "graph.relation_triples",
+            _encode_triple_buckets(
+                graph_state["relation_triples"], term_id, triple_index
+            ),
+        )
+    )
+    add(
+        (
+            "graph.attribute_triples",
+            _encode_triple_buckets(
+                graph_state["attribute_triples"], term_id, triple_index
+            ),
+        )
+    )
+    add(
+        (
+            "graph.labels",
+            _encode_labels(graph_state["labels"], graph_state["label_rank"], term_id),
+        )
+    )
+    add(
+        (
+            "graph.type_pred_counts",
+            _encode_count_pairs(graph_state["type_pred_counts"], term_id),
+        )
+    )
+    add(
+        (
+            "graph.subclass_pred_counts",
+            _encode_count_pairs(graph_state["subclass_pred_counts"], term_id),
+        )
+    )
+
+    # -- triple store --------------------------------------------------
+    store_state = engine.store.state_for_persistence()
+    add(("store.spo", _encode_two_level(store_state["spo"], term_id)))
+    add(("store.pos", _encode_two_level(store_state["pos"], term_id)))
+    add(("store.osp", _encode_two_level(store_state["osp"], term_id)))
+
+    # -- keyword index -------------------------------------------------
+    kindex_state = keyword_index.state_for_persistence()
+    postings = kindex_state["index"]["postings"]
+    element_terms = kindex_state["index"]["element_terms"]
+
+    vocab = Interner()
+    vocab_id = vocab.id
+    element_interner = Interner()
+    element_id = element_interner.id
+
+    postings_blob = encode_grouping(
+        (
+            vocab_id(text),
+            chain.from_iterable(
+                (element_id(el), tf, total) for el, (tf, total) in bucket.items()
+            ),
+        )
+        for text, bucket in postings.items()
+    )
+    element_terms_blob = encode_grouping(
+        (element_id(el), (vocab_id(t) for t in terms_of))
+        for el, terms_of in element_terms.items()
+    )
+    add(("kindex.vocab", encode_strings(vocab.items)))
+    add(
+        (
+            "kindex.elements",
+            encode_ids(
+                chain.from_iterable(
+                    (_ELEMENT_CODE[kind], term_id(term))
+                    for kind, term in element_interner.items
+                )
+            ),
+        )
+    )
+    add(("kindex.postings", postings_blob))
+    add(("kindex.element_terms", element_terms_blob))
+    add(
+        (
+            "kindex.attr_class_refs",
+            encode_grouping(
+                (
+                    term_id(label),
+                    chain.from_iterable(
+                        (-1 if cls is None else term_id(cls), count)
+                        for cls, count in refs.items()
+                    ),
+                )
+                for label, refs in kindex_state["attribute_class_refs"].items()
+            ),
+        )
+    )
+    add(
+        (
+            "kindex.value_occ_refs",
+            encode_grouping(
+                (
+                    term_id(value),
+                    chain.from_iterable(
+                        (term_id(label), -1 if cls is None else term_id(cls), count)
+                        for (label, cls), count in refs.items()
+                    ),
+                )
+                for value, refs in kindex_state["value_occurrence_refs"].items()
+            ),
+        )
+    )
+
+    # -- summary graph + substrate ------------------------------------
+    summary_state = engine.summary.state_for_persistence()
+    vertices: List[SummaryVertex] = list(summary_state["vertices"].values())
+    vertex_index = {v.key: i for i, v in enumerate(vertices)}
+
+    def vertex_term_id(vertex: SummaryVertex) -> int:
+        # The identifying term lives in the key (for artificial vertices
+        # `vertex.term` is None while the key still carries the label).
+        if vertex.kind is SummaryVertexKind.THING:
+            return -1
+        return term_id(vertex.key[1])
+
+    add(
+        (
+            "summary.vertices",
+            encode_ids(
+                chain.from_iterable(
+                    (_VERTEX_CODE[v.kind], vertex_term_id(v), v.agg_count)
+                    for v in vertices
+                )
+            ),
+        )
+    )
+    add(
+        (
+            "summary.edges",
+            encode_ids(
+                chain.from_iterable(
+                    (
+                        term_id(e.label),
+                        _EDGE_CODE[e.kind],
+                        vertex_index[e.source_key],
+                        vertex_index[e.target_key],
+                        e.agg_count,
+                    )
+                    for e in summary_state["edges"].values()
+                )
+            ),
+        )
+    )
+
+    substrate = engine.summary.exploration_substrate()
+    add(("substrate.offsets", encode_raw_ids(substrate.offsets)))
+    add(("substrate.targets", encode_raw_ids(substrate.targets)))
+
+    # The term table is interned last but read first.
+    sections.insert(0, ("terms", encode_terms(interner.terms, term_id)))
+
+    meta = {
+        "writer": f"repro {__version__}",
+        "snapshot": {
+            "summary_version": engine.summary.snapshot_key,
+            "index_version": keyword_index.snapshot_key,
+            "epoch": engine.index_manager.epoch,
+        },
+        "engine": {
+            "cost_model": cost_model_name,
+            "k": engine.k,
+            "dmax": engine.dmax,
+            "strict_keywords": engine.strict_keywords,
+            "guided": engine.guided,
+            "search_cache_size": (
+                engine._search_cache.maxsize if engine._search_cache is not None else 0
+            ),
+        },
+        "graph": {
+            "strict": graph_state["strict"],
+            "conflicts": list(graph_state["conflicts"]),
+            # Cheap structural counts, so a lazily loaded graph can serve
+            # len()/stats() without materializing its heavy state.
+            "stats": engine.graph.stats(),
+        },
+        "kindex": {
+            "version": kindex_state["version"],
+            "fuzzy_max_distance": kindex_state["fuzzy_max_distance"],
+            "max_matches": kindex_state["max_matches"],
+            "lookup_cache_size": kindex_state["lookup_cache_size"],
+            "build_seconds": kindex_state["build_seconds"],
+        },
+        "summary": {
+            "version": summary_state["version"],
+            "total_entities": summary_state["total_entities"],
+            "total_relation_edges": summary_state["total_relation_edges"],
+            "total_attribute_edges": summary_state["total_attribute_edges"],
+            "build_seconds": summary_state["build_seconds"],
+        },
+        "counts": {
+            "terms": len(interner),
+            "triples": len(triples),
+            "summary_vertices": len(vertices),
+            "summary_edges": len(summary_state["edges"]),
+        },
+    }
+
+    payload, section_table = _frame_sections(sections)
+    meta["sections"] = section_table
+    header = json.dumps(meta, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    # A new bundle supersedes whatever delta log sits next to the target
+    # path: the saved engine already contains every epoch it applied, and
+    # a stale log from a *previous* bundle would otherwise be replayed
+    # into this one whenever the epoch numbers happen to line up.  Lock
+    # the sibling log up front (refusing if another engine is attached),
+    # truncate it only after the bundle is durably in place.
+    from repro.storage.wal import DeltaLog
+
+    wal_path = f"{path}.wal"
+    own_log = getattr(engine, "delta_log", None)
+    if own_log is not None and (
+        own_log._retired
+        or os.path.abspath(own_log.path) != os.path.abspath(wal_path)
+    ):
+        # A retired (handed-over) log is no longer this engine's to
+        # truncate through; fall back to the guard path, which locks up
+        # front and fails *before* the bundle is replaced.
+        own_log = None
+    wal_guard = None
+    if own_log is None and os.path.exists(wal_path):
+        wal_guard = DeltaLog(wal_path)
+        wal_guard._lock_exclusively()
+
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    header_padding = -(len(MAGIC) + 8 + len(header)) % 8
+    try:
+        with open(tmp_path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(_U32.pack(FORMAT_VERSION))
+            fh.write(_U32.pack(len(header)))
+            fh.write(header)
+            fh.write(b"\x00" * header_padding)
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+        fsync_directory(path)
+        if own_log is not None:
+            own_log.reset()
+        elif wal_guard is not None:
+            wal_guard.reset()
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    finally:
+        if wal_guard is not None:
+            wal_guard.close()
+
+    return {
+        "path": path,
+        "bytes": len(MAGIC) + 8 + len(header) + header_padding + len(payload),
+        "sections": len(sections),
+        "format_version": FORMAT_VERSION,
+        "epoch": engine.index_manager.epoch,
+    }
+
+
+def _frame_sections(sections) -> Tuple[bytes, List[Dict[str, object]]]:
+    """Concatenate section payloads (8-aligned) and build the header table."""
+    table: List[Dict[str, object]] = []
+    chunks: List[bytes] = []
+    offset = 0
+    for name, payload in sections:
+        table.append(
+            {
+                "name": name,
+                "offset": offset,
+                "length": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        chunks.append(payload)
+        padding = -len(payload) % 8
+        if padding:
+            chunks.append(b"\x00" * padding)
+        offset += len(payload) + padding
+    return b"".join(chunks), table
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+
+
+class LoadedBundle:
+    """The decoded parts of one bundle, before engine assembly."""
+
+    __slots__ = (
+        "graph",
+        "store",
+        "keyword_index",
+        "summary",
+        "substrate",
+        "meta",
+        "path",
+    )
+
+
+def load_bundle(path) -> LoadedBundle:
+    """Decode a bundle file into engine parts.
+
+    Raises :class:`BundleFormatError` on anything that is not a
+    same-version repro bundle and :class:`BundleChecksumError` when a
+    section's bytes do not match its recorded CRC — the artifact is then
+    unusable by definition and no partial engine is produced.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        try:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length file
+            raise BundleFormatError(f"{path}: not a repro bundle ({exc})") from exc
+    view = memoryview(mapped)
+
+    if len(view) < 16:
+        raise BundleFormatError(
+            f"{path}: not a repro bundle (only {len(view)} bytes, prelude needs 16)"
+        )
+    if bytes(view[: len(MAGIC)]) != MAGIC:
+        raise BundleFormatError(f"{path}: not a repro bundle (bad magic)")
+    (format_version,) = _U32.unpack(view[8:12])
+    if format_version != FORMAT_VERSION:
+        raise BundleFormatError(
+            f"{path}: bundle format version {format_version} is not the "
+            f"supported version {FORMAT_VERSION}; rebuild the bundle with "
+            "`repro build` (or read it with the matching release)"
+        )
+    (header_length,) = _U32.unpack(view[12:16])
+    header_end = 16 + header_length
+    if header_end > len(view):
+        raise BundleFormatError(f"{path}: truncated header")
+    try:
+        meta = json.loads(bytes(view[16:header_end]).decode("utf-8"))
+    except ValueError as exc:
+        raise BundleFormatError(f"{path}: unreadable header ({exc})") from exc
+    data_start = header_end + (-header_end % 8)
+
+    section_views: Dict[str, memoryview] = {}
+    for entry in meta.get("sections", ()):
+        begin = data_start + entry["offset"]
+        end = begin + entry["length"]
+        if end > len(view):
+            raise BundleFormatError(f"{path}: section {entry['name']!r} is truncated")
+        section_views[entry["name"]] = view[begin:end]
+    checked: set = set()
+
+    def section(name: str) -> memoryview:
+        """One section's bytes, CRC-verified on first access.
+
+        Verification is *per consumer*: sections decoded at load time are
+        checked at load time, while the lazily materialized ones (graph,
+        store, triples) are checked when their thunk first runs — so a
+        lazy cold start does not pull every stored byte through the page
+        cache just to checksum it.  Either way a corrupted section fails
+        with the dedicated exception before any of its data is used.
+        """
+        try:
+            payload = section_views[name]
+        except KeyError:
+            raise BundleFormatError(f"{path}: missing section {name!r}") from None
+        if name not in checked:
+            entry = next(e for e in meta["sections"] if e["name"] == name)
+            if zlib.crc32(payload) != entry["crc32"]:
+                raise BundleChecksumError(
+                    f"{path}: checksum mismatch in section {name!r} — "
+                    "the bundle is corrupted; rebuild it with `repro build`"
+                )
+            checked.add(name)
+        return payload
+
+    # -- terms ---------------------------------------------------------
+    terms = decode_terms(section("terms"))
+    counts = meta.get("counts", {})
+    if counts.get("terms") is not None and counts["terms"] != len(terms):
+        raise BundleFormatError(
+            f"{path}: term table has {len(terms)} entries, header says "
+            f"{counts['terms']}"
+        )
+
+    # -- data graph + triple store (lazy) ------------------------------
+    # A plain search never reads these; decoding them up front would put
+    # every stored triple back on the cold-start path.  The sections are
+    # CRC-verified above and captured by thunks; repro.storage.lazy
+    # materializes them on first maintenance / execute / filter access.
+    meta_graph = meta["graph"]
+    # Existence (not integrity) of the deferred sections is established
+    # up front; their thunks only defer the CRC check + decode.
+    for name in (
+        "triples",
+        "graph.entity_refs",
+        "graph.class_refs",
+        "graph.value_refs",
+        "graph.type_pairs",
+        "graph.subclass_pairs",
+        "graph.out",
+        "graph.in",
+        "graph.relation_triples",
+        "graph.attribute_triples",
+        "graph.labels",
+        "store.spo",
+        "store.pos",
+        "store.osp",
+    ):
+        if name not in section_views:
+            raise BundleFormatError(f"{path}: missing section {name!r}")
+
+    def decode_triples() -> List[Triple]:
+        triple_ids = Reader(section("triples")).ids()
+        triple_terms = list(map(terms.__getitem__, triple_ids))
+        decoded = list(
+            map(Triple, triple_terms[::3], triple_terms[1::3], triple_terms[2::3])
+        )
+        if counts.get("triples") is not None and counts["triples"] != len(decoded):
+            raise BundleFormatError(
+                f"{path}: triple section has {len(decoded)} triples, header "
+                f"says {counts['triples']}"
+            )
+        return decoded
+
+    type_pred_counts = _decode_count_pairs(
+        Reader(section("graph.type_pred_counts")), terms
+    )
+    subclass_pred_counts = _decode_count_pairs(
+        Reader(section("graph.subclass_pred_counts")), terms
+    )
+
+    def graph_thunk() -> Dict[str, object]:
+        triples = decode_triples()
+        labels, label_rank = _decode_labels(Reader(section("graph.labels")), terms)
+        return {
+            "strict": meta_graph["strict"],
+            "conflicts": meta_graph["conflicts"],
+            "triples": triples,
+            "entity_refs": _decode_count_pairs(
+                Reader(section("graph.entity_refs")), terms
+            ),
+            "class_refs": _decode_count_pairs(
+                Reader(section("graph.class_refs")), terms
+            ),
+            "value_refs": _decode_count_pairs(
+                Reader(section("graph.value_refs")), terms
+            ),
+            "type_pair_refs": _decode_pair_refs(
+                Reader(section("graph.type_pairs")), terms
+            ),
+            "subclass_pair_refs": _decode_pair_refs(
+                Reader(section("graph.subclass_pairs")), terms
+            ),
+            "out": _decode_adjacency(Reader(section("graph.out")), terms),
+            "in": _decode_adjacency(Reader(section("graph.in")), terms),
+            "relation_triples": _decode_triple_buckets(
+                Reader(section("graph.relation_triples")), terms, triples
+            ),
+            "attribute_triples": _decode_triple_buckets(
+                Reader(section("graph.attribute_triples")), terms, triples
+            ),
+            "labels": labels,
+            "label_rank": label_rank,
+            "type_pred_counts": type_pred_counts,
+            "subclass_pred_counts": subclass_pred_counts,
+        }
+
+    graph = LazyDataGraph(
+        graph_thunk,
+        strict=meta_graph["strict"],
+        conflicts=meta_graph["conflicts"],
+        type_pred_counts=type_pred_counts,
+        subclass_pred_counts=subclass_pred_counts,
+        stats=meta_graph["stats"],
+    )
+
+    def store_thunk() -> TripleStore:
+        spo, size = _decode_two_level(Reader(section("store.spo")), terms)
+        pos, _ = _decode_two_level(Reader(section("store.pos")), terms)
+        osp, _ = _decode_two_level(Reader(section("store.osp")), terms)
+        return TripleStore.from_state(spo, pos, osp, size)
+
+    store = LazyTripleStore(store_thunk, size=meta_graph["stats"]["triples"])
+
+    # -- keyword index -------------------------------------------------
+    vocab = decode_strings(Reader(section("kindex.vocab")))
+    element_flat = Reader(section("kindex.elements")).ids()
+    it = iter(element_flat)
+    elements = [(_ELEMENT_KINDS[code], terms[t]) for code, t in zip(it, it)]
+
+    keys, offsets, values = decode_grouping(Reader(section("kindex.postings")))
+    postings: Dict[str, Dict] = {}
+    for i, k in enumerate(keys):
+        segment = iter(values[offsets[i] : offsets[i + 1]])
+        postings[vocab[k]] = {
+            elements[e]: [tf, total] for e, tf, total in zip(segment, segment, segment)
+        }
+    keys, offsets, values = decode_grouping(Reader(section("kindex.element_terms")))
+    element_terms = {
+        elements[k]: {vocab[v] for v in values[offsets[i] : offsets[i + 1]]}
+        for i, k in enumerate(keys)
+    }
+    keys, offsets, values = decode_grouping(Reader(section("kindex.attr_class_refs")))
+    attr_class_refs: Dict[URI, Dict[Optional[Term], int]] = {}
+    for i, k in enumerate(keys):
+        segment = iter(values[offsets[i] : offsets[i + 1]])
+        attr_class_refs[terms[k]] = {
+            (None if cls < 0 else terms[cls]): count for cls, count in zip(segment, segment)
+        }
+    keys, offsets, values = decode_grouping(Reader(section("kindex.value_occ_refs")))
+    value_occ_refs: Dict[Literal, Dict[Tuple[URI, Optional[Term]], int]] = {}
+    for i, k in enumerate(keys):
+        segment = iter(values[offsets[i] : offsets[i + 1]])
+        value_occ_refs[terms[k]] = {
+            (terms[label], None if cls < 0 else terms[cls]): count
+            for label, cls, count in zip(segment, segment, segment)
+        }
+    kindex_meta = meta["kindex"]
+    keyword_index = KeywordIndex.from_state(
+        graph,
+        InvertedIndex.from_state(postings, element_terms),
+        attr_class_refs,
+        value_occ_refs,
+        version=kindex_meta["version"],
+        fuzzy_max_distance=kindex_meta["fuzzy_max_distance"],
+        max_matches=kindex_meta["max_matches"],
+        lookup_cache_size=kindex_meta["lookup_cache_size"],
+        build_seconds=kindex_meta["build_seconds"],
+    )
+
+    # -- summary graph -------------------------------------------------
+    vertex_flat = Reader(section("summary.vertices")).ids()
+    it = iter(vertex_flat)
+    vertices: List[SummaryVertex] = []
+    for code, t, agg in zip(it, it, it):
+        kind = _VERTEX_KINDS[code]
+        if kind is SummaryVertexKind.THING:
+            vertices.append(SummaryVertex(THING_KEY, kind, None, agg))
+        elif kind is SummaryVertexKind.ARTIFICIAL:
+            vertices.append(SummaryVertex(("avalue", terms[t]), kind, None, agg))
+        else:
+            key_tag = "class" if kind is SummaryVertexKind.CLASS else "value"
+            vertices.append(SummaryVertex((key_tag, terms[t]), kind, terms[t], agg))
+    edge_flat = Reader(section("summary.edges")).ids()
+    it = iter(edge_flat)
+    edges = [
+        (terms[label], _EDGE_KINDS[code], vertices[si].key, vertices[ti].key, agg)
+        for label, code, si, ti, agg in zip(it, it, it, it, it)
+    ]
+    summary_meta = meta["summary"]
+    summary = SummaryGraph.from_state(
+        vertices,
+        edges,
+        total_entities=summary_meta["total_entities"],
+        total_relation_edges=summary_meta["total_relation_edges"],
+        total_attribute_edges=summary_meta["total_attribute_edges"],
+        build_seconds=summary_meta["build_seconds"],
+        version=summary_meta["version"],
+    )
+    if counts.get("summary_vertices") is not None and counts["summary_vertices"] != len(
+        vertices
+    ):
+        raise BundleFormatError(f"{path}: summary vertex count mismatch")
+
+    # -- substrate (mmap-backed) --------------------------------------
+    try:
+        substrate = ExplorationSubstrate.from_arrays(
+            summary._canonical_pairs(),
+            decode_raw_ids(section("substrate.offsets")),
+            decode_raw_ids(section("substrate.targets")),
+            backing=mapped,
+        )
+    except ValueError as exc:
+        raise BundleFormatError(f"{path}: substrate sections inconsistent ({exc})") from exc
+    summary.adopt_substrate(substrate)
+
+    loaded = LoadedBundle()
+    loaded.graph = graph
+    loaded.store = store
+    loaded.keyword_index = keyword_index
+    loaded.summary = summary
+    loaded.substrate = substrate
+    loaded.meta = meta
+    loaded.path = path
+    return loaded
+
+
+# ----------------------------------------------------------------------
+# Engine lifecycle: load / compact
+# ----------------------------------------------------------------------
+
+
+def load_engine(
+    path,
+    *,
+    replay_wal: bool = True,
+    attach_wal: bool = True,
+    wal_path=None,
+    lazy: bool = True,
+    **overrides,
+):
+    """Reconstitute a :class:`~repro.core.engine.KeywordSearchEngine`.
+
+    The engine is assembled from the bundle's decoded parts with the
+    engine configuration saved in the header; keyword arguments
+    (``cost_model``, ``k``, ``dmax``, ``strict_keywords``, ``guided``,
+    ``search_cache_size``) override it.  When a delta log exists next to
+    the bundle (``<path>.wal`` unless ``wal_path`` says otherwise), its
+    committed epochs past the bundle's epoch are replayed through the
+    incremental maintenance path, and — with ``attach_wal`` — the log is
+    then hooked into the engine's :class:`~repro.maintenance.IndexManager`
+    so every future update epoch is appended durably.
+
+    With ``lazy`` (the default) the data graph's heavy state and the
+    triple store materialize from the mmap-ed sections on first use
+    (see :mod:`repro.storage.lazy`); searching needs neither, so the
+    returned engine serves queries after O(metadata) work.  ``lazy=False``
+    forces full materialization before returning.
+
+    The bundle + log pair is a **single-writer artifact**: attaching
+    takes an exclusive lock on the log (released by
+    ``engine.delta_log.close()``, or implicitly when the process dies),
+    and a second attach — from this or any other process — fails with
+    :class:`WalError` instead of interleaving epochs that would brick
+    the pair.  Concurrent read-only loads use ``attach_wal=False``.
+    """
+    from repro.core.engine import KeywordSearchEngine
+    from repro.storage.wal import DeltaLog
+
+    started = time.perf_counter()
+    loaded = load_bundle(path)
+    meta = loaded.meta
+    engine_meta = dict(meta["engine"])
+    unknown = set(overrides) - set(engine_meta)
+    if unknown:
+        raise TypeError(f"unknown load() overrides: {sorted(unknown)}")
+    engine_meta.update({k: v for k, v in overrides.items() if v is not None})
+
+    engine = KeywordSearchEngine(
+        loaded.graph,
+        cost_model=engine_meta["cost_model"],
+        k=engine_meta["k"],
+        dmax=engine_meta["dmax"],
+        strict_keywords=engine_meta["strict_keywords"],
+        guided=engine_meta["guided"],
+        keyword_index=loaded.keyword_index,
+        summary=loaded.summary,
+        store=loaded.store,
+        search_cache_size=engine_meta["search_cache_size"],
+    )
+    engine.index_manager.epoch = meta["snapshot"]["epoch"]
+    if not lazy:
+        loaded.graph._materialize()
+        loaded.store._materialize()
+
+    wal_path = os.fspath(wal_path) if wal_path is not None else loaded.path + ".wal"
+    wal = DeltaLog(wal_path)
+    replayed = 0
+    try:
+        if attach_wal:
+            # Lock *before* reading the tail: a still-attached writer
+            # could otherwise commit an epoch between our replay and our
+            # attach, and our next update would append a duplicate of it.
+            wal._lock_exclusively()
+        if replay_wal:
+            replayed = wal.replay_into(engine, from_epoch=meta["snapshot"]["epoch"])
+        if attach_wal:
+            if not replay_wal and any(
+                epoch >= meta["snapshot"]["epoch"]
+                for epoch, _, _ in wal.committed_entries()
+            ):
+                # Appending new epochs after an unreplayed committed tail
+                # would interleave out-of-order epochs in the log: the
+                # engine has silently diverged from the artifact pair, and
+                # the next load would (rightly) refuse the gap.  Refuse up
+                # front.
+                raise WalError(
+                    f"{wal_path}: refusing attach_wal with replay_wal=False "
+                    "while the log holds a committed tail past the bundle's "
+                    "epoch — replay it, or load with attach_wal=False"
+                )
+            wal.attach(engine.index_manager)
+            engine.delta_log = wal
+    except BaseException:
+        wal.close()
+        raise
+
+    engine.artifact = {
+        "path": os.path.abspath(loaded.path),
+        "format_version": FORMAT_VERSION,
+        "epoch_at_save": meta["snapshot"]["epoch"],
+        "summary_version_at_save": meta["snapshot"]["summary_version"],
+        "index_version_at_save": meta["snapshot"]["index_version"],
+        "wal_path": os.path.abspath(wal_path) if (replay_wal or attach_wal) else None,
+        "wal_epochs_replayed": replayed,
+        "load_seconds": time.perf_counter() - started,
+        "writer": meta.get("writer"),
+    }
+    return engine
+
+
+def compact_bundle(path, wal_path=None) -> Dict[str, object]:
+    """Fold the delta log into a fresh bundle and truncate the log.
+
+    Loads bundle + committed WAL tail, writes the caught-up state as a
+    new bundle (atomic same-directory replace), then resets the log —
+    the epochs it held are now part of the bundle itself.  Returns an
+    info dict including how many logged epochs were folded in.
+    """
+    from repro.storage.wal import DeltaLog
+
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        # Checked before the lock below, which would otherwise create a
+        # stray (empty) delta log next to a bundle that never existed.
+        raise FileNotFoundError(f"no such bundle: {path}")
+    log = DeltaLog(wal_path if wal_path is not None else path + ".wal")
+    # Take the single-writer lock *before* touching the bundle: an engine
+    # attached to the log would keep appending epochs the fresh bundle
+    # does not contain, so compacting under it must fail — and fail
+    # before the bundle file is replaced, not after.
+    log._lock_exclusively()
+    try:
+        engine = load_engine(
+            path, replay_wal=True, attach_wal=False, wal_path=log.path
+        )
+        folded = engine.artifact["wal_epochs_replayed"]
+        tmp_path = f"{path}.compact.{os.getpid()}"
+        try:
+            info = save_bundle(engine, tmp_path, force=True)
+            os.replace(tmp_path, path)
+            fsync_directory(path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        log.reset()
+    finally:
+        log.close()
+    info["path"] = path
+    info["wal_epochs_folded"] = folded
+    return info

@@ -1,0 +1,351 @@
+"""Binary primitives of the bundle format: terms, id blobs, groupings.
+
+The bundle is pickle-free by design — loading an artifact must never
+execute data-controlled code — so every structure is reduced to three
+primitive shapes with explicit little-endian encodings:
+
+* a **term table**: each distinct RDF term encoded once, addressed by its
+  position, with datatype URIs interned *before* the literals that carry
+  them so decoding is a single forward pass;
+* **id blobs**: ``int64`` arrays (term ids, triple indices, counts),
+  decoded wholesale via :meth:`array.array.frombytes` — the C-speed path
+  that makes cold start cheap;
+* **groupings**: a ``keys / offsets / flat values`` triple of id blobs
+  encoding one mapping ``key -> [values]``, restored with slice
+  comprehensions instead of per-entry insertion.
+
+Strings (analyzed index terms, display labels) travel in **string
+streams** with the same count-prefixed framing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+from array import array
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.rdf.terms import BNode, Literal, Term, URI
+
+from repro.storage.errors import BundleFormatError
+
+
+def fsync_directory(file_path) -> None:
+    """Flush the directory entry of a just created/renamed file.
+
+    ``fsync`` on the file alone does not make its *name* durable; after
+    an ``os.replace`` or first creation, a power loss can still lose the
+    directory entry.  Best-effort: platforms or filesystems that cannot
+    open/fsync a directory are silently tolerated.
+    """
+    directory = os.path.dirname(os.path.abspath(os.fspath(file_path))) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+# Term record kinds (one byte each).
+_TERM_URI = 0
+_TERM_BNODE = 1
+_TERM_LITERAL = 2
+_TERM_LITERAL_DT = 3
+_TERM_LITERAL_LANG = 4
+
+
+class Interner:
+    """Dense get-or-assign id table, first-seen order.
+
+    ``id(item)`` is stable for the lifetime of the interner; iterating
+    :attr:`items` yields the table in id order — the order the encoders
+    write and the decoders rebuild.
+    """
+
+    __slots__ = ("_ids", "items")
+
+    def __init__(self):
+        self._ids: Dict = {}
+        self.items: List = []
+
+    def id(self, item) -> int:
+        existing = self._ids.get(item)
+        if existing is not None:
+            return existing
+        index = len(self.items)
+        self._ids[item] = index
+        self.items.append(item)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class TermInterner(Interner):
+    """Term interner that orders datatype URIs before their literals, so
+    decoding the term table is one forward pass."""
+
+    __slots__ = ()
+
+    def id(self, term: Term) -> int:
+        if (
+            term not in self._ids
+            and isinstance(term, Literal)
+            and term.datatype is not None
+        ):
+            super().id(term.datatype)
+        return super().id(term)
+
+    @property
+    def terms(self) -> List[Term]:
+        return self.items
+
+
+def _pack_str(text: str) -> bytes:
+    data = text.encode("utf-8")
+    return _U32.pack(len(data)) + data
+
+
+class Reader:
+    """Forward-only reader over one section's bytes."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf):
+        self.buf = buf
+        self.pos = 0
+
+    def _take(self, n: int):
+        end = self.pos + n
+        if end > len(self.buf):
+            raise BundleFormatError(
+                f"section truncated: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.buf) - self.pos}"
+            )
+        chunk = self.buf[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def string(self) -> str:
+        length = self.u32()
+        return bytes(self._take(length)).decode("utf-8")
+
+    def ids(self) -> List[int]:
+        """One count-prefixed int64 blob, as a plain list of ints."""
+        count = self.u64()
+        raw = self._take(8 * count)
+        a = array("q")
+        a.frombytes(raw)
+        if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts
+            a.byteswap()
+        return a.tolist()
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.buf)
+
+
+def encode_ids(seq: Iterable[int]) -> bytes:
+    """Count-prefixed ``int64`` little-endian blob."""
+    a = array("q", seq)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts
+        a = array("q", a)
+        a.byteswap()
+    return _U64.pack(len(a)) + a.tobytes()
+
+
+def encode_raw_ids(seq) -> bytes:
+    """A bare ``int64`` little-endian blob — no framing, so a reader can
+    hand the bytes straight to ``mmap``-backed views (the substrate's CSR
+    sections)."""
+    if isinstance(seq, array) and seq.itemsize == 8:
+        a = seq
+    else:
+        a = array("q", seq)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts
+        a = array("q", a)
+        a.byteswap()
+    return a.tobytes()
+
+
+def decode_raw_ids(buf) -> Sequence[int]:
+    """View a bare int64 blob without copying when the host allows it.
+
+    On little-endian hosts the returned object is a ``memoryview`` cast
+    to 8-byte ints directly over the (typically mmap-backed) buffer —
+    indexing, slicing, and iteration all read through to the file pages.
+    Elsewhere it falls back to a byteswapped in-memory ``array``.
+    """
+    if len(buf) % 8:
+        raise BundleFormatError(
+            f"raw int64 section length {len(buf)} is not a multiple of 8"
+        )
+    if _LITTLE_ENDIAN:
+        return memoryview(buf).cast("q")
+    a = array("q")  # pragma: no cover - big-endian hosts
+    a.frombytes(buf)
+    a.byteswap()
+    return a
+
+
+def encode_strings(strings: Iterable[str]) -> bytes:
+    """Count-prefixed stream of length-prefixed UTF-8 strings."""
+    items = [_pack_str(s) for s in strings]
+    return _U64.pack(len(items)) + b"".join(items)
+
+
+def decode_strings(reader: Reader) -> List[str]:
+    return [reader.string() for _ in range(reader.u64())]
+
+
+# ----------------------------------------------------------------------
+# Term table
+# ----------------------------------------------------------------------
+
+
+def encode_terms(terms: Sequence[Term], term_id) -> bytes:
+    """Encode the interned term table (id order)."""
+    out = [_U64.pack(len(terms))]
+    for term in terms:
+        if isinstance(term, URI):
+            out.append(bytes([_TERM_URI]))
+            out.append(_pack_str(term.value))
+        elif isinstance(term, BNode):
+            out.append(bytes([_TERM_BNODE]))
+            out.append(_pack_str(term.label))
+        elif isinstance(term, Literal):
+            if term.datatype is not None:
+                out.append(bytes([_TERM_LITERAL_DT]))
+                out.append(_pack_str(term.lexical))
+                out.append(_U64.pack(term_id(term.datatype)))
+            elif term.language is not None:
+                out.append(bytes([_TERM_LITERAL_LANG]))
+                out.append(_pack_str(term.lexical))
+                out.append(_pack_str(term.language))
+            else:
+                out.append(bytes([_TERM_LITERAL]))
+                out.append(_pack_str(term.lexical))
+        else:  # pragma: no cover - the graph never stores Variables
+            raise BundleFormatError(f"cannot encode term type {type(term).__name__}")
+    return b"".join(out)
+
+
+def decode_terms(buf) -> List[Term]:
+    """Decode the term table from its section bytes.
+
+    Implemented over one contiguous ``bytes`` object with
+    ``struct.unpack_from`` rather than the :class:`Reader` — the table is
+    the one section whose decode is a per-record Python loop over the
+    whole vocabulary, so call overhead matters for cold start.
+    """
+    data = bytes(buf)
+    if len(data) < 8:
+        raise BundleFormatError("term table truncated: missing count")
+    (count,) = _U64.unpack_from(data, 0)
+    pos = 8
+    end = len(data)
+    u32_from = _U32.unpack_from
+    u64_from = _U64.unpack_from
+    terms: List[Term] = []
+    append = terms.append
+    try:
+        for index in range(count):
+            kind = data[pos]
+            (length,) = u32_from(data, pos + 1)
+            pos += 5
+            if pos + length > end:
+                raise BundleFormatError(
+                    f"term table truncated inside term {index}"
+                )
+            text = data[pos : pos + length].decode("utf-8")
+            pos += length
+            if kind == _TERM_URI:
+                append(URI(text))
+            elif kind == _TERM_LITERAL:
+                append(Literal(text))
+            elif kind == _TERM_LITERAL_DT:
+                (dt_id,) = u64_from(data, pos)
+                pos += 8
+                if dt_id >= index:
+                    raise BundleFormatError(
+                        f"term {index}: datatype id {dt_id} is not a prior term"
+                    )
+                datatype = terms[dt_id]
+                if not isinstance(datatype, URI):
+                    raise BundleFormatError(
+                        f"term {index}: datatype id {dt_id} is not a URI"
+                    )
+                append(Literal(text, datatype=datatype))
+            elif kind == _TERM_LITERAL_LANG:
+                (length,) = u32_from(data, pos)
+                pos += 4
+                if pos + length > end:
+                    raise BundleFormatError(
+                        f"term table truncated inside term {index}"
+                    )
+                append(Literal(text, language=data[pos : pos + length].decode("utf-8")))
+                pos += length
+            elif kind == _TERM_BNODE:
+                append(BNode(text))
+            else:
+                raise BundleFormatError(f"unknown term kind {kind} at term {index}")
+    except (struct.error, IndexError) as exc:
+        raise BundleFormatError(f"term table truncated: {exc}") from exc
+    return terms
+
+
+# ----------------------------------------------------------------------
+# Groupings: one mapping `key -> [v1, v2, ...]` as three id blobs
+# ----------------------------------------------------------------------
+
+
+def encode_grouping(items: Iterable[Tuple[int, Iterable[int]]]) -> bytes:
+    """``(key_id, value_ids)`` pairs → keys / offsets / flat-values blobs.
+
+    Iteration order is preserved exactly, both across keys and within one
+    key's values — restored dicts therefore carry the same insertion
+    order as the live structures they were exported from.
+    """
+    keys: List[int] = []
+    offsets: List[int] = [0]
+    values: List[int] = []
+    for key_id, value_ids in items:
+        keys.append(key_id)
+        values.extend(value_ids)
+        offsets.append(len(values))
+    return encode_ids(keys) + encode_ids(offsets) + encode_ids(values)
+
+
+def decode_grouping(reader: Reader) -> Tuple[List[int], List[int], List[int]]:
+    """The ``(keys, offsets, flat values)`` lists of one grouping."""
+    keys = reader.ids()
+    offsets = reader.ids()
+    values = reader.ids()
+    if len(offsets) != len(keys) + 1:
+        raise BundleFormatError(
+            f"grouping offsets mismatch: {len(keys)} keys, {len(offsets)} offsets"
+        )
+    if offsets and offsets[-1] != len(values):
+        raise BundleFormatError(
+            f"grouping values mismatch: final offset {offsets[-1]}, "
+            f"{len(values)} values"
+        )
+    return keys, offsets, values

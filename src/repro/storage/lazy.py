@@ -1,0 +1,128 @@
+"""Deferred materialization of bundle sections: O(metadata) cold start.
+
+A keyword *search* reads the keyword index, the summary graph, its CSR
+substrate, and two scalar predicate preferences — it never touches the
+data graph's adjacency or the triple store's SPO/POS/OSP nests.  Those
+are only needed by query *processing* (``execute``) and by incremental
+maintenance.  Decoding them anyway would dominate cold start: they are
+exactly the containers whose reconstruction costs one Python-level hash
+per stored object.
+
+So the loader hands the engine subclasses whose heavy state is a
+*thunk* over the mmap-ed bundle sections:
+
+* :class:`LazyDataGraph` — predicate preferences, ``len`` and ``stats``
+  are served from bundle metadata; the first touch of any other state
+  (an update batch, a filter search, ``label_of``) decodes the sections
+  in one shot and the instance becomes an ordinary
+  :class:`~repro.rdf.graph.DataGraph`;
+* :class:`LazyTripleStore` — same pattern for the first ``execute``.
+
+Materialization produces exactly what the eager decode produces (one
+shared code path), so laziness is invisible to the byte-identity
+property tests — it only moves *when* the work happens.  A lock makes a
+concurrent first touch from the serving layer's worker pool safe: both
+threads would build identical state; one wins, the other's work is
+discarded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Callable, Dict
+
+from repro.rdf.graph import DataGraph
+from repro.store.triple_store import TripleStore
+
+
+class LazyDataGraph(DataGraph):
+    """A :class:`DataGraph` whose heavy state decodes on first touch.
+
+    ``__init__`` deliberately does not chain to the base constructor:
+    only the cheap, search-relevant scalars are populated eagerly.  Any
+    access to an absent attribute funnels through ``__getattr__``, which
+    materializes the full state under a lock and then retries the
+    lookup — afterwards the instance is indistinguishable from an
+    eagerly restored graph.
+    """
+
+    def __init__(
+        self,
+        thunk: Callable[[], Dict[str, object]],
+        *,
+        strict: bool,
+        conflicts,
+        type_pred_counts,
+        subclass_pred_counts,
+        stats: Dict[str, int],
+    ):
+        self._lazy_lock = threading.Lock()
+        self._lazy_stats = dict(stats)
+        self._lazy_thunk = thunk
+        self.strict = strict
+        self.conflicts = list(conflicts)
+        self._type_pred_counts = defaultdict(int, type_pred_counts)
+        self._subclass_pred_counts = defaultdict(int, subclass_pred_counts)
+
+    def _materialize(self) -> None:
+        with self._lazy_lock:
+            thunk = self._lazy_thunk
+            if thunk is None:
+                return
+            state = thunk()
+            full = DataGraph.from_state(state)
+            # Adopt the restored graph's state wholesale; conflicts/strict
+            # and the eager predicate counters are simply overwritten with
+            # equal values.  Clearing the thunk last keeps the "am I
+            # materialized" check conservative.
+            self.__dict__.update(full.__dict__)
+            self._lazy_thunk = None
+
+    def __getattr__(self, name):
+        # Only reached for attributes missing from __dict__.  Guard
+        # against recursion during __init__ and against genuinely unknown
+        # attributes after materialization.
+        if name.startswith("_lazy") or self.__dict__.get("_lazy_thunk") is None:
+            raise AttributeError(name)
+        self._materialize()
+        return getattr(self, name)
+
+    def __len__(self) -> int:
+        if self._lazy_thunk is not None:
+            return self._lazy_stats["triples"]
+        return super().__len__()
+
+    def stats(self) -> Dict[str, int]:
+        if self._lazy_thunk is not None:
+            return dict(self._lazy_stats)
+        return super().stats()
+
+
+class LazyTripleStore(TripleStore):
+    """A :class:`TripleStore` whose SPO/POS/OSP nests decode on first use."""
+
+    def __init__(self, thunk: Callable[[], TripleStore], size: int):
+        self._lazy_lock = threading.Lock()
+        self._lazy_size = size
+        self._lazy_thunk = thunk
+
+    def _materialize(self) -> None:
+        with self._lazy_lock:
+            thunk = self._lazy_thunk
+            if thunk is None:
+                return
+            full = thunk()
+            self.__dict__.update(full.__dict__)
+            self._lazy_thunk = None
+
+    def __getattr__(self, name):
+        if name.startswith("_lazy") or self.__dict__.get("_lazy_thunk") is None:
+            raise AttributeError(name)
+        self._materialize()
+        return getattr(self, name)
+
+    def __len__(self) -> int:
+        if self._lazy_thunk is not None:
+            return self._lazy_size
+        return super().__len__()

@@ -1,0 +1,327 @@
+"""The write-ahead delta log: restart-safe update epochs for a bundle.
+
+A bundle is one frozen engine state; the delta log makes the pair
+*(bundle, log)* a durable, incrementally maintained artifact.  Every
+committed update epoch appends one entry::
+
+    B <epoch>
+    A <triple in N-Triples syntax> .
+    R <triple in N-Triples syntax> .
+    ...
+    C <epoch> <crc32 of the A/R lines, hex>
+
+``B`` opens the entry with the epoch it transforms (the manager's
+pre-batch counter), ``A``/``R`` carry the deduplicated add/remove batch
+in exact N-Triples syntax (the round-trip identity of
+``repro.rdf.ntriples`` is property-tested precisely because this file
+depends on it), and ``C`` commits it with a checksum.  The entry body is
+written and fsynced *before* the in-memory structures mutate (hooked as
+the :class:`~repro.maintenance.IndexManager`'s ``record`` epoch hook),
+and ``C`` only lands after the epoch really committed — so on restart:
+
+* an entry without its ``C`` line (crash mid-write, or a batch whose
+  application failed) is ignored,
+* committed entries with epochs the bundle already contains are skipped,
+* the remaining tail replays through the normal incremental-maintenance
+  path, which the maintained==rebuilt property guarantees reproduces the
+  exact pre-crash engine,
+* a corrupt checksum or an epoch *gap* raises
+  :class:`~repro.storage.errors.WalError` — missing updates must never
+  be papered over.
+
+``repro compact`` folds the tail back into a fresh bundle and truncates
+the log (:func:`repro.storage.bundle.compact_bundle`).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
+
+from repro.rdf.ntriples import NTriplesParseError, parse_ntriples
+from repro.rdf.triples import Triple
+
+from repro.storage.codec import fsync_directory
+from repro.storage.errors import WalError
+
+_HEADER = "# repro-wal 1"
+
+
+class DeltaLog:
+    """An append-only N-Triples delta log bound to one bundle path.
+
+    By convention the log lives at ``<bundle>.wal``; the class itself
+    only knows its own path.  Instances are not thread-safe on their own
+    — they are driven from inside the IndexManager's update epoch, which
+    the serving layer already serializes (writer-exclusive epochs).
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._fh = None
+        #: (epoch, crc) of the entry whose body is written but not yet
+        #: committed; cleared by :meth:`commit`.
+        self._pending: Optional[Tuple[int, int]] = None
+        #: Set by :meth:`close`: the log was relinquished (lock released),
+        #: so this instance must never append again — another engine may
+        #: own the artifact now, and an unlocked append would interleave
+        #: duplicate epochs.
+        self._retired = False
+
+    # ------------------------------------------------------------------
+    # Writing (IndexManager epoch hooks)
+    # ------------------------------------------------------------------
+
+    def attach(self, manager) -> None:
+        """Hook into an IndexManager so every epoch is logged durably.
+
+        ``record`` runs write-ahead (after batch dedup, before any
+        structure mutates) and ``commit`` closes the entry only when the
+        epoch actually advanced — a failed batch leaves an uncommitted
+        entry that replay ignores.
+
+        The log is an **exclusive** resource: two attached engines would
+        interleave duplicate epochs and permanently brick the
+        bundle+log pair, so attaching takes an advisory ``flock`` on the
+        file (held until :meth:`close`) and raises :class:`WalError` if
+        another engine — in this process or any other — already holds
+        it.
+        """
+        self._lock_exclusively()
+        manager.add_epoch_hooks(record=self.record, commit=self.commit)
+
+    def _lock_exclusively(self) -> None:
+        fh = self._file()
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            return
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            raise WalError(
+                f"{self.path}: delta log is already attached to another "
+                "engine (bundle + WAL form a single-writer artifact); load "
+                "read-only with attach_wal=False instead"
+            ) from exc
+        # Holding a fresh lock un-retires the instance: it is the owner
+        # again.
+        self._retired = False
+
+    def _file(self):
+        if self._fh is None or self._fh.closed:
+            is_new = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._fh = open(self.path, "a", encoding="utf-8", newline="\n")
+            if is_new:
+                self._fh.write(_HEADER + "\n")
+                fsync_directory(self.path)
+        return self._fh
+
+    def record(self, epoch: int, adds: Sequence[Triple], removes: Sequence[Triple]) -> None:
+        """Append one entry body (``B`` + ``A``/``R`` lines) and fsync.
+
+        Raises :class:`WalError` on a retired (explicitly closed) log:
+        the write-ahead position of this hook makes the raise abort the
+        update *before* any structure mutates, so an engine whose log was
+        handed to another owner fails loudly instead of corrupting the
+        artifact with unlocked appends.
+        """
+        if self._retired:
+            raise WalError(
+                f"{self.path}: delta log was closed (handed over); this "
+                "engine can no longer apply updates — reload the bundle"
+            )
+        body_lines: List[str] = [f"A {t.n3()}" for t in adds]
+        body_lines.extend(f"R {t.n3()}" for t in removes)
+        crc = zlib.crc32("\n".join(body_lines).encode("utf-8"))
+        fh = self._file()
+        # The leading newline is the anti-merge guard: if the previous
+        # process crashed mid-line (a torn C), this entry's B still
+        # starts on its own line instead of fusing with the fragment —
+        # the scanner skips blank lines, so intact logs are unaffected.
+        fh.write(f"\nB {epoch}\n")
+        for line in body_lines:
+            fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._pending = (epoch, crc)
+
+    def commit(self, epoch_after: int) -> None:
+        """Close the pending entry iff its epoch committed.
+
+        Called with the manager's post-batch epoch counter; equality with
+        the recorded epoch means the batch failed (or was a no-op that
+        never recorded) and the entry stays uncommitted on disk.
+        """
+        if self._pending is None:
+            return
+        recorded_epoch, crc = self._pending
+        self._pending = None
+        if epoch_after <= recorded_epoch:
+            return
+        fh = self._file()
+        fh.write(f"C {recorded_epoch} {crc:08x}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        """Release the append handle (and with it the exclusive lock).
+
+        After close the bundle+log pair is free for another engine; a
+        crashed process releases the ``flock`` implicitly.  The instance
+        is *retired*: a still-registered record hook that fires later
+        raises instead of appending without the lock.
+        """
+        self._retired = True
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    def __del__(self):  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def reset(self) -> None:
+        """Truncate to an empty log (after compaction folded it in).
+
+        Locks before truncating: compacting a log out from under an
+        attached engine would lose its next epochs, so an actively held
+        log makes reset raise :class:`WalError` instead.  When this
+        instance already holds the lock (the compaction flow), the
+        truncation goes through the locked handle directly — releasing
+        and re-acquiring would open a window in which another engine
+        could attach, commit an epoch, and have it silently truncated.
+        """
+        if self._fh is not None and not self._fh.closed:
+            self._truncate_through(self._fh)
+            return
+        with open(self.path, "a+", encoding="utf-8", newline="\n") as fh:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError as exc:
+                    raise WalError(
+                        f"{self.path}: cannot truncate — the delta log is "
+                        "attached to a running engine"
+                    ) from exc
+            self._truncate_through(fh)
+
+    @staticmethod
+    def _truncate_through(fh) -> None:
+        fh.seek(0)
+        fh.truncate()
+        fh.write(_HEADER + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------------
+    # Reading / replay
+    # ------------------------------------------------------------------
+
+    def committed_entries(self) -> Iterator[Tuple[int, List[Triple], List[Triple]]]:
+        """Yield ``(epoch, adds, removes)`` for every provably committed entry.
+
+        The damage policy mirrors classic WAL recovery: an entry is
+        committed only if its whole ``B``/body/``C`` frame is intact —
+        a torn or malformed line (the expected shape of a crash mid-write,
+        including a crash-torn ``C`` that a later append lands after)
+        simply makes its entry *uncommitted* and skipped.  Interior
+        damage — a dropped entry with committed successors — surfaces as
+        an epoch gap in :meth:`replay_into`, never as a silently shortened
+        history.  Two damages DO raise here: a header that is not this
+        release's ``repro-wal`` version (a future format must be refused,
+        not misparsed), and a CRC-valid entry whose N-Triples body does
+        not parse (a writer bug, not a torn write).
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8", newline="") as fh:
+            lines = fh.read().split("\n")
+        first = next((line.strip() for line in lines if line.strip()), None)
+        if first is not None and first != _HEADER:
+            raise WalError(
+                f"{self.path}: unrecognized delta-log header {first!r}; this "
+                f"release reads {_HEADER!r} — rebuild the bundle (or use the "
+                "matching release)"
+            )
+        entry: Optional[Tuple[int, List[str]]] = None
+        for number, raw in enumerate(lines, start=1):
+            line = raw.rstrip("\r")
+            if not line or line.startswith("#"):
+                continue
+            tag, _, rest = line.partition(" ")
+            if tag == "B":
+                try:
+                    entry = (int(rest), [])
+                except ValueError:
+                    entry = None  # torn framing voids the entry
+            elif tag in ("A", "R"):
+                if entry is not None:
+                    entry[1].append(line)
+            elif tag == "C":
+                if entry is None:
+                    continue
+                epoch, body = entry
+                entry = None
+                fields = rest.split()
+                if len(fields) != 2 or fields[0] != str(epoch):
+                    continue  # damaged commit marker: entry uncommitted
+                crc = zlib.crc32("\n".join(body).encode("utf-8"))
+                if fields[1] != f"{crc:08x}":
+                    continue  # damaged body or marker: entry uncommitted
+                yield (epoch, *self._parse_body(body, number))
+            else:
+                entry = None  # foreign bytes void the surrounding entry
+
+    def _parse_body(
+        self, body: List[str], line_number: int
+    ) -> Tuple[List[Triple], List[Triple]]:
+        adds: List[Triple] = []
+        removes: List[Triple] = []
+        for line in body:
+            target = adds if line[0] == "A" else removes
+            try:
+                target.extend(parse_ntriples(line[2:]))
+            except NTriplesParseError as exc:
+                raise WalError(
+                    f"{self.path}: unparseable triple in committed entry "
+                    f"(near line {line_number}): {exc}"
+                ) from exc
+        return adds, removes
+
+    def replay_into(self, engine, from_epoch: int) -> int:
+        """Apply the committed tail past ``from_epoch`` to an engine.
+
+        Entries are replayed through ``engine.index_manager.apply_batch``
+        — the same delta-propagation path that produced them — in strict
+        epoch order.  Entries the bundle already contains are skipped; a
+        gap (the log starts after the bundle's epoch) raises
+        :class:`WalError`, because silently resuming past lost updates
+        would serve a diverged engine.  Returns the number of epochs
+        applied.
+        """
+        applied = 0
+        expected = from_epoch
+        for epoch, adds, removes in self.committed_entries():
+            if epoch < from_epoch:
+                continue
+            if epoch != expected:
+                raise WalError(
+                    f"{self.path}: epoch gap — bundle is at {expected}, next "
+                    f"committed log entry is {epoch}; updates were lost, rebuild "
+                    "the bundle from the source data"
+                )
+            changed = engine.index_manager.apply_batch(adds=adds, removes=removes)
+            if changed == 0:
+                raise WalError(
+                    f"{self.path}: committed epoch {epoch} replayed as a no-op; "
+                    "the log does not extend this bundle"
+                )
+            expected += 1
+            applied += 1
+        return applied

@@ -97,6 +97,30 @@ class TripleStore:
         return sum(1 for t in triples if self.remove(t))
 
     # ------------------------------------------------------------------
+    # Persistence (used by repro.storage)
+    # ------------------------------------------------------------------
+
+    def state_for_persistence(self) -> Dict[str, _Index]:
+        """Read-only references to the three nested indexes."""
+        return {"spo": self._spo, "pos": self._pos, "osp": self._osp}
+
+    @classmethod
+    def from_state(cls, spo: _Index, pos: _Index, osp: _Index, size: int) -> "TripleStore":
+        """Adopt pre-built nested indexes (the bundle loader's output).
+
+        Replaying :meth:`add` per triple would redo exactly the hashing
+        this bypasses; the caller guarantees the three indexes are the
+        SPO/POS/OSP views of one triple set of ``size`` triples, built as
+        the same ``defaultdict`` nesting :func:`_nested` produces.
+        """
+        store = cls.__new__(cls)
+        store._spo = spo
+        store._pos = pos
+        store._osp = osp
+        store._size = size
+        return store
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 

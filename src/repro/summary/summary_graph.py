@@ -373,6 +373,71 @@ class SummaryGraph:
         return len(self._incident.get(vertex_key, ()))
 
     # ------------------------------------------------------------------
+    # Persistence (used by repro.storage)
+    # ------------------------------------------------------------------
+
+    def state_for_persistence(self) -> Dict[str, object]:
+        """Vertices and edges in insertion order plus the scalars.
+
+        Incidence lists and label buckets are not exported: replaying the
+        same vertex/edge insertion order rebuilds them identically (see
+        :meth:`from_state`).
+        """
+        return {
+            "vertices": self._vertices,
+            "edges": self._edges,
+            "total_entities": self.total_entities,
+            "total_relation_edges": self.total_relation_edges,
+            "total_attribute_edges": self.total_attribute_edges,
+            "build_seconds": self.build_seconds,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        vertices: Iterable[SummaryVertex],
+        edges: Iterable[Tuple[URI, SummaryEdgeKind, Hashable, Hashable, int]],
+        *,
+        total_entities: int,
+        total_relation_edges: int,
+        total_attribute_edges: int,
+        build_seconds: float,
+        version: int,
+    ) -> "SummaryGraph":
+        """Replay saved vertices and edges in their saved insertion order.
+
+        Replaying through :meth:`_add_vertex` / :meth:`add_edge` (rather
+        than adopting raw dicts) keeps this constructor honest about the
+        class invariants — incidence lists and per-label buckets come out
+        exactly as the live graph had them, because their order is purely
+        a function of insertion order.  The mutation counter is then
+        pinned to the saved ``version`` so the restored graph's
+        :attr:`snapshot_key` matches the saved one.
+        """
+        summary = cls()
+        for vertex in vertices:
+            summary._add_vertex(vertex)
+        for label, kind, source_key, target_key, agg_count in edges:
+            summary.add_edge(label, kind, source_key, target_key, agg_count=agg_count)
+        summary.total_entities = max(total_entities, 1)
+        summary.total_relation_edges = max(total_relation_edges, 1)
+        summary.total_attribute_edges = max(total_attribute_edges, 1)
+        summary.build_seconds = build_seconds
+        summary.version = version
+        return summary
+
+    def adopt_substrate(self, substrate: ExplorationSubstrate) -> None:
+        """Install a restored CSR substrate for the *current* version.
+
+        Used by the bundle loader right after :meth:`from_state`: the
+        mmap-backed substrate replaces the first
+        :meth:`exploration_substrate` build.  Any later mutation advances
+        :attr:`version` and drops it, exactly like a built one.
+        """
+        self._substrate_cache = (self.version, substrate)
+
+    # ------------------------------------------------------------------
     # Copy (kept as the reference semantics the overlay view is benchmarked
     # against; query-time augmentation uses OverlaySummaryGraph instead)
     # ------------------------------------------------------------------

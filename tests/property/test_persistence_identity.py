@@ -1,0 +1,229 @@
+"""Property: a bundle-loaded engine ≡ the engine that was saved ≡ a rebuild.
+
+The persistence contract extends PR 1's maintained == rebuilt guarantee
+to disk: for any engine, ``KeywordSearchEngine.load(save(engine))`` must
+produce **byte-identical** ``search()`` output — candidate queries in
+canonical form, costs, ranks, renderings (SPARQL/SQL/NL), matching
+subgraphs (connecting element, paths, element sets), keyword matches,
+and the exploration diagnostics — and ``execute()`` must return the same
+answer multiset (answer *order* over hash sets was never part of the
+engine's canonicalized surface).
+
+The guarantee must also hold *through the write-ahead delta log*: after
+updates against a loaded engine, a fresh ``load`` that replays the WAL
+tail must equal both the live updated engine and a from-scratch rebuild
+over the final triple set.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import KeywordSearchEngine
+from repro.query.isomorphism import canonical_form
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF, RDFS
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+
+# ----------------------------------------------------------------------
+# Byte-level search-output signatures
+# ----------------------------------------------------------------------
+
+
+def _subgraph_signature(subgraph):
+    return (
+        repr(subgraph.connecting_element),
+        tuple(tuple(map(repr, path)) for path in subgraph.paths),
+        tuple(sorted(map(repr, subgraph.elements))),
+        subgraph.cost,
+    )
+
+
+def _exploration_signature(exploration):
+    if exploration is None:
+        return None
+    return (
+        exploration.cursors_created,
+        exploration.cursors_popped,
+        exploration.cursors_pruned,
+        exploration.candidates_offered,
+        exploration.terminated_by,
+        exploration.max_queue_size,
+        tuple(_subgraph_signature(s) for s in exploration.subgraphs),
+    )
+
+
+def search_signature(engine, query, **kwargs):
+    """Everything a search returns, exactly (timings excepted)."""
+    result = engine.search(query, **kwargs)
+    return (
+        tuple(result.keywords),
+        tuple(result.ignored_keywords),
+        tuple(tuple(map(repr, matches)) for matches in result.matches),
+        tuple(
+            (
+                canonical_form(c.query),
+                str(c.query),
+                c.cost,
+                c.rank,
+                c.to_sparql(),
+                c.to_sql(),
+                c.verbalize(),
+                _subgraph_signature(c.subgraph),
+            )
+            for c in result.candidates
+        ),
+        _exploration_signature(result.exploration),
+    )
+
+
+def execute_signature(engine, query):
+    """Answer multiset of the best candidate (order is not canonical)."""
+    best = engine.search(query).best()
+    if best is None:
+        return None
+    return sorted(str(answer) for answer in engine.execute(best))
+
+
+def assert_engines_identical(reference, other, queries):
+    for query in queries:
+        assert search_signature(reference, query) == search_signature(other, query), query
+        assert execute_signature(reference, query) == execute_signature(other, query), query
+
+
+# ----------------------------------------------------------------------
+# Fixture-based identity: DBLP and TAP, per the acceptance criteria
+# ----------------------------------------------------------------------
+
+DBLP_QUERIES = (
+    "conference 2005",
+    "article john",
+    "proceedings title",
+    "journal 2003 author",
+    "zzz-no-such-keyword title",
+)
+TAP_QUERIES = ("musician album", "city country", "person name", "company product")
+EXAMPLE_QUERIES = ("cimiano 2006", "aifb publication", "article proceedings 2006")
+
+
+@pytest.mark.parametrize(
+    "fixture_name, queries",
+    [
+        ("example_graph", EXAMPLE_QUERIES),
+        ("dblp_small", DBLP_QUERIES),
+        ("tap_small", TAP_QUERIES),
+    ],
+)
+def test_load_save_round_trip_identity(request, tmp_path, fixture_name, queries):
+    graph = request.getfixturevalue(fixture_name)
+    engine = KeywordSearchEngine(DataGraph(graph.triples))
+    path = tmp_path / "engine.reprobundle"
+    engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    assert_engines_identical(engine, loaded, queries)
+    # The formal snapshot-key pair and epoch survive the round trip.
+    assert loaded.summary.snapshot_key == engine.summary.snapshot_key
+    assert loaded.keyword_index.snapshot_key == engine.keyword_index.snapshot_key
+    assert loaded.index_manager.epoch == engine.index_manager.epoch
+
+
+@pytest.mark.parametrize("lazy", [True, False])
+def test_lazy_and_eager_loads_identical(dblp_small, tmp_path, lazy):
+    engine = KeywordSearchEngine(DataGraph(dblp_small.triples))
+    path = tmp_path / "engine.reprobundle"
+    engine.save(path)
+    loaded = KeywordSearchEngine.load(path, lazy=lazy)
+    assert_engines_identical(engine, loaded, DBLP_QUERIES[:2])
+    # Structural equality of the materialized offline layer.
+    loaded.graph._materialize() if lazy else None
+    assert set(loaded.graph.triples) == set(engine.graph.triples)
+    assert loaded.graph.stats() == engine.graph.stats()
+    assert len(loaded.store) == len(engine.store)
+
+
+def test_wal_tail_replay_identity(dblp_small, tmp_path):
+    """save → load → update → reload must equal live and rebuilt engines."""
+    triples = list(dblp_small.triples)
+    engine = KeywordSearchEngine(DataGraph(triples))
+    path = tmp_path / "engine.reprobundle"
+    engine.save(path)
+
+    ns = "http://example.org/walprop/"
+    added = [
+        Triple(URI(ns + "p1"), RDF.type, URI("http://example.org/dblp/Article")),
+        Triple(URI(ns + "p1"), URI("http://purl.org/dc/elements/1.1/title"), Literal("Delta Logged Paper")),
+        Triple(URI(ns + "p1"), URI("http://example.org/dblp/year"), Literal("2008")),
+    ]
+    removed = triples[50:60]
+
+    live = KeywordSearchEngine.load(path)
+    assert live.add_triples(added) == len(added)
+    assert live.remove_triples(removed) == len(removed)
+    assert os.path.exists(f"{path}.wal")
+
+    live.delta_log.close()  # release the single-writer lock ("crash")
+    reloaded = KeywordSearchEngine.load(path)
+    assert reloaded.artifact["wal_epochs_replayed"] == 2
+    assert reloaded.index_manager.epoch == live.index_manager.epoch
+
+    final = [t for t in triples if t not in set(removed)] + added
+    rebuilt = KeywordSearchEngine(DataGraph(final))
+
+    queries = DBLP_QUERIES + ("delta logged paper", "2008 article")
+    assert_engines_identical(live, reloaded, queries)
+    assert_engines_identical(rebuilt, reloaded, queries)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random update batches through the WAL
+# ----------------------------------------------------------------------
+
+EX = "http://example.org/persist/"
+ENTITIES = [URI(EX + f"e{i}") for i in range(5)]
+CLASSES = [URI(EX + c) for c in ("Person", "Project", "Article")]
+RELATIONS = [URI(EX + r) for r in ("knows", "worksOn")]
+ATTRIBUTES = [URI(EX + a) for a in ("name", "year")]
+VALUES = [Literal(v) for v in ("alice", "bob", "2006")]
+PROP_QUERIES = ("person", "alice", "knows", "name", "2006", "project bob")
+
+any_triple = st.one_of(
+    st.builds(lambda e, c: Triple(e, RDF.type, c), st.sampled_from(ENTITIES), st.sampled_from(CLASSES)),
+    st.builds(lambda a, b: Triple(a, RDFS.subClassOf, b), st.sampled_from(CLASSES), st.sampled_from(CLASSES)),
+    st.builds(Triple, st.sampled_from(ENTITIES), st.sampled_from(RELATIONS), st.sampled_from(ENTITIES)),
+    st.builds(Triple, st.sampled_from(ENTITIES), st.sampled_from(ATTRIBUTES), st.sampled_from(VALUES)),
+)
+batches = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.lists(any_triple, min_size=1, max_size=4),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(initial=st.lists(any_triple, min_size=3, max_size=15), updates=batches)
+@settings(max_examples=25, deadline=None)
+def test_wal_replay_random_batches(tmp_path_factory, initial, updates):
+    tmp = tmp_path_factory.mktemp("wal-prop")
+    path = tmp / "engine.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(initial))
+    engine.save(path, force=True)
+
+    live = KeywordSearchEngine.load(path)
+    for action, batch in updates:
+        if action == "add":
+            live.add_triples(batch)
+        else:
+            live.remove_triples(batch)
+
+    live.delta_log.close()  # release the single-writer lock ("crash")
+    reloaded = KeywordSearchEngine.load(path)
+    assert reloaded.index_manager.epoch == live.index_manager.epoch
+    rebuilt = KeywordSearchEngine(DataGraph(live.graph.triples))
+    for query in PROP_QUERIES:
+        live_sig = search_signature(live, query)
+        assert search_signature(reloaded, query) == live_sig, query
+        assert search_signature(rebuilt, query) == live_sig, query

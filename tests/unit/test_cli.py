@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -7,8 +9,14 @@ from repro.rdf.ntriples import serialize_ntriples
 
 
 def test_parser_defaults():
+    from repro.cli import _resolve_engine_args
+
     args = build_parser().parse_args(["cimiano 2006"])
     assert args.dataset == "example"
+    # Engine flags parse as None (so --bundle can tell "unspecified" from
+    # "explicitly passed") and resolve to the stock defaults otherwise.
+    assert args.k is None and args.cost_model is None
+    _resolve_engine_args(args)
     assert args.k == 5
     assert args.cost_model == "c3"
 
@@ -171,3 +179,176 @@ class TestSubcommands:
         with pytest.raises(SystemExit):
             build_bench_parser().parse_args(["--clients", "0"])
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestPersistenceCommands:
+    """`repro build` / `repro compact` / `--bundle` / `--version`."""
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        assert main(["-V"]) == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_build_parser_requires_output(self, capsys):
+        from repro.cli import build_build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_build_parser().parse_args(["--dataset", "example"])
+        assert excinfo.value.code == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_build_parser_defaults(self):
+        from repro.cli import build_build_parser
+
+        from repro.cli import _resolve_engine_args
+
+        args = build_build_parser().parse_args(["-o", "x.reprobundle"])
+        assert args.output == "x.reprobundle"
+        assert args.force is False
+        assert args.dataset == "example"
+        assert args.cost_model is None  # resolved to stock defaults at build
+        _resolve_engine_args(args)
+        assert args.cost_model == "c3"
+
+    def test_compact_parser_requires_bundle(self, capsys):
+        from repro.cli import build_compact_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_compact_parser().parse_args([])
+        assert excinfo.value.code == 2
+        assert "bundle" in capsys.readouterr().err
+
+    def test_build_and_search_bundle(self, tmp_path, capsys):
+        bundle = str(tmp_path / "example.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        assert "# wrote" in capsys.readouterr().err
+        assert main(["search", "2006 cimiano aifb", "--bundle", bundle]) == 0
+        captured = capsys.readouterr()
+        assert "[1]" in captured.out
+        assert "# bundle:" in captured.err
+
+    def test_build_refuses_overwrite_without_force(self, tmp_path, capsys):
+        bundle = str(tmp_path / "example.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        capsys.readouterr()
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 1
+        assert "refusing to overwrite" in capsys.readouterr().err
+        assert main(["build", "--dataset", "example", "-o", bundle, "--force"]) == 0
+
+    def test_compact_missing_bundle_exit_code(self, capsys):
+        assert main(["compact", "does-not-exist.reprobundle"]) == 1
+        assert "repro compact:" in capsys.readouterr().err
+
+    def test_compact_after_updates(self, tmp_path, capsys, example_graph):
+        from repro.rdf.ntriples import serialize_ntriples
+        from repro.core.engine import KeywordSearchEngine
+
+        bundle = str(tmp_path / "example.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        engine = KeywordSearchEngine.load(bundle)
+        extra = tmp_path / "extra.nt"
+        extra.write_text('<ex:n> <http://purl.org/dc/elements/1.1/title> "Novel" .\n')
+        from repro.rdf.ntriples import parse_ntriples
+
+        engine.add_triples(list(parse_ntriples(extra.read_text())))
+        engine.delta_log.close()  # release the single-writer lock
+        capsys.readouterr()
+        assert main(["compact", bundle]) == 0
+        err = capsys.readouterr().err
+        assert "folded 1 WAL epochs" in err
+
+    def test_bundle_preserves_saved_engine_config(self, tmp_path, capsys):
+        from repro.cli import _build_engine, build_parser
+
+        bundle = str(tmp_path / "pg.reprobundle")
+        assert main(["build", "--dataset", "example", "--cost-model", "pagerank",
+                     "-k", "7", "-o", bundle]) == 0
+        capsys.readouterr()
+        # Unspecified flags keep the bundle's config...
+        engine = _build_engine(build_parser().parse_args(["q", "--bundle", bundle]))
+        assert engine.cost_model.name == "pagerank"
+        assert engine.k == 7
+        # ...read-only commands never take the single-writer lock...
+        assert engine.delta_log is None
+        # ...while explicitly passed flags win.
+        args = build_parser().parse_args(["q", "--bundle", bundle, "--cost-model", "c1"])
+        engine = _build_engine(args)
+        assert engine.cost_model.name == "c1"
+        assert engine.k == 7
+        assert args.k == 7  # post-load resolution for downstream readers
+
+    def test_bundle_guided_is_overridable_both_ways(self, tmp_path, capsys):
+        from repro.cli import _build_engine, build_parser
+
+        bundle = str(tmp_path / "g.reprobundle")
+        assert main(["build", "--dataset", "example", "--guided", "-o", bundle]) == 0
+        capsys.readouterr()
+        assert _build_engine(build_parser().parse_args(["q", "--bundle", bundle])).guided is True
+        args = build_parser().parse_args(["q", "--bundle", bundle, "--no-guided"])
+        assert _build_engine(args).guided is False
+
+    def test_readonly_search_coexists_with_attached_writer(self, tmp_path, capsys):
+        from repro.core.engine import KeywordSearchEngine
+
+        bundle = str(tmp_path / "rw.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        writer = KeywordSearchEngine.load(bundle)  # holds the WAL lock
+        capsys.readouterr()
+        assert main(["search", "2006 cimiano aifb", "--bundle", bundle]) == 0
+        writer.delta_log.close()
+
+    def test_search_with_updates_attaches_wal(self, tmp_path, capsys):
+        bundle = str(tmp_path / "upd.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        delta = tmp_path / "delta.nt"
+        delta.write_text('<ex:n> <http://purl.org/dc/elements/1.1/title> "Novel" .\n')
+        assert main(["search", "novel", "--bundle", bundle,
+                     "--update-ntriples", str(delta)]) == 0
+        assert os.path.getsize(f"{bundle}.wal") > 20  # epoch durably logged
+        capsys.readouterr()
+        # A restart replays the logged epoch.
+        assert main(["search", "novel", "--bundle", bundle]) == 0
+        assert "+1 WAL epochs" in capsys.readouterr().err
+
+    def test_search_bundle_with_corrupt_file_exits_with_message(self, tmp_path):
+        bad = tmp_path / "bad.reprobundle"
+        bad.write_bytes(b"garbage data that is not a bundle")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "aifb", "--bundle", str(bad)])
+        assert "not a repro bundle" in str(excinfo.value)
+
+    def test_search_bundle_missing_file_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "aifb", "--bundle", str(tmp_path / "nope.reprobundle")])
+        assert "--bundle" in str(excinfo.value)
+
+
+class TestBundleConflicts:
+    def test_bundle_conflicts_with_data_sources(self, tmp_path, capsys):
+        bundle = str(tmp_path / "c.reprobundle")
+        assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+        for extra in (["--data", "x.nt"], ["--dataset", "dblp"], ["--scale", "99"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["search", "q", "--bundle", bundle, *extra])
+            assert "conflicts" in str(excinfo.value)
+
+
+def test_bench_bundle_derives_queries_from_loaded_data(tmp_path, capsys):
+    """`bench --bundle` must sample its workload from the bundle's own
+    data, not the example-dataset defaults (which would benchmark
+    no-match short-circuits)."""
+    from repro.cli import _bench_queries, build_bench_parser
+    from repro.core.engine import KeywordSearchEngine
+
+    bundle = str(tmp_path / "b.reprobundle")
+    assert main(["build", "--dataset", "example", "-o", bundle]) == 0
+    args = build_bench_parser().parse_args(["--bundle", bundle])
+    engine = KeywordSearchEngine.load(bundle, attach_wal=False)
+    queries = _bench_queries(args, engine)
+    assert queries  # derived from the engine's own labels
+    # Every derived query must actually hit the pipeline on this data.
+    assert any(engine.keyword_index.lookup(word)
+               for q in queries for word in q.split())

@@ -1,0 +1,621 @@
+"""Unit tests for the persistence layer: codec, bundle container, WAL."""
+
+import os
+import struct
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF, XSD
+from repro.rdf.terms import BNode, Literal, URI
+from repro.rdf.triples import Triple
+from repro.scoring.cost import PopularityCost, make_cost_model
+from repro.storage import (
+    BundleChecksumError,
+    BundleExistsError,
+    BundleFormatError,
+    DeltaLog,
+    FORMAT_VERSION,
+    MAGIC,
+    UnsupportedEngineError,
+    WalError,
+    compact_bundle,
+    load_bundle,
+)
+from repro.storage.codec import (
+    Reader,
+    TermInterner,
+    decode_grouping,
+    decode_raw_ids,
+    decode_strings,
+    decode_terms,
+    encode_grouping,
+    encode_ids,
+    encode_raw_ids,
+    encode_strings,
+    encode_terms,
+)
+
+
+# ----------------------------------------------------------------------
+# Codec primitives
+# ----------------------------------------------------------------------
+
+
+def test_ids_round_trip():
+    values = [0, 1, -1, 2**62, -(2**62), 42]
+    assert Reader(encode_ids(values)).ids() == values
+
+
+def test_raw_ids_round_trip_and_alignment():
+    values = [3, 1, 4, 1, 5, -9]
+    blob = encode_raw_ids(values)
+    assert len(blob) == 8 * len(values)
+    assert list(decode_raw_ids(blob)) == values
+    with pytest.raises(BundleFormatError):
+        decode_raw_ids(blob[:-3])
+
+
+def test_strings_round_trip():
+    strings = ["", "plain", "ünï¢ode 🚀", "tab\tand\nnewline"]
+    assert decode_strings(Reader(encode_strings(strings))) == strings
+
+
+def test_grouping_round_trip_preserves_order():
+    items = [(5, [1, 2, 3]), (2, []), (9, [7])]
+    keys, offsets, values = decode_grouping(Reader(encode_grouping(iter(items))))
+    assert keys == [5, 2, 9]
+    assert [values[offsets[i] : offsets[i + 1]] for i in range(len(keys))] == [
+        [1, 2, 3],
+        [],
+        [7],
+    ]
+
+
+def test_term_table_round_trip():
+    terms = [
+        URI("http://example.org/a"),
+        BNode("b42"),
+        Literal("plain"),
+        Literal("2006", datatype=XSD.integer if hasattr(XSD, "integer") else URI("http://www.w3.org/2001/XMLSchema#integer")),
+        Literal("héllo 🌍", language="en-GB"),
+        Literal(""),
+    ]
+    interner = TermInterner()
+    for term in terms:
+        interner.id(term)
+    decoded = decode_terms(encode_terms(interner.terms, interner.id))
+    assert decoded == interner.terms
+    # Datatype URIs are interned before their literals (single forward pass).
+    for index, term in enumerate(decoded):
+        if isinstance(term, Literal) and term.datatype is not None:
+            assert decoded.index(term.datatype) < index
+
+
+def test_term_table_rejects_unknown_kind():
+    blob = struct.pack("<Q", 1) + bytes([99])
+    with pytest.raises(BundleFormatError):
+        decode_terms(blob)
+
+
+# ----------------------------------------------------------------------
+# Bundle container
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def small_engine(example_graph):
+    return KeywordSearchEngine(DataGraph(example_graph.triples))
+
+
+def test_save_refuses_overwrite(small_engine, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    with pytest.raises(BundleExistsError):
+        small_engine.save(path)
+    small_engine.save(path, force=True)  # explicit force succeeds
+
+
+def test_save_is_atomic_no_tmp_left_behind(small_engine, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    assert os.listdir(tmp_path) == ["a.reprobundle"]
+
+
+def test_load_rejects_bad_magic(tmp_path):
+    path = tmp_path / "junk.reprobundle"
+    path.write_bytes(b"NOTABNDL" + b"\x00" * 64)
+    with pytest.raises(BundleFormatError):
+        load_bundle(path)
+
+
+def test_load_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.reprobundle"
+    path.write_bytes(b"")
+    with pytest.raises(BundleFormatError):
+        load_bundle(path)
+
+
+def test_load_rejects_future_format_version(small_engine, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    data = bytearray(path.read_bytes())
+    data[8:12] = struct.pack("<I", FORMAT_VERSION + 1)
+    path.write_bytes(bytes(data))
+    with pytest.raises(BundleFormatError) as excinfo:
+        load_bundle(path)
+    assert "format version" in str(excinfo.value)
+
+
+def test_load_rejects_corrupted_section(small_engine, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    data = bytearray(path.read_bytes())
+    assert data[:8] == MAGIC
+    # Flip a byte well inside the section payload area.
+    data[-16] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(BundleChecksumError):
+        load_bundle(path)
+
+
+def test_save_refuses_custom_cost_model(example_graph, tmp_path):
+    engine = KeywordSearchEngine(
+        DataGraph(example_graph.triples),
+        cost_model=PopularityCost(literal_normalization=True),
+    )
+    with pytest.raises(UnsupportedEngineError):
+        engine.save(tmp_path / "a.reprobundle")
+
+
+def test_save_accepts_every_stock_cost_model(example_graph, tmp_path):
+    for name in ("c1", "c2", "c3", "pagerank"):
+        engine = KeywordSearchEngine(
+            DataGraph(example_graph.triples), cost_model=make_cost_model(name)
+        )
+        path = tmp_path / f"{name}.reprobundle"
+        engine.save(path)
+        loaded = KeywordSearchEngine.load(path)
+        assert loaded.cost_model.name == name
+
+
+def test_save_refuses_custom_lexicon(example_graph, tmp_path):
+    from repro.keyword.keyword_index import KeywordIndex
+    from repro.keyword.synonyms import SynonymLexicon
+
+    graph = DataGraph(example_graph.triples)
+    index = KeywordIndex(graph, lexicon=SynonymLexicon())
+    engine = KeywordSearchEngine(graph, keyword_index=index)
+    with pytest.raises(UnsupportedEngineError):
+        engine.save(tmp_path / "a.reprobundle")
+
+
+def test_load_overrides_engine_config(small_engine, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    loaded = KeywordSearchEngine.load(path, k=3, guided=True, cost_model="c1")
+    assert (loaded.k, loaded.guided, loaded.cost_model.name) == (3, True, "c1")
+    with pytest.raises(TypeError):
+        KeywordSearchEngine.load(path, no_such_option=1)
+
+
+def test_engine_config_round_trips(example_graph, tmp_path):
+    engine = KeywordSearchEngine(
+        DataGraph(example_graph.triples),
+        cost_model="c2",
+        k=7,
+        dmax=6,
+        guided=True,
+        strict_keywords=True,
+        search_cache_size=32,
+    )
+    path = tmp_path / "a.reprobundle"
+    engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    assert loaded.cost_model.name == "c2"
+    assert (loaded.k, loaded.dmax, loaded.guided, loaded.strict_keywords) == (7, 6, True, True)
+    assert loaded._search_cache is not None and loaded._search_cache.maxsize == 32
+
+
+def test_artifact_metadata(small_engine, tmp_path):
+    assert small_engine.artifact is None
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    artifact = loaded.artifact
+    assert artifact["format_version"] == FORMAT_VERSION
+    assert artifact["path"] == str(path)
+    assert artifact["epoch_at_save"] == 0
+    assert artifact["wal_epochs_replayed"] == 0
+    assert artifact["load_seconds"] >= 0
+
+
+def test_lazy_graph_serves_len_and_stats_without_materializing(
+    small_engine, tmp_path
+):
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    assert loaded.graph._lazy_thunk is not None
+    assert len(loaded.graph) == len(small_engine.graph)
+    assert loaded.graph.stats() == small_engine.graph.stats()
+    assert len(loaded.store) == len(small_engine.store)
+    assert loaded.graph._lazy_thunk is not None  # still unmaterialized
+    loaded.search("cimiano 2006")
+    assert loaded.graph._lazy_thunk is not None  # search never touches it
+    # First execute materializes the store; first update the graph.
+    loaded.execute(loaded.search("cimiano 2006").best())
+    assert loaded.store._lazy_thunk is None
+
+
+def test_substrate_is_mmap_backed(small_engine, tmp_path):
+    import mmap as mmap_module
+
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    substrate = loaded.summary.exploration_substrate()
+    assert isinstance(substrate.backing, mmap_module.mmap)
+    fresh = small_engine.summary.exploration_substrate()
+    assert list(substrate.offsets) == list(fresh.offsets)
+    assert list(substrate.targets) == list(fresh.targets)
+    assert substrate.keys == fresh.keys
+
+
+def test_service_stats_expose_artifact(small_engine, tmp_path):
+    from repro.service import EngineService
+
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    loaded = KeywordSearchEngine.load(path)
+    service = EngineService(loaded, workers=1)
+    try:
+        stats = service.stats()
+        assert stats["artifact"]["format_version"] == FORMAT_VERSION
+        assert stats["artifact"]["epoch_at_save"] == 0
+    finally:
+        service.close()
+    # A built engine reports no artifact.
+    service = EngineService(small_engine, workers=1)
+    try:
+        assert service.stats()["artifact"] is None
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Delta log
+# ----------------------------------------------------------------------
+
+_T1 = Triple(URI("ex:a"), URI("ex:p"), Literal("v\nwith newline"))
+_T2 = Triple(URI("ex:a"), RDF.type, URI("ex:C"))
+_T3 = Triple(URI("ex:b"), URI("ex:p"), Literal("2006"))
+
+
+def test_wal_records_committed_entries(tmp_path):
+    log = DeltaLog(tmp_path / "x.wal")
+    log.record(0, [_T1, _T2], [])
+    log.commit(1)
+    log.record(1, [], [_T2])
+    log.commit(2)
+    log.close()
+    entries = list(log.committed_entries())
+    assert entries == [(0, [_T1, _T2], []), (1, [], [_T2])]
+
+
+def test_wal_uncommitted_tail_is_ignored(tmp_path):
+    log = DeltaLog(tmp_path / "x.wal")
+    log.record(0, [_T1], [])
+    log.commit(1)
+    log.record(1, [_T3], [])  # crash before commit
+    log.close()
+    assert list(log.committed_entries()) == [(0, [_T1], [])]
+
+
+def test_wal_failed_epoch_stays_uncommitted(tmp_path):
+    log = DeltaLog(tmp_path / "x.wal")
+    log.record(0, [_T1], [])
+    log.commit(0)  # epoch did not advance: the batch failed
+    log.close()
+    assert list(log.committed_entries()) == []
+
+
+def test_wal_torn_last_line_is_ignored(tmp_path):
+    path = tmp_path / "x.wal"
+    log = DeltaLog(path)
+    log.record(0, [_T1], [])
+    log.commit(1)
+    log.close()
+    with open(path, "a") as fh:
+        fh.write(f"B 1\nA {_T3.n3()}")  # torn mid-entry, no C
+    assert list(DeltaLog(path).committed_entries()) == [(0, [_T1], [])]
+
+
+def test_wal_damaged_entry_is_uncommitted(tmp_path):
+    """Body tampering breaks the entry's CRC: like a torn write, the
+    entry is treated as never committed (classic WAL recovery)."""
+    path = tmp_path / "x.wal"
+    log = DeltaLog(path)
+    log.record(0, [_T1], [])
+    log.commit(1)
+    log.close()
+    text = path.read_text().replace(_T1.object.n3(), '"tampered"')
+    path.write_text(text)
+    assert list(DeltaLog(path).committed_entries()) == []
+
+
+def test_wal_interior_damage_surfaces_as_epoch_gap(example_graph, tmp_path):
+    """A damaged entry with intact successors is real history loss:
+    replay must refuse with the gap error, never skip past it."""
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T1])
+    live.add_triples([_T3])
+    live.delta_log.close()
+    wal = tmp_path / "a.reprobundle.wal"
+    wal.write_text(wal.read_text().replace(_T1.object.n3(), '"tampered"'))
+    with pytest.raises(WalError) as excinfo:
+        KeywordSearchEngine.load(path)
+    assert "gap" in str(excinfo.value)
+
+
+def test_wal_garbage_lines_void_entries_not_the_log(tmp_path):
+    path = tmp_path / "x.wal"
+    path.write_text("# repro-wal 1\nWHAT 0\n")
+    assert list(DeltaLog(path).committed_entries()) == []
+
+
+def test_wal_foreign_header_refused(tmp_path):
+    path = tmp_path / "x.wal"
+    path.write_text("# repro-wal 99\nB 0\nC 0 00000000\n")
+    with pytest.raises(WalError) as excinfo:
+        list(DeltaLog(path).committed_entries())
+    assert "header" in str(excinfo.value)
+
+
+def test_wal_torn_commit_then_reattach_survives(example_graph, tmp_path):
+    """Crash shape: a torn C line, then a new process appends the next
+    epoch.  The torn entry is uncommitted; the appended one must still
+    parse (the leading-newline guard keeps frames from fusing)."""
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T1])
+    live.delta_log.close()
+    wal = tmp_path / "a.reprobundle.wal"
+    # Tear the commit line mid-write (strip trailing newline + crc tail).
+    wal.write_bytes(wal.read_bytes()[:-6])
+    restarted = KeywordSearchEngine.load(path)
+    assert restarted.artifact["wal_epochs_replayed"] == 0  # entry uncommitted
+    assert restarted.add_triples([_T1]) == 1  # re-applies as epoch 0
+    restarted.delta_log.close()
+    final = KeywordSearchEngine.load(path, attach_wal=False)
+    assert final.index_manager.epoch == 1
+    assert _T1 in set(final.graph.triples)
+
+
+def test_corrupted_lazy_section_fails_on_first_touch(small_engine, tmp_path):
+    """Graph/store sections are CRC-checked when they materialize; a
+    corrupted byte there must raise the dedicated exception at first
+    use, never decode silently wrong."""
+    import json as json_module
+
+    path = tmp_path / "a.reprobundle"
+    small_engine.save(path)
+    data = bytearray(path.read_bytes())
+    (header_length,) = struct.unpack("<I", data[12:16])
+    meta = json_module.loads(bytes(data[16 : 16 + header_length]))
+    data_start = (16 + header_length) + (-(16 + header_length) % 8)
+    entry = next(e for e in meta["sections"] if e["name"] == "store.spo")
+    data[data_start + entry["offset"] + entry["length"] // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    loaded = KeywordSearchEngine.load(path)
+    result = loaded.search("cimiano 2006")  # search never touches the store
+    assert result.candidates
+    with pytest.raises(BundleChecksumError):
+        loaded.execute(result.best())
+
+
+def test_commit_hooks_run_despite_earlier_hook_failure(example_graph):
+    """A failing commit hook (e.g. WAL ENOSPC) must not skip later
+    hooks — the serving layer's lock release rides on them."""
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    ran = []
+
+    def bad_commit(epoch):
+        ran.append("bad")
+        raise OSError("disk full")
+
+    def good_commit(epoch):
+        ran.append("good")
+
+    engine.index_manager.add_epoch_hooks(commit=bad_commit)
+    engine.index_manager.add_epoch_hooks(commit=good_commit)
+    with pytest.raises(OSError):
+        engine.add_triples([_T3])
+    assert ran == ["bad", "good"]
+    assert _T3 in set(engine.graph.triples)  # the batch itself committed
+
+
+def test_wal_epoch_gap_raises_on_replay(example_graph, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    # Forge a log whose first committed entry skips an epoch.
+    log = DeltaLog(f"{path}.wal")
+    log.record(5, [_T3], [])
+    log.commit(6)
+    log.close()
+    with pytest.raises(WalError) as excinfo:
+        KeywordSearchEngine.load(path)
+    assert "gap" in str(excinfo.value)
+
+
+def test_wal_round_trips_tricky_literals(example_graph, tmp_path):
+    """The WAL depends on exact N-Triples round trips — exercise them."""
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    tricky = [
+        Triple(URI("ex:t"), URI("ex:p"), Literal('quote " backslash \\ tab\t')),
+        Triple(URI("ex:t"), URI("ex:p"), Literal("line\nsep and")),
+        Triple(URI("ex:t"), URI("ex:p"), Literal("héllo 🌍", language="en")),
+        Triple(URI("ex:t"), URI("ex:p"), Literal("42", datatype=URI("ex:int"))),
+    ]
+    live = KeywordSearchEngine.load(path)
+    live.add_triples(tricky)
+    live.delta_log.close()  # release the single-writer lock
+    reloaded = KeywordSearchEngine.load(path)
+    assert set(tricky) <= set(reloaded.graph.triples)
+    assert reloaded.index_manager.epoch == live.index_manager.epoch
+
+
+def test_compact_folds_and_truncates(example_graph, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T2, _T3])
+    live.remove_triples([_T3])
+    live.delta_log.close()  # compact refuses while an engine holds the log
+    info = compact_bundle(path)
+    assert info["wal_epochs_folded"] == 2
+    assert info["epoch"] == 2
+    # The log is empty again and the bundle carries the updates itself.
+    assert list(DeltaLog(f"{path}.wal").committed_entries()) == []
+    reloaded = KeywordSearchEngine.load(path)
+    assert reloaded.artifact["wal_epochs_replayed"] == 0
+    assert reloaded.index_manager.epoch == 2
+    assert _T2 in set(reloaded.graph.triples)
+    assert _T3 not in set(reloaded.graph.triples)
+
+
+def test_load_rejects_truncated_prelude(tmp_path):
+    """A torn copy that keeps the magic but loses the prelude must raise
+    the dedicated exception, not a raw struct.error."""
+    path = tmp_path / "torn.reprobundle"
+    path.write_bytes(MAGIC + b"\x01")
+    with pytest.raises(BundleFormatError):
+        load_bundle(path)
+
+
+def test_from_arrays_rejects_inconsistent_csr_sections():
+    from repro.summary.substrate import ExplorationSubstrate
+
+    pairs = [("'a'", "a"), ("'b'", "b")]
+    with pytest.raises(ValueError):  # final offset overruns targets
+        ExplorationSubstrate.from_arrays(pairs, [0, 1, 5], [1])
+    with pytest.raises(ValueError):  # final offset truncates targets
+        ExplorationSubstrate.from_arrays(pairs, [0, 0, 0], [1, 0])
+    ok = ExplorationSubstrate.from_arrays(pairs, [0, 1, 2], [1, 0])
+    assert list(ok.row(0)) == [1]
+
+
+def test_attach_without_replay_refused_on_pending_tail(example_graph, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T3])
+    live.delta_log.close()
+    # Attaching while skipping the committed tail would diverge the pair.
+    with pytest.raises(WalError):
+        KeywordSearchEngine.load(path, replay_wal=False, attach_wal=True)
+    # Read-only inspection of the frozen bundle state stays possible.
+    frozen = KeywordSearchEngine.load(path, replay_wal=False, attach_wal=False)
+    assert frozen.index_manager.epoch == 0
+
+
+def test_save_cleans_up_tmp_file_on_failure(small_engine, tmp_path, monkeypatch):
+    import repro.storage.bundle as bundle_module
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(bundle_module.os, "replace", boom)
+    with pytest.raises(OSError):
+        small_engine.save(tmp_path / "a.reprobundle")
+    assert os.listdir(tmp_path) == []
+
+
+def test_wal_single_writer_enforced(example_graph, tmp_path):
+    """Two engines attached to one log would interleave duplicate epochs
+    and brick the artifact; the second attach must fail instead."""
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    first = KeywordSearchEngine.load(path)
+    with pytest.raises(WalError) as excinfo:
+        KeywordSearchEngine.load(path)
+    assert "another engine" in str(excinfo.value)
+    # Read-only loads coexist; releasing the lock frees the artifact.
+    KeywordSearchEngine.load(path, attach_wal=False)
+    first.delta_log.close()
+    second = KeywordSearchEngine.load(path)
+    assert second.delta_log is not None
+
+
+def test_compact_refuses_while_attached(example_graph, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T3])
+    with pytest.raises(WalError):
+        compact_bundle(path)
+    live.delta_log.close()
+    assert compact_bundle(path)["wal_epochs_folded"] == 1
+
+
+def test_retired_wal_refuses_to_record(example_graph, tmp_path):
+    """After a close() handover the old engine's record hook must fail
+    loudly instead of appending unlocked duplicate epochs."""
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    old = KeywordSearchEngine.load(path)
+    old.delta_log.close()
+    new = KeywordSearchEngine.load(path)  # takes over the artifact
+    with pytest.raises(WalError):
+        old.add_triples([_T3])
+    assert _T3 not in set(old.graph.triples)  # write-ahead: nothing mutated
+    assert new.add_triples([_T3]) == 1  # the owner keeps working
+    new.delta_log.close()
+    reloaded = KeywordSearchEngine.load(path, attach_wal=False)
+    assert reloaded.index_manager.epoch == 1
+
+
+def test_rebuild_supersedes_stale_wal(example_graph, tmp_path):
+    """`repro build --force` over an artifact must invalidate its old
+    delta log — replaying another bundle's epochs would be the silently
+    wrong engine the format forbids."""
+    path = tmp_path / "a.reprobundle"
+    graph_a = DataGraph(example_graph.triples)
+    KeywordSearchEngine(graph_a).save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T3])  # committed epoch 0 in the WAL
+    live.delta_log.close()
+
+    graph_b = DataGraph(list(example_graph.triples)[:10])
+    KeywordSearchEngine(graph_b).save(path, force=True)
+    reloaded = KeywordSearchEngine.load(path)
+    assert reloaded.artifact["wal_epochs_replayed"] == 0
+    assert _T3 not in set(reloaded.graph.triples)
+    assert reloaded.index_manager.epoch == 0
+
+
+def test_rebuild_refused_while_wal_attached(example_graph, tmp_path):
+    path = tmp_path / "a.reprobundle"
+    engine = KeywordSearchEngine(DataGraph(example_graph.triples))
+    engine.save(path)
+    live = KeywordSearchEngine.load(path)
+    live.add_triples([_T3])
+    other = KeywordSearchEngine(DataGraph(example_graph.triples))
+    with pytest.raises(WalError):  # the artifact is in use
+        other.save(path, force=True)
+    live.delta_log.close()
+    other.save(path, force=True)  # free again after the handover
