@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI dispatch-smoke: prove the multiprocess serving tier is alive.
+
+Boots a real ``repro serve --workers N --bundle ...`` as a subprocess,
+waits for its URL announcement, then over HTTP: search, update, search —
+asserting the update's epoch propagated to *every* worker (the sync
+broadcast acked) and the new data is immediately visible no matter which
+worker serves the follow-up search.  Finishes with a SIGTERM and checks
+the drain exits cleanly.
+
+Run under a hard ``timeout`` in CI so a deadlocked pipe fails the job in
+minutes; any violated assertion exits nonzero.
+
+Usage: python scripts/dispatch_smoke.py [bundle] [workers]
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def main() -> int:
+    bundle = sys.argv[1] if len(sys.argv) > 1 else "example.reprobundle"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--bundle", bundle, "--workers", str(workers), "--port", "0",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    url = None
+    try:
+        for line in proc.stderr:
+            print(line, end="", file=sys.stderr)
+            match = re.search(r"serving on (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        assert url, "server exited before announcing its URL"
+        # Keep draining stderr so the server never blocks on a full pipe.
+        threading.Thread(
+            target=lambda: [
+                print(l, end="", file=sys.stderr) for l in proc.stderr
+            ],
+            daemon=True,
+        ).start()
+
+        before = _get(f"{url}/stats")
+        assert before["service"]["mode"] == "dispatch", before["service"]
+        assert before["service"]["live_workers"] == workers
+
+        hit = _get(f"{url}/search?q=cimiano+2006")
+        assert hit["candidates"], "pre-update search found no interpretations"
+
+        add = (
+            '<http://example.org/smoke/pub> '
+            '<http://www.w3.org/2000/01/rdf-schema#label> '
+            '"zzdispatchsmoke paper" .'
+        )
+        updated = _post(f"{url}/update", {"add": add})
+        assert updated["changed"] == 1, updated
+        assert updated["workers_synced"] == workers, updated
+
+        fresh = _get(f"{url}/search?q=zzdispatchsmoke")
+        assert fresh["ignored_keywords"] == [], fresh
+        assert fresh["candidates"], "update not visible after sync broadcast"
+
+        after = _get(f"{url}/stats")
+        live = [w for w in after["workers"] if w.get("alive")]
+        assert len(live) == workers, after["workers"]
+        epochs = [w["epoch"] for w in live]
+        assert all(e == updated["epoch"] for e in epochs), (
+            f"epoch did not advance on all workers: {epochs} "
+            f"!= {updated['epoch']}"
+        )
+        print(
+            f"# dispatch-smoke ok: {workers} workers all at epoch "
+            f"{updated['epoch']}, update visible over HTTP",
+            file=sys.stderr,
+        )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("dispatch-smoke: server did not drain on SIGTERM",
+                  file=sys.stderr)
+            return 1
+    if code != 0:
+        print(f"dispatch-smoke: server exited {code}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    deadline = threading.Timer(280.0, lambda: (_hard_exit()))
+
+    def _hard_exit():  # belt and braces under CI's outer `timeout`
+        print("dispatch-smoke: internal deadline exceeded", file=sys.stderr)
+        import os
+
+        os._exit(2)
+
+    deadline.daemon = True
+    deadline.start()
+    start = time.time()
+    rc = main()
+    print(f"# dispatch-smoke finished in {time.time() - start:.1f}s",
+          file=sys.stderr)
+    raise SystemExit(rc)

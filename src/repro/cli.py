@@ -72,6 +72,34 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_int_list(text: str) -> list:
+    """Comma-separated positive ints: the bench matrix axes (``1,4``)."""
+    try:
+        values = [int(x) for x in text.split(",") if x.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("empty list")
+    for value in values:
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return values
+
+
+def _worker_count_list(text: str) -> list:
+    """Like :func:`_positive_int_list` but 0 (in-process tier) is legal."""
+    try:
+        values = [int(x) for x in text.split(",") if x.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("empty list")
+    for value in values:
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return values
+
+
 def _add_dataset_args(
     parser: argparse.ArgumentParser, bundle: bool = True
 ) -> None:
@@ -342,12 +370,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
     )
     parser.add_argument(
-        "--workers", type=_positive_int, default=4,
-        help="worker-pool size for batched search",
+        "--workers", type=int, default=0, metavar="N",
+        help="worker *processes* fanning out /search and /execute over a "
+        "shared mmap bundle (0 = classic in-process serving; each worker "
+        "gets its own GIL, so cold CPU-bound throughput scales with N)",
+    )
+    parser.add_argument(
+        "--threads", type=_positive_int, default=4,
+        help="in-process thread-pool size for batched search (workers=0 tier)",
     )
     parser.add_argument(
         "--max-pending", type=_positive_int, default=64,
         help="admission bound on in-flight queries (excess gets HTTP 429)",
+    )
+    parser.add_argument(
+        "--max-queue-wait", type=float, default=None, metavar="SECONDS",
+        help="bound on time a query may wait for admission/an idle worker, "
+        "separately from execution (excess gets HTTP 429)",
     )
     parser.add_argument(
         "--cache", type=int, default=256, metavar="N",
@@ -363,20 +402,86 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dispatch_overrides(args) -> dict:
+    """Engine-configuration overrides forwarded to every worker process,
+    so the whole tier serves one configuration (the dispatcher's)."""
+    return {
+        "k": args.k,
+        "cost_model": args.cost_model,
+        "dmax": args.dmax,
+        "guided": args.guided,
+        "search_cache_size": max(0, args.cache),
+    }
+
+
+def _stage_bundle(engine, prefix: str) -> str:
+    """Save a just-built engine as the temp bundle the workers will mmap.
+
+    ``--workers N`` without ``--bundle`` still works: the offline layer is
+    built once in this process, staged to disk, and every worker maps the
+    staged artifact — the same shared-page-cache shape as a prebuilt one.
+    """
+    import tempfile
+
+    directory = tempfile.mkdtemp(prefix=prefix)
+    path = f"{directory}/staged.reprobundle"
+    info = engine.save(path)
+    print(
+        f"# staged bundle for worker processes: {path} "
+        f"({info['bytes']} bytes)",
+        file=sys.stderr,
+    )
+    return path
+
+
 def serve_command(argv) -> int:
-    from repro.service import EngineService, ReproServer
+    import signal
+    import threading
+
+    from repro.service import DispatchService, EngineService, ReproServer
 
     args = build_serve_parser().parse_args(argv)
+    if args.workers < 0:
+        raise SystemExit(f"repro serve: --workers must be >= 0, got {args.workers}")
     engine = _build_engine(args, search_cache_size=max(0, args.cache), writer=True)
-    service = EngineService(
-        engine,
-        workers=args.workers,
-        max_pending=args.max_pending,
-        default_timeout=args.timeout,
-    )
+
+    if args.workers > 0:
+        bundle = getattr(args, "bundle", None)
+        dispatch_engine = engine
+        if not bundle:
+            bundle = _stage_bundle(engine, "repro-serve-")
+            # The built engine has no WAL; the dispatcher loads its writer
+            # from the staged bundle so /update epochs are logged durably
+            # where the workers can replay them.
+            dispatch_engine = None
+        service = DispatchService(
+            bundle,
+            workers=args.workers,
+            engine=dispatch_engine,
+            overrides=_dispatch_overrides(args),
+            max_pending=args.max_pending,
+            max_queue_wait=args.max_queue_wait,
+        )
+        print(f"# dispatch tier: {args.workers} worker processes", file=sys.stderr)
+    else:
+        service = EngineService(
+            engine,
+            workers=args.threads,
+            max_pending=args.max_pending,
+            default_timeout=args.timeout,
+            max_queue_wait=args.max_queue_wait,
+        )
     server = ReproServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
+    # Graceful drain: SIGTERM stops accepting, finishes in-flight work,
+    # then shuts the worker pool down cleanly (shutdown() must run off
+    # the serving thread, so hand it to a helper).
+    def _drain(signum, frame):
+        print("# SIGTERM: draining", file=sys.stderr)
+        threading.Thread(target=server._httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     print(f"# serving on {server.url}", file=sys.stderr)
     try:
         server.serve_forever()
@@ -446,15 +551,22 @@ def build_bench_parser() -> argparse.ArgumentParser:
     _add_dataset_args(parser)
     _add_engine_args(parser)
     parser.add_argument(
-        "--clients", type=_positive_int, default=4,
-        help="concurrent closed-loop clients",
+        "--clients", type=_positive_int_list, default=[1, 4], metavar="M[,M...]",
+        help="closed-loop client counts — one benchmark row per value "
+        "(default: 1,4)",
     )
     parser.add_argument(
         "--requests", type=_positive_int, default=20,
         help="requests per client",
     )
     parser.add_argument(
-        "--workers", type=_positive_int, default=4, help="service worker pool"
+        "--workers", type=_worker_count_list, default=[0], metavar="N[,N...]",
+        help="worker-process counts — the matrix crosses every value with "
+        "every --clients value (0 = in-process serving; default: 0)",
+    )
+    parser.add_argument(
+        "--threads", type=_positive_int, default=4,
+        help="in-process thread-pool size for the workers=0 rows",
     )
     parser.add_argument(
         "--cache", type=int, default=0, metavar="N",
@@ -469,28 +581,57 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 
 def bench_command(argv) -> int:
-    from repro.service import EngineService, closed_loop_benchmark
+    from repro.service import DispatchService, EngineService, closed_loop_benchmark
 
     args = build_bench_parser().parse_args(argv)
     engine = _build_engine(args, search_cache_size=max(0, args.cache))
     queries = _bench_queries(args, engine)
 
-    service = EngineService(
-        engine, workers=args.workers, max_pending=args.clients * args.requests + 1
-    )
-    try:
-        for clients in sorted({1, args.clients}):
-            row = closed_loop_benchmark(
-                service, queries, clients=clients,
-                requests_per_client=args.requests,
+    worker_counts = sorted(set(args.workers))
+    client_counts = sorted(set(args.clients))
+    max_pending = max(client_counts) * args.requests + 1
+
+    bundle = getattr(args, "bundle", None)
+    if any(n > 0 for n in worker_counts) and not bundle:
+        bundle = _stage_bundle(engine, "repro-bench-")
+
+    # The full matrix: every worker tier crossed with every client count,
+    # so `repro bench --clients 1,4 --workers 0,1,2,4` regenerates the
+    # serving figure in one command.
+    for workers in worker_counts:
+        if workers == 0:
+            service = EngineService(
+                engine, workers=args.threads, max_pending=max_pending
             )
-            print(
-                f"clients={row['clients']:<3d} completed={row['completed']:<5d} "
-                f"qps={row['qps']:8.1f}  p50={row['p50_ms']:7.2f}ms  "
-                f"p99={row['p99_ms']:7.2f}ms  errors={row['errors']}"
+        else:
+            service = DispatchService(
+                bundle,
+                workers=workers,
+                overrides=_dispatch_overrides(args),
+                max_pending=max_pending,
             )
-    finally:
-        service.close()
+        try:
+            for clients in client_counts:
+                row = closed_loop_benchmark(
+                    service, queries, clients=clients,
+                    requests_per_client=args.requests,
+                )
+                print(
+                    f"workers={workers:<2d} clients={row['clients']:<3d} "
+                    f"completed={row['completed']:<5d} "
+                    f"qps={row['qps']:8.1f}  p50={row['p50_ms']:7.2f}ms  "
+                    f"p99={row['p99_ms']:7.2f}ms  errors={row['errors']}"
+                )
+            if workers > 0:
+                rows = service.stats()["workers"]
+                vmhwm = [w.get("vmhwm_kb") for w in rows if w.get("alive")]
+                pss = [w.get("pss_kb") for w in rows if w.get("alive")]
+                print(
+                    f"# workers={workers}: per-worker VmHWM_kb={vmhwm} "
+                    f"Pss_kb={pss}"
+                )
+        finally:
+            service.close()
     return 0
 
 

@@ -1,0 +1,781 @@
+"""Shard-parallel serving: the multiprocess dispatch tier.
+
+:class:`DispatchService` is the process-pool sibling of
+:class:`~repro.service.EngineService`.  Exploration is CPU-bound pure
+Python, so N threads on one engine share a single GIL and cold
+throughput flat-lines (the ``fig_serving`` wall).  The dispatch tier
+breaks that wall with processes instead:
+
+* the **dispatcher** (this class, living in the HTTP process) owns the
+  single WAL-attached *writer* engine — every ``/update`` epoch applies
+  here, is logged write-ahead, and advances the committed **watermark**;
+* N **worker processes** (:mod:`repro.service.worker`) each hold their
+  own read-only lazy load of the *same* ``.reprobundle``.  The bundle's
+  CSR sections are ``mmap`` views, so the OS page cache backs every
+  worker with one physical copy — marginal RSS per worker is near zero
+  while each gets its own GIL;
+* ``/search`` and ``/execute`` are fanned out over the pool through a
+  length-prefixed JSON frame protocol (:mod:`repro.service.protocol`)
+  on each worker's stdin/stdout pipe, one in-flight request per worker.
+
+**Consistency.**  Every request carries the watermark; a worker behind
+it replays the committed WAL tail (or reloads the bundle when the tail
+was compacted away) *before* executing, and replay applies whole epochs
+through the same atomic ``apply_batch`` path that produced them.  A
+response is therefore always computed wholly at a single epoch ``>=``
+the watermark at dispatch — pre- or post- any racing update, never a
+hybrid.  ``update()`` additionally broadcasts a ``sync`` to every worker
+and waits for the acks, so when ``/update`` returns, *all* workers serve
+the new epoch.  One deliberate relaxation versus the in-process tier:
+``search_many`` pins one watermark for the batch but queries may land on
+workers at *different* committed epochs if updates race the batch — each
+outcome is individually snapshot-consistent, the batch as a whole is not
+one snapshot.
+
+**Supervision.**  A worker that dies (crash, OOM kill) or wedges past
+the request deadline is retired, its in-flight request is retried on a
+healthy worker (all dispatched ops are read-only, so retry is safe), and
+a replacement is spawned in the background — the replacement's load
+replays the WAL, so it joins at the current watermark.  ``stats()``
+merges dispatcher counters (including the queue-wait histogram) with
+per-worker epoch/RSS/PSS/cache numbers and counts every restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+from repro.service.service import (
+    AdmissionError,
+    BatchOutcome,
+    _percentile,
+)
+
+__all__ = ["DispatchError", "DispatchService", "WorkerDied"]
+
+#: How long `_borrow` waits for an idle worker when no explicit queue
+#: bound is configured — long enough to ride out a respawn, short enough
+#: that a fully wedged pool surfaces as backpressure, not a hang.
+_DEFAULT_QUEUE_WAIT = 60.0
+
+
+class DispatchError(RuntimeError):
+    """A dispatch-tier failure that is not the client's fault (HTTP 500)."""
+
+
+class WorkerDied(RuntimeError):
+    """The worker's pipe broke or its response never arrived."""
+
+
+class _FdReader:
+    """Deadline-aware exact reads over a pipe file descriptor.
+
+    ``read`` blocks in ``select`` until bytes arrive or ``deadline``
+    (monotonic seconds, set per request) passes — the latter raises
+    :class:`WorkerDied`, because a worker that stops answering is
+    indistinguishable from a dead one and is handled the same way.
+    """
+
+    def __init__(self, fd: int):
+        self._fd = fd
+        self.deadline: Optional[float] = None
+
+    def read(self, count: int) -> bytes:
+        while True:
+            timeout = None
+            if self.deadline is not None:
+                timeout = self.deadline - time.monotonic()
+                if timeout <= 0:
+                    raise WorkerDied("worker response deadline exceeded")
+            ready, _, _ = select.select([self._fd], [], [], timeout)
+            if not ready:
+                raise WorkerDied("worker response deadline exceeded")
+            try:
+                chunk = os.read(self._fd, count)
+            except OSError as exc:
+                raise WorkerDied(f"worker pipe read failed: {exc}") from exc
+            return chunk  # b"" = EOF; read_frame turns it into None/error
+
+
+class _WorkerHandle:
+    """One worker subprocess plus its strictly serialized request pipe."""
+
+    def __init__(self, bundle: str, overrides: Dict[str, object], spawn_timeout: float):
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else package_root
+        )
+        cmd = [sys.executable, "-m", "repro.service.worker", bundle]
+        if overrides:
+            cmd += ["--overrides", json.dumps(overrides)]
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env
+        )
+        self.reader = _FdReader(self.proc.stdout.fileno())
+        self.reader.deadline = time.monotonic() + spawn_timeout
+        try:
+            ready = read_frame(self.reader)
+        except (ProtocolError, WorkerDied) as exc:
+            self.kill()
+            raise DispatchError(f"worker failed to start: {exc}") from exc
+        if ready is None or ready.get("op") != "ready":
+            self.kill()
+            raise DispatchError(f"worker sent no ready frame (got {ready!r})")
+        if not ready.get("ok"):
+            self.kill()
+            raise DispatchError(f"worker refused to start: {ready.get('error')}")
+        self.pid: int = ready["pid"]
+        self.epoch: int = ready.get("epoch", 0)
+        self.load_seconds: float = ready.get("load_seconds", 0.0)
+        self.busy = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def request(
+        self, payload: Dict[str, object], timeout: Optional[float]
+    ) -> Dict[str, object]:
+        """One request/response exchange.  Raises :class:`WorkerDied` on a
+        broken pipe, EOF, corrupt frame, or deadline — the caller retires
+        this handle and retries elsewhere."""
+        try:
+            write_frame(self.proc.stdin, payload)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerDied(f"worker pipe write failed: {exc}") from exc
+        self.reader.deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        try:
+            response = read_frame(self.reader)
+        except ProtocolError as exc:
+            raise WorkerDied(f"worker stream corrupt: {exc}") from exc
+        if response is None:
+            raise WorkerDied("worker closed its pipe")
+        if "epoch" in response:
+            self.epoch = response["epoch"]
+        return response
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        for stream in (self.proc.stdin, self.proc.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+            pass
+
+
+class DispatchService:
+    """Multiprocess serving over one shared bundle (see module docstring).
+
+    Parameters
+    ----------
+    bundle:
+        Path to the ``.reprobundle`` every worker maps.
+    workers:
+        Worker-process count (>= 1; ``repro serve --workers 0`` means "no
+        dispatch tier, use :class:`EngineService`" and is the CLI's
+        decision, not this class's).
+    engine:
+        An already-loaded *writer* engine for the same bundle (the CLI
+        passes the one it printed provenance for).  When omitted, the
+        dispatcher loads one itself with ``attach_wal=True``.  Updates
+        require the attached delta log — without it followers could
+        never observe them — so ``update()`` refuses on an engine whose
+        ``delta_log`` is ``None``.
+    overrides:
+        ``KeywordSearchEngine.load`` overrides forwarded to every worker
+        (and to the writer when the dispatcher loads it), so the whole
+        tier serves one engine configuration.
+    max_pending:
+        Admission bound on in-flight requests (HTTP 429 beyond it).
+    max_queue_wait:
+        Bound on the time a request may wait for an idle worker,
+        separately from its execution time; beyond it the request is
+        rejected with :class:`AdmissionError` (backpressure) instead of
+        stacking deadline debt behind a busy pool.
+    request_timeout:
+        Per-request response deadline; a worker that exceeds it is
+        treated as dead (retired, request retried).  ``None`` = wait
+        forever.
+    """
+
+    def __init__(
+        self,
+        bundle,
+        workers: int = 2,
+        engine=None,
+        overrides: Optional[Dict[str, object]] = None,
+        max_pending: int = 64,
+        max_queue_wait: Optional[float] = None,
+        request_timeout: Optional[float] = None,
+        sync_timeout: float = 30.0,
+        spawn_timeout: float = 120.0,
+        latency_window: int = 2048,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.bundle = os.fspath(bundle)
+        self.workers = workers
+        self.max_pending = max_pending
+        self.max_queue_wait = max_queue_wait
+        self.request_timeout = request_timeout
+        self.sync_timeout = sync_timeout
+        self.spawn_timeout = spawn_timeout
+        self._overrides = {
+            k: v for k, v in (overrides or {}).items() if v is not None
+        }
+
+        if engine is None:
+            from repro.core.engine import KeywordSearchEngine
+
+            engine = KeywordSearchEngine.load(
+                self.bundle, lazy=True, attach_wal=True, **self._overrides
+            )
+        self.engine = engine
+
+        self._cond = threading.Condition()
+        self._handles: List[_WorkerHandle] = []
+        self._idle: List[_WorkerHandle] = []
+        self._spawning = 0
+        self._closed = False
+
+        self._stats_lock = threading.Lock()
+        self._inflight = 0
+        self._completed = 0
+        self._errors = 0
+        self._timeouts = 0
+        self._rejected = 0
+        self._retries = 0
+        self._restarts = 0
+        self._spawn_failures = 0
+        self._updates = 0
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._queue_waits: deque = deque(maxlen=latency_window)
+        self._started_at = time.monotonic()
+        #: The committed epoch every response must be at or past.
+        self._watermark = engine.index_manager.epoch
+
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max(workers, 2), thread_name_prefix="repro-dispatch"
+        )
+        try:
+            for _ in range(workers):
+                handle = self._spawn_one()
+                self._handles.append(handle)
+                self._idle.append(handle)
+        except Exception:
+            self.close(drain_seconds=0)
+            raise
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+
+    def _spawn_one(self) -> _WorkerHandle:
+        return _WorkerHandle(self.bundle, self._overrides, self.spawn_timeout)
+
+    def _borrow(self, max_wait: Optional[float]) -> Tuple[_WorkerHandle, float]:
+        """Take an idle worker, waiting up to the queue bound.
+
+        Returns ``(handle, seconds_waited)``.  Dead handles found in the
+        idle list are retired (with respawn) on the way — a worker killed
+        while idle is discovered here, not by a failed request.
+        """
+        if max_wait is None:
+            max_wait = (
+                self.max_queue_wait
+                if self.max_queue_wait is not None
+                else _DEFAULT_QUEUE_WAIT
+            )
+        started = time.monotonic()
+        deadline = started + max_wait
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise RuntimeError("service is closed")
+                while self._idle:
+                    handle = self._idle.pop()
+                    if handle.alive:
+                        handle.busy = True
+                        return handle, time.monotonic() - started
+                    self._retire_locked(handle)
+                if not self._handles and not self._spawning:
+                    raise DispatchError(
+                        "no live workers and no respawn in progress"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    with self._stats_lock:
+                        self._rejected += 1
+                    raise AdmissionError(
+                        f"no idle worker within max_queue_wait={max_wait:.3f}s "
+                        f"({len(self._handles)} live, all busy)"
+                    )
+                self._cond.wait(remaining)
+
+    def _checkin(self, handle: _WorkerHandle) -> None:
+        with self._cond:
+            handle.busy = False
+            if handle in self._handles and handle.alive and not self._closed:
+                self._idle.append(handle)
+                self._cond.notify_all()
+
+    def _retire_locked(self, handle: _WorkerHandle) -> None:
+        """Drop a dead/hung worker and start its replacement (cond held)."""
+        if handle in self._handles:
+            self._handles.remove(handle)
+        if handle in self._idle:
+            self._idle.remove(handle)
+        self._cond.notify_all()
+        handle.kill()
+        if not self._closed:
+            self._spawning += 1
+            threading.Thread(
+                target=self._respawn, name="repro-dispatch-respawn", daemon=True
+            ).start()
+
+    def _retire(self, handle: _WorkerHandle) -> None:
+        with self._cond:
+            self._retire_locked(handle)
+
+    def _respawn(self) -> None:
+        try:
+            for attempt in range(3):
+                if self._closed:
+                    return
+                try:
+                    handle = self._spawn_one()
+                except Exception as exc:
+                    print(
+                        f"# dispatch: worker respawn attempt {attempt + 1} "
+                        f"failed: {exc}",
+                        file=sys.stderr,
+                    )
+                    time.sleep(0.3)
+                    continue
+                with self._cond:
+                    if self._closed:
+                        handle.kill()
+                        return
+                    self._handles.append(handle)
+                    self._idle.append(handle)
+                    self._cond.notify_all()
+                with self._stats_lock:
+                    self._restarts += 1
+                return
+            with self._stats_lock:
+                self._spawn_failures += 1
+        finally:
+            with self._cond:
+                self._spawning -= 1
+                self._cond.notify_all()
+
+    def _checkout_specific(
+        self, handle: _WorkerHandle, timeout: float
+    ) -> bool:
+        """Wait until *this* worker is idle and claim it.  False when it
+        died/was retired meanwhile or the wait timed out."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed or handle not in self._handles:
+                    return False
+                if handle in self._idle:
+                    self._idle.remove(handle)
+                    handle.busy = True
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+
+    # ------------------------------------------------------------------
+    # Admission + stats recording (mirrors EngineService)
+    # ------------------------------------------------------------------
+
+    def _admit(self, count: int) -> None:
+        with self._stats_lock:
+            if self._inflight + count > self.max_pending:
+                self._rejected += count
+                raise AdmissionError(
+                    f"{self._inflight} requests in flight + {count} admitted "
+                    f"would exceed max_pending={self.max_pending}"
+                )
+            self._inflight += count
+
+    def _release(self, count: int) -> None:
+        with self._stats_lock:
+            self._inflight -= count
+
+    def _record(self, latency: float, status: str) -> None:
+        with self._stats_lock:
+            if status == "ok":
+                self._completed += 1
+                self._latencies.append((time.monotonic(), latency))
+            elif status == "timeout":
+                self._timeouts += 1
+            else:
+                self._errors += 1
+
+    def _record_queue_wait(self, seconds: float) -> None:
+        with self._stats_lock:
+            self._queue_waits.append(seconds)
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def _roundtrip(
+        self, payload: Dict[str, object], max_wait: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Admit, borrow, exchange, retry-on-death; returns the ok frame."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        self._admit(1)
+        started = time.monotonic()
+        attempts = 0
+        try:
+            while True:
+                handle, waited = self._borrow(max_wait)
+                self._record_queue_wait(waited)
+                try:
+                    response = handle.request(payload, self.request_timeout)
+                except WorkerDied:
+                    self._retire(handle)
+                    attempts += 1
+                    with self._stats_lock:
+                        self._retries += 1
+                    if attempts > self.workers + 1:
+                        self._record(0.0, "error")
+                        raise DispatchError(
+                            f"request failed on {attempts} workers in a row"
+                        )
+                    continue
+                self._checkin(handle)
+                if response.get("ok"):
+                    self._record(time.monotonic() - started, "ok")
+                    return response
+                self._record(0.0, "error")
+                kind = response.get("kind")
+                message = str(response.get("error"))
+                if kind == "bad_request":
+                    raise ValueError(message)
+                raise DispatchError(message)
+        except AdmissionError:
+            raise
+        finally:
+            self._release(1)
+
+    def search(self, query, k=None, dmax=None, max_cursors=None):
+        """One search on some worker, at or past the current watermark.
+
+        Returns the *JSON-shaped* result dict (the worker serializes at
+        the source); :func:`repro.service.http.result_to_json` passes it
+        through unchanged, so the HTTP layer is tier-agnostic.
+        """
+        response = self._roundtrip(
+            {
+                "op": "search",
+                "q": query,
+                "k": k,
+                "dmax": dmax,
+                "max_cursors": max_cursors,
+                "min_epoch": self._watermark,
+            }
+        )
+        return response["result"]
+
+    def search_many(
+        self,
+        queries: Sequence,
+        k=None,
+        dmax=None,
+        max_cursors=None,
+        timeout: Optional[float] = None,
+    ) -> List[BatchOutcome]:
+        """Fan a batch over the pool, one watermark pinned for the batch.
+
+        Unlike the in-process tier the batch is *not* one snapshot: each
+        outcome is individually consistent at some epoch >= the pinned
+        watermark.  ``timeout`` bounds each member's queue wait."""
+        queries = list(queries)
+        if not queries:
+            return []
+        watermark = self._watermark
+
+        def one(index: int, query) -> BatchOutcome:
+            started = time.monotonic()
+            try:
+                response = self._roundtrip(
+                    {
+                        "op": "search",
+                        "q": query,
+                        "k": k,
+                        "dmax": dmax,
+                        "max_cursors": max_cursors,
+                        "min_epoch": watermark,
+                    },
+                    max_wait=timeout,
+                )
+            except AdmissionError:
+                return BatchOutcome(index, query, "timeout")
+            except Exception as exc:
+                return BatchOutcome(
+                    index, query, "error", error=exc,
+                    latency_seconds=time.monotonic() - started,
+                )
+            return BatchOutcome(
+                index, query, "ok", result=response["result"],
+                latency_seconds=time.monotonic() - started,
+            )
+
+        futures = [
+            self._fanout.submit(one, i, q) for i, q in enumerate(queries)
+        ]
+        return [f.result() for f in futures]
+
+    def execute_ranked(self, query, rank: int = 1, limit: Optional[int] = 10):
+        """Search + evaluate the rank-th candidate on one worker.
+
+        Returns ``(candidate_json, answers_json)`` — already serialized,
+        like :meth:`search` — or ``(None, [])`` when the rank is out of
+        range."""
+        response = self._roundtrip(
+            {
+                "op": "execute",
+                "q": query,
+                "rank": rank,
+                "limit": limit,
+                "min_epoch": self._watermark,
+            }
+        )
+        return response.get("candidate"), response.get("answers", [])
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+
+    def update(self, adds: Sequence = (), removes: Sequence = ()) -> Dict[str, object]:
+        """Apply one atomic epoch on the writer, then sync every worker.
+
+        The batch commits on the dispatcher's WAL-attached engine (the
+        write-ahead entry is what followers replay), the watermark
+        advances, and a ``sync`` is broadcast to all workers in parallel
+        — each ack means that worker is at the new epoch.  A worker that
+        cannot ack within ``sync_timeout`` is retired and respawned (the
+        respawn replays the WAL, landing at the watermark), so when this
+        method returns every live worker serves the committed state.
+        """
+        if self.engine.delta_log is None:
+            raise DispatchError(
+                "this dispatcher's writer engine has no attached delta log; "
+                "updates would be invisible to the worker processes — load "
+                "the bundle with attach_wal=True"
+            )
+        changed = self.engine.index_manager.apply_batch(adds=adds, removes=removes)
+        epoch = self.engine.index_manager.epoch
+        self._watermark = epoch
+        synced = 0
+        if changed:
+            with self._stats_lock:
+                self._updates += 1
+            synced = self._broadcast_sync(epoch)
+        return {
+            "changed": changed,
+            "epoch": epoch,
+            "summary_version": self.engine.summary.snapshot_key,
+            "index_version": self.engine.keyword_index.snapshot_key,
+            "workers_synced": synced,
+        }
+
+    def _broadcast_sync(self, epoch: int) -> int:
+        with self._cond:
+            targets = list(self._handles)
+
+        def sync_one(handle: _WorkerHandle) -> bool:
+            if not self._checkout_specific(handle, self.sync_timeout):
+                return False
+            try:
+                response = handle.request(
+                    {"op": "sync", "min_epoch": epoch}, self.sync_timeout
+                )
+            except WorkerDied:
+                self._retire(handle)
+                return False
+            self._checkin(handle)
+            return bool(response.get("ok")) and response.get("epoch", -1) >= epoch
+
+        futures = [self._fanout.submit(sync_one, h) for h in targets]
+        return sum(1 for f in futures if f.result())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Dispatcher counters merged with per-worker facts.
+
+        Dead workers discovered here are retired/respawned and reported
+        with ``alive: false`` for this snapshot; busy workers are
+        reported by pid with ``busy: true`` instead of blocking the
+        stats call behind a long search."""
+        now = time.monotonic()
+        with self._stats_lock:
+            records = list(self._latencies)
+            queue_waits = sorted(self._queue_waits)
+            completed = self._completed
+            counters = {
+                "completed": completed,
+                "errors": self._errors,
+                "timeouts": self._timeouts,
+                "rejected": self._rejected,
+                "retries": self._retries,
+                "updates": self._updates,
+                "inflight": self._inflight,
+            }
+            restarts = self._restarts
+            spawn_failures = self._spawn_failures
+            uptime = now - self._started_at
+        latencies = sorted(seconds for _, seconds in records)
+        recent = [t for t, _ in records if t > now - 60.0]
+        window = min(uptime, 60.0)
+
+        workers: List[Dict[str, object]] = []
+        with self._cond:
+            handles = list(self._handles)
+        for handle in handles:
+            if not handle.alive:
+                self._retire(handle)
+                workers.append({"pid": handle.pid, "alive": False})
+                continue
+            if not self._checkout_specific(handle, 0.25):
+                workers.append(
+                    {"pid": handle.pid, "alive": True, "busy": True,
+                     "epoch": handle.epoch}
+                )
+                continue
+            try:
+                payload = handle.request({"op": "stats"}, self.sync_timeout)
+            except WorkerDied:
+                self._retire(handle)
+                workers.append({"pid": handle.pid, "alive": False})
+                continue
+            self._checkin(handle)
+            payload.pop("ok", None)
+            payload["alive"] = True
+            workers.append(payload)
+
+        engine = self.engine
+        artifact = getattr(engine, "artifact", None)
+        return {
+            "artifact": dict(artifact) if artifact is not None else None,
+            "service": {
+                "mode": "dispatch",
+                "workers": self.workers,
+                "live_workers": len(handles),
+                "max_pending": self.max_pending,
+                "uptime_seconds": uptime,
+            },
+            "queries": dict(
+                counters,
+                qps=(completed / uptime) if uptime > 0 else 0.0,
+                recent_qps=(len(recent) / window) if window > 0 else 0.0,
+                p50_ms=1000 * _percentile(latencies, 0.50),
+                p99_ms=1000 * _percentile(latencies, 0.99),
+                queue_wait_p50_ms=1000 * _percentile(queue_waits, 0.50),
+                queue_wait_p99_ms=1000 * _percentile(queue_waits, 0.99),
+                queue_wait_max_ms=1000 * (queue_waits[-1] if queue_waits else 0.0),
+            ),
+            "dispatch": {
+                "watermark": self._watermark,
+                "restarts": restarts,
+                "spawn_failures": spawn_failures,
+            },
+            "workers": workers,
+            "caches": engine.cache_stats(),
+            "snapshot": {
+                "epoch": engine.index_manager.epoch,
+                "summary_version": engine.summary.snapshot_key,
+                "index_version": engine.keyword_index.snapshot_key,
+            },
+            "data": {"triples": len(engine.graph)},
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Drain, then shut the pool down.
+
+        Stops admitting, waits up to ``drain_seconds`` for in-flight
+        requests, asks each idle worker to exit cleanly (``shutdown``
+        frame), and kills whatever remains.  Releases the writer
+        engine's delta-log lock so another process can take over the
+        artifact."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        deadline = time.monotonic() + drain_seconds
+        while time.monotonic() < deadline:
+            with self._stats_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.02)
+        with self._cond:
+            handles = list(self._handles)
+            self._handles.clear()
+            self._idle.clear()
+        for handle in handles:
+            if handle.alive and not handle.busy:
+                try:
+                    handle.request({"op": "shutdown"}, 2.0)
+                    handle.proc.wait(timeout=2)
+                except (WorkerDied, subprocess.TimeoutExpired, OSError):
+                    pass
+            handle.kill()
+        self._fanout.shutdown(wait=False)
+        if self.engine.delta_log is not None:
+            self.engine.delta_log.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        with self._cond:
+            live = len(self._handles)
+        return (
+            f"DispatchService(bundle={self.bundle!r}, workers={self.workers}, "
+            f"live={live}, watermark={self._watermark})"
+        )

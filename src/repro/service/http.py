@@ -33,14 +33,26 @@ from urllib.parse import parse_qs, urlparse
 from repro.rdf.ntriples import parse_ntriples
 from repro.service.service import AdmissionError, EngineService
 
-__all__ = ["ReproServer", "result_to_json", "candidate_to_json"]
+__all__ = [
+    "ReproServer",
+    "answers_to_json",
+    "candidate_to_json",
+    "result_to_json",
+]
 
 
 # ----------------------------------------------------------------------
 # JSON shapes
 # ----------------------------------------------------------------------
+#
+# Each converter passes an already-JSON-shaped dict/list through
+# unchanged: the multiprocess tier (repro.service.dispatch) serializes
+# at the source — worker processes run result_to_json before the bytes
+# cross the pipe — so the handler code below stays tier-agnostic.
 
 def candidate_to_json(candidate) -> Dict[str, object]:
+    if isinstance(candidate, dict):
+        return candidate
     return {
         "rank": candidate.rank,
         "cost": candidate.cost,
@@ -51,6 +63,8 @@ def candidate_to_json(candidate) -> Dict[str, object]:
 
 
 def result_to_json(result) -> Dict[str, object]:
+    if isinstance(result, dict):
+        return result
     return {
         "keywords": result.keywords,
         "ignored_keywords": result.ignored_keywords,
@@ -74,7 +88,9 @@ def _outcome_to_json(outcome) -> Dict[str, object]:
     return payload
 
 
-def _answers_to_json(answers) -> List[Dict[str, str]]:
+def answers_to_json(answers) -> List[Dict[str, str]]:
+    if answers and isinstance(answers[0], dict):
+        return list(answers)
     return [
         {str(var): term.n3() for var, term in zip(a.variables, a.values)}
         for a in answers
@@ -199,7 +215,7 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "candidate": candidate_to_json(candidate),
-                "answers": _answers_to_json(answers),
+                "answers": answers_to_json(answers),
             },
         )
 

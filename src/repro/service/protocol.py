@@ -1,0 +1,87 @@
+"""Length-prefixed JSON frames: the dispatcher <-> worker wire format.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON encoding a single object.  The format is deliberately dumb:
+no pickles (a worker must never be able to make the dispatcher execute
+code, nor vice versa), no streaming bodies, no multiplexing — each
+worker connection carries strictly alternating request/response frames,
+so a frame boundary error can only mean a dead or corrupted peer, and
+the dispatcher's answer to both is the same (retire the worker, retry
+elsewhere).
+
+``read_frame`` accepts any object with ``read(n) -> bytes`` that may
+return *up to* ``n`` bytes (a raw pipe read), so the dispatcher can wrap
+a file descriptor with deadline-aware reads while the worker uses plain
+buffered stdin.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Optional
+
+__all__ = ["ProtocolError", "read_frame", "write_frame", "MAX_FRAME_BYTES"]
+
+#: Upper bound on one frame.  Results are top-k query candidates — a few
+#: KB — so anything near this bound is a corrupted stream, not a payload.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def write_frame(stream, payload: Dict[str, object]) -> None:
+    """Serialize one JSON object frame and flush it."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    stream.write(_LEN.pack(len(body)) + body)
+    stream.flush()
+
+
+def read_frame(reader) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame, an oversized length, or a non-object payload
+    raise :class:`ProtocolError` — all three mean the peer died mid-write
+    or the stream is corrupt.
+    """
+    header = _read_exact(reader, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    body = _read_exact(reader, length)
+    if body is None:
+        raise ProtocolError("stream ended inside a frame body")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def _read_exact(reader, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    if count == 0:
+        return b""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = reader.read(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"stream ended {remaining} bytes short of a {count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -63,11 +63,20 @@ class _ReadWriteLock:
         self._writer = False
         self._writers_waiting = 0
 
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Returns False iff ``timeout`` elapsed before admission."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer or self._writers_waiting:
-                self._cond.wait()
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
             self._readers += 1
+            return True
 
     def release_read(self) -> None:
         with self._cond:
@@ -148,6 +157,18 @@ class EngineService:
     default_timeout:
         Default per-query deadline (seconds) for :meth:`search_many`;
         ``None`` means no deadline.
+    max_queue_wait:
+        Bound on the time a query may spend *waiting* — for the read
+        lock (:meth:`search`) or in the pool queue (:meth:`search_many`)
+        — separately from its execution time.  Under a cold CPU-bound
+        burst the old combined deadline let dispatch debt stack behind
+        the GIL: every queued query burned its whole deadline waiting,
+        then ran anyway, blowing up p99 (the 4-client 492 ms cold wall in
+        ``fig_serving``).  Beyond the bound a query is rejected as
+        backpressure (:class:`AdmissionError` / batch ``timeout``
+        outcome) **without executing**, and every wait is recorded in the
+        ``queue_wait`` histogram surfaced by :meth:`stats`.  ``None``
+        means waits are recorded but unbounded.
     latency_window:
         How many recent per-query latencies feed the p50/p99 stats.
     """
@@ -158,6 +179,7 @@ class EngineService:
         workers: int = 4,
         max_pending: int = 64,
         default_timeout: Optional[float] = None,
+        max_queue_wait: Optional[float] = None,
         latency_window: int = 2048,
     ):
         if workers < 1:
@@ -168,6 +190,7 @@ class EngineService:
         self.workers = workers
         self.max_pending = max_pending
         self.default_timeout = default_timeout
+        self.max_queue_wait = max_queue_wait
         self._rw = _ReadWriteLock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-search"
@@ -183,6 +206,7 @@ class EngineService:
         self._rejected = 0
         self._updates = 0
         self._latencies: deque = deque(maxlen=latency_window)  # (end time, seconds)
+        self._queue_waits: deque = deque(maxlen=latency_window)  # seconds
         self._started_at = time.monotonic()
 
         # Every update batch — whichever path issues it — excludes readers
@@ -251,14 +275,27 @@ class EngineService:
             else:
                 self._errors += 1
 
+    def _record_queue_wait(self, seconds: float) -> None:
+        with self._stats_lock:
+            self._queue_waits.append(seconds)
+
     def search(self, query, k=None, dmax=None, max_cursors=None):
         """One search under a fresh read hold; the concurrent-safe analogue
         of ``engine.search``.  Raises :class:`AdmissionError` at the
-        in-flight bound."""
+        in-flight bound, and — when ``max_queue_wait`` is set — when the
+        read lock cannot be acquired within that bound (an update epoch,
+        or writers queued behind readers, is hogging the engine)."""
         self._admit(1)
         try:
             started = time.monotonic()
-            self._rw.acquire_read()
+            if not self._rw.acquire_read(timeout=self.max_queue_wait):
+                with self._stats_lock:
+                    self._rejected += 1
+                raise AdmissionError(
+                    f"read admission waited past max_queue_wait="
+                    f"{self.max_queue_wait:.3f}s behind an update epoch"
+                )
+            self._record_queue_wait(time.monotonic() - started)
             try:
                 snapshot = self.engine.snapshot()
                 result = self.engine.search_on_snapshot(
@@ -308,7 +345,9 @@ class EngineService:
                 deadline = None if timeout is None else time.monotonic() + timeout
                 futures = [
                     self._pool.submit(
-                        self._run_one, snapshot, i, q, k, dmax, max_cursors, deadline
+                        self._run_one,
+                        snapshot, i, q, k, dmax, max_cursors, deadline,
+                        time.monotonic(),
                     )
                     for i, q in enumerate(queries)
                 ]
@@ -321,8 +360,17 @@ class EngineService:
             self._record(outcome.latency_seconds, outcome.status)
         return outcomes
 
-    def _run_one(self, snapshot, index, query, k, dmax, max_cursors, deadline):
+    def _run_one(
+        self, snapshot, index, query, k, dmax, max_cursors, deadline, submitted
+    ):
         started = time.monotonic()
+        # Time from submission to dispatch is pure pool-queue wait: bound
+        # it separately from execution so a cold burst sheds load instead
+        # of stacking deadline debt behind the GIL.
+        waited = started - submitted
+        self._record_queue_wait(waited)
+        if self.max_queue_wait is not None and waited > self.max_queue_wait:
+            return BatchOutcome(index, query, "timeout")
         if deadline is not None and started >= deadline:
             return BatchOutcome(index, query, "timeout")
         try:
@@ -378,6 +426,7 @@ class EngineService:
         now = time.monotonic()
         with self._stats_lock:
             records = list(self._latencies)
+            queue_waits = sorted(self._queue_waits)
             completed = self._completed
             counters = {
                 "completed": completed,
@@ -409,6 +458,9 @@ class EngineService:
                 recent_qps=(len(recent) / window) if window > 0 else 0.0,
                 p50_ms=1000 * _percentile(latencies, 0.50),
                 p99_ms=1000 * _percentile(latencies, 0.99),
+                queue_wait_p50_ms=1000 * _percentile(queue_waits, 0.50),
+                queue_wait_p99_ms=1000 * _percentile(queue_waits, 0.99),
+                queue_wait_max_ms=1000 * (queue_waits[-1] if queue_waits else 0.0),
             ),
             "caches": engine.cache_stats(),
             "snapshot": {

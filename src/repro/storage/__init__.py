@@ -35,7 +35,7 @@ from repro.storage.errors import (
     UnsupportedEngineError,
     WalError,
 )
-from repro.storage.wal import DeltaLog
+from repro.storage.wal import DeltaLog, WalCursor
 
 __all__ = [
     "BUNDLE_SUFFIX",
@@ -46,6 +46,7 @@ __all__ = [
     "BundleExistsError",
     "BundleFormatError",
     "DeltaLog",
+    "WalCursor",
     "UnsupportedEngineError",
     "WalError",
     "compact_bundle",

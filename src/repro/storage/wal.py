@@ -31,6 +31,15 @@ and ``C`` only lands after the epoch really committed — so on restart:
 
 ``repro compact`` folds the tail back into a fresh bundle and truncates
 the log (:func:`repro.storage.bundle.compact_bundle`).
+
+Two reader shapes exist.  :meth:`DeltaLog.committed_entries` scans the
+whole file — right for one-shot replay at load time.  :class:`WalCursor`
+is the *incremental* reader the multiprocess serving tier uses: it
+remembers the byte offset just past the last committed frame it
+consumed, so a worker process polling the log after every update
+watermark pays O(new bytes), not O(log size), per poll.  Cursors never
+lock and never write — any number of them, across processes, can follow
+the one writer.
 """
 
 from __future__ import annotations
@@ -51,6 +60,28 @@ from repro.storage.codec import fsync_directory
 from repro.storage.errors import WalError
 
 _HEADER = "# repro-wal 1"
+
+
+def _parse_entry_body(
+    path: str, body: List[str], line_number: int
+) -> Tuple[List[Triple], List[Triple]]:
+    """Decode one committed entry's ``A``/``R`` lines into triple lists.
+
+    A CRC-valid entry whose N-Triples body does not parse is a writer
+    bug, not a torn write — raised, never skipped.
+    """
+    adds: List[Triple] = []
+    removes: List[Triple] = []
+    for line in body:
+        target = adds if line[0] == "A" else removes
+        try:
+            target.extend(parse_ntriples(line[2:]))
+        except NTriplesParseError as exc:
+            raise WalError(
+                f"{path}: unparseable triple in committed entry "
+                f"(near line {line_number}): {exc}"
+            ) from exc
+    return adds, removes
 
 
 class DeltaLog:
@@ -281,18 +312,7 @@ class DeltaLog:
     def _parse_body(
         self, body: List[str], line_number: int
     ) -> Tuple[List[Triple], List[Triple]]:
-        adds: List[Triple] = []
-        removes: List[Triple] = []
-        for line in body:
-            target = adds if line[0] == "A" else removes
-            try:
-                target.extend(parse_ntriples(line[2:]))
-            except NTriplesParseError as exc:
-                raise WalError(
-                    f"{self.path}: unparseable triple in committed entry "
-                    f"(near line {line_number}): {exc}"
-                ) from exc
-        return adds, removes
+        return _parse_entry_body(self.path, body, line_number)
 
     def replay_into(self, engine, from_epoch: int) -> int:
         """Apply the committed tail past ``from_epoch`` to an engine.
@@ -323,5 +343,125 @@ class DeltaLog:
                     "the log does not extend this bundle"
                 )
             expected += 1
+            applied += 1
+        return applied
+
+
+class WalCursor:
+    """Incremental, read-only follower of a delta log's committed tail.
+
+    The cursor holds a byte ``offset`` just past the last *committed*
+    frame it has yielded (plus any leading header/blank lines consumed
+    while no frame was open).  Each :meth:`poll` reads only the bytes the
+    writer appended since, applies the same damage policy as
+    :meth:`DeltaLog.committed_entries` — a torn or incomplete frame is
+    simply *not consumed*, so the next poll retries it after the writer's
+    ``C`` line lands — and advances the offset only past provably
+    committed frames.
+
+    Cursors take no lock and never write, so any number of follower
+    processes (the ``repro serve --workers N`` pool) can trail the single
+    writer that holds the log's ``flock``.  The one raising damage is the
+    same as the full scanner's: an unrecognized header version, and a
+    committed entry whose body does not parse.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        #: Byte offset of the first unconsumed byte; starts at 0 so a
+        #: fresh cursor scans history it can then skip by epoch.
+        self.offset = 0
+
+    def poll(self) -> List[Tuple[int, List[Triple], List[Triple]]]:
+        """Return ``(epoch, adds, removes)`` for newly committed entries.
+
+        Returns an empty list when the log does not exist yet or holds
+        no complete committed frame past the cursor's offset.
+        """
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            data = fh.read()
+        # A trailing fragment without its newline may still be mid-write;
+        # only complete lines participate, the rest waits for the next poll.
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        data = data[: end + 1]
+
+        entries: List[Tuple[int, List[Triple], List[Triple]]] = []
+        consumed = 0  # bytes safely behind us: committed frames + preamble
+        position = 0
+        entry: Optional[Tuple[int, List[str]]] = None
+        for number, raw in enumerate(data.split(b"\n")[:-1], start=1):
+            line_bytes = len(raw) + 1
+            line = raw.decode("utf-8", errors="replace").rstrip("\r")
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                if self.offset + position == 0 and stripped and stripped != _HEADER:
+                    raise WalError(
+                        f"{self.path}: unrecognized delta-log header "
+                        f"{stripped!r}; this release reads {_HEADER!r}"
+                    )
+                if entry is None:
+                    # Preamble/blank between frames is safe to skip forever.
+                    consumed = position + line_bytes
+                position += line_bytes
+                continue
+            tag, _, rest = line.partition(" ")
+            if tag == "B":
+                try:
+                    entry = (int(rest), [])
+                except ValueError:
+                    entry = None
+            elif tag in ("A", "R"):
+                if entry is not None:
+                    entry[1].append(line)
+            elif tag == "C":
+                if entry is not None:
+                    epoch, body = entry
+                    entry = None
+                    fields = rest.split()
+                    if len(fields) == 2 and fields[0] == str(epoch):
+                        crc = zlib.crc32("\n".join(body).encode("utf-8"))
+                        if fields[1] == f"{crc:08x}":
+                            entries.append(
+                                (epoch, *_parse_entry_body(self.path, body, number))
+                            )
+                            consumed = position + line_bytes
+            else:
+                entry = None  # foreign bytes void the surrounding entry
+            position += line_bytes
+        self.offset += consumed
+        return entries
+
+    def replay_into(self, engine) -> int:
+        """Apply newly committed entries to a follower engine, in order.
+
+        Entries at epochs the engine already holds are skipped (the
+        startup load replayed them); an epoch *ahead* of the engine's
+        next raises :class:`WalError` — the follower missed history (a
+        compaction truncated the log under it) and must reload the
+        bundle rather than serve a diverged state.  On any failure the
+        consumed offset may be past the unapplied entries, so the only
+        safe recovery is a full reload with a fresh cursor.
+        """
+        applied = 0
+        for epoch, adds, removes in self.poll():
+            current = engine.index_manager.epoch
+            if epoch < current:
+                continue
+            if epoch > current:
+                raise WalError(
+                    f"{self.path}: epoch gap — follower is at {current}, next "
+                    f"committed entry is {epoch}; reload the bundle"
+                )
+            changed = engine.index_manager.apply_batch(adds=adds, removes=removes)
+            if changed == 0:
+                raise WalError(
+                    f"{self.path}: committed epoch {epoch} replayed as a "
+                    "no-op; the log does not extend this engine"
+                )
             applied += 1
         return applied

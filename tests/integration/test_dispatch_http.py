@@ -1,0 +1,116 @@
+"""End-to-end test of `repro serve --workers N`: HTTP over the dispatch tier.
+
+The same stdlib server as `test_serve_http`, but the service behind it is
+a :class:`DispatchService` fanning requests over two worker processes
+that each map the shared bundle.  The acceptance claims: the endpoints
+are tier-agnostic (same JSON shapes), and an `/update` propagates its
+epoch to *every* worker before the response returns.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.rdf.graph import DataGraph
+from repro.service import DispatchService, ReproServer
+
+
+@pytest.fixture(scope="module")
+def dispatch_server(example_graph, tmp_path_factory):
+    bundle = str(tmp_path_factory.mktemp("dispatch-http") / "ex.reprobundle")
+    KeywordSearchEngine(DataGraph(example_graph.triples), k=5).save(bundle)
+    service = DispatchService(bundle, workers=2)
+    with ReproServer(service, port=0).start() as srv:
+        yield srv
+    service.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        return resp.status, json.loads(resp.read().decode("utf-8"))
+
+
+def test_search_shape_matches_inprocess_tier(dispatch_server):
+    status, body = _get(f"{dispatch_server.url}/search?q=cimiano+2006&k=3")
+    assert status == 200
+    assert body["keywords"] == ["cimiano", "2006"]
+    assert body["candidates"]
+    top = body["candidates"][0]
+    assert top["rank"] == 1
+    assert "SELECT" in top["sparql"]
+    assert "total" in body["timings_ms"]
+
+
+def test_execute_endpoint(dispatch_server):
+    status, body = _post(
+        f"{dispatch_server.url}/execute",
+        {"q": "2006 cimiano aifb", "rank": 1, "limit": 5},
+    )
+    assert status == 200
+    assert body["candidate"]["rank"] == 1
+    assert body["answers"]
+
+
+def test_batch_search_endpoint(dispatch_server):
+    status, body = _post(
+        f"{dispatch_server.url}/search",
+        {"queries": ["cimiano 2006", "aifb"], "k": 3},
+    )
+    assert status == 200
+    outcomes = body["outcomes"]
+    assert [o["status"] for o in outcomes] == ["ok", "ok"]
+    assert outcomes[0]["result"]["keywords"] == ["cimiano", "2006"]
+
+
+def test_update_epoch_advances_on_all_workers(dispatch_server):
+    _, stats_before = _get(f"{dispatch_server.url}/stats")
+    epoch_before = stats_before["snapshot"]["epoch"]
+
+    ntriples = (
+        '<http://example.org/dispatchpub> '
+        '<http://www.w3.org/2000/01/rdf-schema#label> "zzdispatchnew paper" .'
+    )
+    status, body = _post(f"{dispatch_server.url}/update", {"add": ntriples})
+    assert status == 200
+    assert body["changed"] == 1
+    assert body["epoch"] == epoch_before + 1
+    # The sync broadcast acked on both workers before /update returned.
+    assert body["workers_synced"] == 2
+
+    # Immediately visible: whichever worker serves this, it is at the
+    # new epoch (no read-your-writes anomaly across processes).
+    for _ in range(4):
+        status, hit = _get(f"{dispatch_server.url}/search?q=zzdispatchnew")
+        assert status == 200
+        assert hit["ignored_keywords"] == []
+        assert hit["candidates"]
+
+    status, stats = _get(f"{dispatch_server.url}/stats")
+    assert status == 200
+    assert stats["service"]["mode"] == "dispatch"
+    live = [w for w in stats["workers"] if w.get("alive")]
+    assert len(live) == 2
+    assert all(w["epoch"] == body["epoch"] for w in live)
+
+
+def test_stats_merges_dispatch_counters(dispatch_server):
+    _get(f"{dispatch_server.url}/search?q=cimiano")
+    status, stats = _get(f"{dispatch_server.url}/stats")
+    assert status == 200
+    assert stats["queries"]["completed"] >= 1
+    assert "queue_wait_p99_ms" in stats["queries"]
+    assert "restarts" in stats["dispatch"]
+    assert stats["dispatch"]["watermark"] == stats["snapshot"]["epoch"]

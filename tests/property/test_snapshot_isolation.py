@@ -117,6 +117,102 @@ def test_racing_search_returns_pre_or_post_state_never_hybrid(batch):
         service.close()
 
 
+def _render_json(payload):
+    """The dispatcher-path analogue of `_render`: the same byte-comparable
+    tuple, built from the wire-format JSON a worker process returned.
+    JSON float round-trips are exact (repr-based), so candidate costs
+    compare without tolerance."""
+    return (
+        tuple(payload["keywords"]),
+        tuple(payload["ignored_keywords"]),
+        tuple(
+            (c["rank"], c["cost"], c["query"], c["sparql"])
+            for c in payload["candidates"]
+        ),
+    )
+
+
+def _reference_render_json(triples):
+    from repro.service import result_to_json
+
+    return _render_json(
+        result_to_json(KeywordSearchEngine(DataGraph(triples)).search(KEYWORDS))
+    )
+
+
+@settings(
+    max_examples=3,  # each example spawns a 2-worker process pool
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(update_batches())
+def test_dispatch_racing_search_is_pre_or_post_never_hybrid(batch):
+    """The multiprocess tier preserves the same property: a search racing
+    an `/update` through a `--workers 2` dispatcher returns the pre- or
+    the post-batch state, never a hybrid — and after `update()` returns,
+    *every* worker serves the post state (the sync broadcast acked)."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.service import DispatchService
+
+    adds, removes = batch
+    pre = _reference_render_json(BASE_TRIPLES)
+    post_triples = [t for t in BASE_TRIPLES if t not in set(removes)] + adds
+    post = _reference_render_json(post_triples)
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-iso-")
+    try:
+        bundle = os.path.join(tmpdir, "iso.reprobundle")
+        KeywordSearchEngine(DataGraph(BASE_TRIPLES)).save(bundle)
+        service = DispatchService(bundle, workers=2)
+        try:
+            observed = []
+            observed_lock = threading.Lock()
+            failures = []
+            readers = 2
+            start = threading.Barrier(readers + 1)
+
+            def reader():
+                try:
+                    start.wait()
+                    for _ in range(3):
+                        render = _render_json(service.search(KEYWORDS))
+                        with observed_lock:
+                            observed.append(render)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, daemon=True)
+                for _ in range(readers)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            service.update(adds=adds, removes=removes)
+            for t in threads:
+                t.join(timeout=120)
+                assert not t.is_alive(), "reader wedged against the update"
+            assert failures == []
+
+            legal = {pre, post}
+            for render in observed:
+                assert render in legal, (
+                    "hybrid result observed across process boundary: "
+                    "matches neither the pre- nor the post-batch engine"
+                )
+            # update() acked the sync on every worker: regardless of
+            # which one serves these, only the post state is legal now.
+            for _ in range(4):
+                assert _render_json(service.search(KEYWORDS)) == post
+        finally:
+            service.close()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(update_batches())
 def test_search_many_is_byte_identical_to_sequential_after_update(batch):

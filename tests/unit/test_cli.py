@@ -161,16 +161,19 @@ class TestSubcommands:
 
         args = build_serve_parser().parse_args([])
         assert args.port == 8080
-        assert args.workers == 4
+        assert args.workers == 0  # worker *processes*; 0 = in-process tier
+        assert args.threads == 4
         assert args.max_pending == 64
+        assert args.max_queue_wait is None
         assert args.cache == 256
 
     def test_bench_subcommand_runs(self, capsys):
-        assert main(["bench", "--dataset", "example", "--clients", "2",
+        assert main(["bench", "--dataset", "example", "--clients", "1,2",
                      "--requests", "2"]) == 0
         out = capsys.readouterr().out
         assert "clients=1" in out
         assert "clients=2" in out
+        assert "workers=0" in out
         assert "qps=" in out
 
     def test_bench_parser_rejects_bad_clients(self, capsys):

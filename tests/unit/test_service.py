@@ -96,6 +96,68 @@ class TestAdmissionControl:
             svc.close()
 
 
+class TestQueueWait:
+    """max_queue_wait bounds waiting separately from execution."""
+
+    def test_histogram_surfaced_in_stats(self, service):
+        for q in QUERIES:
+            service.search(q)
+        queries = service.stats()["queries"]
+        assert queries["queue_wait_p50_ms"] >= 0
+        assert queries["queue_wait_p99_ms"] >= queries["queue_wait_p50_ms"]
+        assert queries["queue_wait_max_ms"] >= queries["queue_wait_p99_ms"]
+
+    def test_search_rejected_behind_a_writer(self, engine):
+        svc = EngineService(engine, workers=2, max_queue_wait=0.05)
+        try:
+            svc._rw.acquire_write()  # an update epoch hogging the engine
+            try:
+                with pytest.raises(AdmissionError):
+                    svc.search("cimiano 2006")
+            finally:
+                svc._rw.release_write()
+            assert svc.stats()["queries"]["rejected"] == 1
+            # Once the writer is gone, the same search is admitted.
+            assert svc.search("cimiano 2006") is not None
+        finally:
+            svc.close()
+
+    def test_pool_queue_wait_sheds_without_execution(self, engine):
+        import time as _time
+
+        real = engine.search_on_snapshot
+        calls = []
+
+        def slow(snapshot, query, **kwargs):
+            calls.append(query)
+            if query == "cimiano 2006":
+                _time.sleep(0.3)
+            return real(snapshot, query, **kwargs)
+
+        engine.search_on_snapshot = slow
+        svc = EngineService(engine, workers=1, max_queue_wait=0.05)
+        try:
+            outcomes = svc.search_many(["cimiano 2006", "aifb"])
+            assert outcomes[0].ok
+            # The second query waited > max_queue_wait behind the slow
+            # first one and was shed from the queue without executing.
+            assert outcomes[1].status == "timeout"
+            assert "aifb" not in calls
+            queries = svc.stats()["queries"]
+            assert queries["timeouts"] == 1
+            assert queries["queue_wait_max_ms"] >= 50
+        finally:
+            svc.close()
+
+    def test_unbounded_by_default(self, engine):
+        svc = EngineService(engine, workers=4)
+        try:
+            assert svc.max_queue_wait is None
+            assert all(o.ok for o in svc.search_many(QUERIES))
+        finally:
+            svc.close()
+
+
 class TestUpdates:
     def test_update_visible_to_later_searches(self, engine, service):
         before = service.search("zzznewthing")
