@@ -154,6 +154,13 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="distance-information pruning (--no-guided overrides a "
         "bundle built with --guided)",
     )
+    parser.add_argument(
+        "--vectorized", dest="use_vectorized",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="numpy exploration kernels (--no-vectorized forces the "
+        "scalar path; default: auto, or the bundle's setting with "
+        "--bundle)",
+    )
 
 
 def _resolve_engine_args(args) -> None:
@@ -193,6 +200,7 @@ def _build_engine(
                 k=args.k,
                 dmax=args.dmax,
                 guided=args.guided,
+                use_vectorized=args.use_vectorized,
                 search_cache_size=search_cache_size,
             )
         except FileNotFoundError as exc:
@@ -227,6 +235,7 @@ def _build_engine(
         k=args.k,
         dmax=args.dmax,
         guided=args.guided,
+        use_vectorized=args.use_vectorized,
         search_cache_size=search_cache_size,
     )
 
@@ -410,6 +419,7 @@ def _dispatch_overrides(args) -> dict:
         "cost_model": args.cost_model,
         "dmax": args.dmax,
         "guided": args.guided,
+        "use_vectorized": args.use_vectorized,
         "search_cache_size": max(0, args.cache),
     }
 
@@ -581,9 +591,16 @@ def build_bench_parser() -> argparse.ArgumentParser:
 
 
 def bench_command(argv) -> int:
+    from repro.core import kernels
     from repro.service import DispatchService, EngineService, closed_loop_benchmark
 
     args = build_bench_parser().parse_args(argv)
+    if args.use_vectorized is not None:
+        # Benchmarks flip the module-level switch too: an apples-to-apples
+        # scalar baseline must also cover the prefuse/shared-frontier
+        # paths, which consult the global kill switch.
+        kernels.set_enabled(args.use_vectorized)
+    print(f"# {kernels.status_line()}")
     engine = _build_engine(args, search_cache_size=max(0, args.cache))
     queries = _bench_queries(args, engine)
 
@@ -722,7 +739,10 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] in ("--version", "-V"):
         # Handled before dispatch: the legacy positional alias would
         # otherwise swallow the flag as a keyword query.
+        from repro.core import kernels
+
         print(f"repro {__version__}")
+        print(kernels.status_line())
         return 0
     if argv and argv[0] in SUBCOMMANDS:
         command, rest = argv[0], argv[1:]

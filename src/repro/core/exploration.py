@@ -39,7 +39,16 @@ Implementation notes (performance, same semantics):
   frontier state quadratically;
 * guided mode's per-keyword Dijkstra tables run on the CSR arrays and are
   cached on the substrate per (cost table, keyword-element sets, overlay
-  signature), so repeated queries skip them entirely.
+  signature), so repeated queries skip them entirely;
+* when numpy is importable (the ``repro[fast]`` extra), exploration takes
+  the **vectorized kernel path** (:mod:`repro.core.kernels`): guided bound
+  tables become batched relaxation sweeps over zero-copy ndarray views of
+  the CSR arrays, the pop loop runs on structure-of-arrays cursors, and
+  assembled per-query views are cached on the substrate per (overlay
+  signature, cost token).  Output — subgraphs *and* diagnostics — is
+  byte-identical by contract; ``use_vectorized=False`` (or a missing
+  numpy) keeps this scalar reference path, which the property tests use
+  as the oracle exactly like ``use_substrate=False``.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from bisect import bisect_left, bisect_right
 from operator import itemgetter
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import kernels
 from repro.core.cursor import Cursor
 from repro.core.subgraph import MatchingSubgraph
 from repro.core.topk import CandidateList
@@ -161,6 +171,18 @@ class _SubstrateView:
         "id_of",
         "to_merged",
         "decode",
+        # Lazy per-view caches for the vectorized kernel path: the costs as
+        # a plain list (scalar indexing of array('d') is slower in the SoA
+        # loop), the overlay patch-edge ndarrays (False = not built), and
+        # the shared adjacency-row memo (base rows boxed into tuples once,
+        # reused across every exploration on this view).
+        "costs_list",
+        "np_patches",
+        "row_memo",
+        # (bounds, nets) pair: per-keyword `bounds[kw][e] - costs[e]`
+        # tables precomputed for the pop-time prune check, keyed on the
+        # identity of the bounds object they were folded from.
+        "net_bounds",
     )
 
 
@@ -186,6 +208,35 @@ def _build_substrate_view(
         return None
     substrate = factory()
 
+    # Cost token first: it is both the cost-slot recipe and half of the
+    # view-cache key.  A view's content is fully determined by (overlay
+    # element keys, overlay incident map, cost token) over one substrate —
+    # edge keys encode their endpoints, so the extras' adjacency follows
+    # from the keys — which makes cached views safe to share across
+    # repeated queries (they are never mutated after assembly).
+    overrides, base_table = split_cost_mapping(element_costs)
+    base_array = None
+    if base_table is not None:
+        try:
+            base_array = substrate.cost_array(base_table)
+        except (KeyError, ValueError):
+            # Two-layer mapping whose base map alone is not a valid cost
+            # table (a missing element, or a non-positive entry masked by a
+            # per-query override) — read every element through the full
+            # mapping instead, which re-validates with reference semantics.
+            base_table = None
+    view_key = None
+    if base_table is not None:
+        cost_token = (id(base_table), frozenset(overrides.items()))
+        view_key = (
+            added_keys,
+            tuple((key, tuple(edges)) for key, edges in added_incident.items()),
+            cost_token,
+        )
+        cached = substrate.get_view(view_key, base_table)
+        if cached is not None:
+            return cached
+
     n = substrate.n
     ids = substrate.ids
     m = len(added_keys)
@@ -193,6 +244,10 @@ def _build_substrate_view(
     view = _SubstrateView()
     view.substrate = substrate
     view.total = n + m
+    view.costs_list = None
+    view.np_patches = False
+    view.row_memo = None
+    view.net_bounds = None
 
     if m:
         # Stable repr-only sort: elements with equal reprs keep overlay
@@ -257,16 +312,6 @@ def _build_substrate_view(
     # Cost slots: cached base array + O(#matches) per-query entries when
     # the mapping is the cost models' (overrides, base) ChainMap; a fresh
     # fill otherwise.
-    overrides, base_table = split_cost_mapping(element_costs)
-    if base_table is not None:
-        try:
-            base_array = substrate.cost_array(base_table)
-        except (KeyError, ValueError):
-            # Two-layer mapping whose base map alone is not a valid cost
-            # table (a missing element, or a non-positive entry masked by a
-            # per-query override) — read every element through the full
-            # mapping instead, which re-validates with reference semantics.
-            base_table = None
     if base_table is not None:
         costs = array("d", base_array)
     else:
@@ -280,11 +325,13 @@ def _build_substrate_view(
             sid = ids_get(key)
             if sid is not None:
                 costs[sid] = checked_cost(key, value)
-        view.cost_token = (id(base_table), frozenset(overrides.items()))
+        view.cost_token = view_key[2]
     else:
         view.cost_token = None
     view.cost_table = base_table
     view.costs = costs
+    if view_key is not None:
+        substrate.store_view(view_key, base_table, view)
     return view
 
 
@@ -408,6 +455,44 @@ def _completion_bounds(
     return bounds
 
 
+def _view_row_of(view: _SubstrateView):
+    """The per-element adjacency accessor of a substrate view."""
+    extra_rows = view.rows
+    substrate = view.substrate
+    offsets = substrate.offsets
+    targets = substrate.targets
+
+    def row_of(
+        element: int, _get=extra_rows.get, _t=targets, _o=offsets
+    ) -> Sequence[int]:
+        row = _get(element)
+        return row if row is not None else _t[_o[element] : _o[element + 1]]
+
+    return row_of
+
+
+def _bounds_for(
+    m: int,
+    seed_costs: List[Dict[int, float]],
+    row_of,
+    costs,
+    total: int,
+    view: Optional[_SubstrateView],
+    force_kernel: bool,
+) -> List[List[float]]:
+    """Completion bounds via the relaxation kernel when it pays off, via
+    the scalar Dijkstra otherwise (or when the kernel declines a
+    pathological graph) — identical values either way."""
+    if view is not None and (
+        force_kernel
+        or (kernels.kernels_enabled() and total >= kernels.MIN_BOUNDS_TOTAL)
+    ):
+        computed = kernels.completion_bounds_batch([(m, seed_costs, view)])[0]
+        if computed is not None:
+            return computed
+    return _completion_bounds(m, seed_costs, row_of, costs, total)
+
+
 def explore_top_k(
     augmented: AugmentedSummaryGraph,
     element_costs,
@@ -416,6 +501,7 @@ def explore_top_k(
     max_cursors: Optional[int] = None,
     guided: bool = False,
     use_substrate: Optional[bool] = None,
+    use_vectorized: Optional[bool] = None,
 ) -> ExplorationResult:
     """Run Algorithms 1+2 and return the k cheapest matching subgraphs.
 
@@ -446,6 +532,16 @@ def explore_top_k(
         otherwise; ``False`` forces the reference interning (the
         byte-identity oracle used by tests and benchmarks); ``True``
         requires the substrate and raises if the graph cannot provide one.
+    use_vectorized:
+        ``None`` (default) takes the vectorized kernel path
+        (:mod:`repro.core.kernels`) whenever numpy is importable and a
+        substrate view exists; ``False`` forces the scalar loop (the
+        second byte-identity oracle); ``True`` requires the kernels and
+        raises when numpy is missing, kernels are disabled, or there is
+        no substrate view — it also forces the bound tables through the
+        relaxation kernel regardless of graph size (how the property
+        tests exercise it on tiny graphs).  Output is byte-identical
+        either way — subgraphs and diagnostics.
     """
     ordered_sets = [ks for ks in augmented.sorted_keyword_elements() if ks]
     m = len(ordered_sets)
@@ -463,16 +559,7 @@ def explore_top_k(
         id_of = view.id_of
         to_merged = view.to_merged
         decode = view.decode
-        extra_rows = view.rows
-        offsets = view.substrate.offsets
-        targets = view.substrate.targets
-
-        def row_of(
-            element: int, _get=extra_rows.get, _t=targets, _o=offsets
-        ) -> Sequence[int]:
-            row = _get(element)
-            return row if row is not None else _t[_o[element] : _o[element + 1]]
-
+        row_of = _view_row_of(view)
     else:
         if use_substrate is True:
             raise ValueError(
@@ -487,23 +574,43 @@ def explore_top_k(
         decode = interned.keys.__getitem__
         row_of = interned.neighbors.__getitem__
 
+    # Resolve the vectorized kernel path before seeding: the SoA loop
+    # skips Cursor construction entirely, and a forced kernel run routes
+    # the bound tables through the relaxation sweeps too.
+    vectorized = False
+    if use_vectorized is True:
+        if view is None:
+            raise ValueError(
+                "vectorized exploration requires the CSR substrate "
+                "(use_substrate must not be False and the graph must "
+                "provide exploration_substrate())"
+            )
+        if not kernels.kernels_enabled():
+            raise ValueError(
+                "vectorized exploration requires numpy (pip install "
+                "repro[fast]) and kernels not disabled"
+            )
+        vectorized = True
+    elif use_vectorized is None and view is not None:
+        vectorized = kernels.kernels_enabled()
+        if not vectorized and not kernels.numpy_available():
+            kernels._log_fallback("numpy not installed")
+
     # Deterministic seeding: K_i are sets, so a canonical order (by key
     # repr, cached on the augmented graph) makes tie-breaking — and
     # therefore ranking among equal-cost subgraphs — reproducible across
     # processes.
-    heap: List[Tuple[float, int, Cursor]] = []
-    created = 0
+    seed_lists: List[List[Tuple[int, float]]] = [[] for _ in range(m)]
     seed_costs: List[Dict[int, float]] = [dict() for _ in range(m)]
     for i, elements in enumerate(ordered_sets):
+        pairs = seed_lists[i]
         for key in elements:
             element = id_of(key)
             if element is None:
                 raise KeyError(f"keyword element {key!r} not in augmented graph")
             cost = costs[element]
             seed_costs[i][element] = cost
-            created += 1
-            heap.append((cost, created, Cursor.origin_cursor(element, i, cost)))
-    heapq.heapify(heap)
+            pairs.append((element, cost))
 
     bounds: Optional[List[List[float]]] = None
     if guided:
@@ -516,9 +623,34 @@ def explore_top_k(
             )
             bounds = view.substrate.get_bounds(cache_key, view.cost_table)
         if bounds is None:
-            bounds = _completion_bounds(m, seed_costs, row_of, costs, total)
+            bounds = _bounds_for(
+                m, seed_costs, row_of, costs, total, view,
+                force_kernel=(use_vectorized is True),
+            )
             if cache_key is not None:
                 view.substrate.store_bounds(cache_key, view.cost_table, bounds)
+
+    if vectorized:
+        created, popped, pruned, max_queue, terminated_by = kernels.explore_soa(
+            seed_lists, m, view, bounds, candidates, k, dmax, max_cursors
+        )
+        return ExplorationResult(
+            subgraphs=[sg.translated(decode) for sg in candidates.best()],
+            cursors_created=created,
+            cursors_popped=popped,
+            cursors_pruned=pruned,
+            candidates_offered=candidates.offered,
+            terminated_by=terminated_by,
+            max_queue_size=max_queue,
+        )
+
+    heap: List[Tuple[float, int, Cursor]] = []
+    created = 0
+    for i, pairs in enumerate(seed_lists):
+        for element, cost in pairs:
+            created += 1
+            heap.append((cost, created, Cursor.origin_cursor(element, i, cost)))
+    heapq.heapify(heap)
 
     # Per-element registration state: a flat list of m per-keyword buckets,
     # ``states[element][i]`` holding the cursors that reached the element
@@ -661,3 +793,83 @@ def explore_top_k(
         terminated_by=terminated_by,
         max_queue_size=max_queue,
     )
+
+
+# ----------------------------------------------------------------------
+# Shared-frontier bound prefusion (EngineService.search_many)
+# ----------------------------------------------------------------------
+
+
+def prepare_guided_request(
+    augmented: AugmentedSummaryGraph, element_costs
+) -> Optional[tuple]:
+    """``(m, seed_costs, view, cache_key)`` for prefusing one query's
+    guided bound tables, or ``None`` when the query cannot share the
+    substrate bounds cache (no substrate, uncacheable cost mapping, no
+    matched keywords, or a keyword element outside the view)."""
+    ordered_sets = [ks for ks in augmented.sorted_keyword_elements() if ks]
+    m = len(ordered_sets)
+    if m == 0:
+        return None
+    view = _build_substrate_view(augmented, element_costs)
+    if view is None or view.cost_token is None:
+        return None
+    id_of = view.id_of
+    costs = view.costs
+    seed_costs: List[Dict[int, float]] = [dict() for _ in range(m)]
+    for i, elements in enumerate(ordered_sets):
+        for key in elements:
+            element = id_of(key)
+            if element is None:
+                return None
+            seed_costs[i][element] = costs[element]
+    cache_key = (
+        view.cost_token,
+        view.extra_keys,
+        tuple(tuple(sorted(sc.items())) for sc in seed_costs),
+    )
+    return m, seed_costs, view, cache_key
+
+
+def prefuse_guided_bounds(requests) -> int:
+    """Precompute missing guided bound tables for a batch of queries in
+    one fused relaxation pass (the shared-frontier mode of
+    ``EngineService.search_many``).
+
+    ``requests`` yields ``(augmented, element_costs)`` pairs, all built on
+    one snapshot.  Every query's table lands in the substrate bounds
+    cache under exactly the key :func:`explore_top_k` computes, so the
+    subsequent per-query searches hit the cache and run unchanged —
+    identity of the batch with sequential execution is structural, not
+    re-proved per query.  Queries the kernel declines (no numpy,
+    pathological diameter) are warmed with the scalar Dijkstra instead.
+    Returns the number of tables computed.
+    """
+    pending = []
+    seen = set()
+    for augmented, element_costs in requests:
+        prepared = prepare_guided_request(augmented, element_costs)
+        if prepared is None:
+            continue
+        m, seed_costs, view, cache_key = prepared
+        if cache_key in seen:
+            continue
+        if view.substrate.get_bounds(cache_key, view.cost_table) is not None:
+            continue
+        seen.add(cache_key)
+        pending.append((m, seed_costs, view, cache_key))
+    if not pending:
+        return 0
+    if kernels.kernels_enabled():
+        computed = kernels.completion_bounds_batch(
+            [(m, sc, v) for m, sc, v, _ in pending]
+        )
+    else:
+        computed = [None] * len(pending)
+    for (m, seed_costs, view, cache_key), bounds in zip(pending, computed):
+        if bounds is None:
+            bounds = _completion_bounds(
+                m, seed_costs, _view_row_of(view), view.costs, view.total
+            )
+        view.substrate.store_bounds(cache_key, view.cost_table, bounds)
+    return len(pending)

@@ -59,6 +59,7 @@ class EngineSnapshot:
         "dmax",
         "strict_keywords",
         "guided",
+        "use_vectorized",
     )
 
     def __init__(
@@ -77,6 +78,7 @@ class EngineSnapshot:
         dmax: int,
         strict_keywords: bool,
         guided: bool,
+        use_vectorized=None,
     ):
         self.graph = graph
         self.summary = summary
@@ -96,6 +98,9 @@ class EngineSnapshot:
         self.dmax = dmax
         self.strict_keywords = strict_keywords
         self.guided = guided
+        #: Tri-state vectorized-kernel override pinned from the engine
+        #: (None = auto: kernels when numpy is available).
+        self.use_vectorized = use_vectorized
 
     @property
     def key(self) -> SnapshotKey:

@@ -19,6 +19,14 @@ from typing import Callable, FrozenSet, Hashable, List, Sequence, Tuple
 from repro.core.cursor import Cursor
 
 
+#: order_key is a pure function of the element set, so repeated queries
+#: (which rediscover the same subgraphs) share one computed string.  The
+#: cache is cleared wholesale at the cap rather than LRU-tracked — the
+#: entries are tiny and recomputation is cheap.
+_ORDER_KEYS: dict = {}
+_ORDER_KEY_CAP = 4096
+
+
 class MatchingSubgraph:
     """A candidate result of the exploration: merged paths + their cost."""
 
@@ -42,6 +50,25 @@ class MatchingSubgraph:
 
     def __setattr__(self, name, value):  # pragma: no cover - guard
         raise AttributeError("MatchingSubgraph is immutable")
+
+    @classmethod
+    def from_parts(
+        cls,
+        connecting_element: Hashable,
+        paths: Sequence[Sequence[Hashable]],
+        elements: FrozenSet[Hashable],
+        cost: float,
+    ) -> "MatchingSubgraph":
+        """Trusted constructor for callers that already hold the merged
+        element set (the vectorized loop's deduplication key is exactly
+        it): skips recomputing the frozenset from the paths.  The caller
+        guarantees ``elements`` equals the union of ``paths``."""
+        self = cls.__new__(cls)
+        object.__setattr__(self, "connecting_element", connecting_element)
+        object.__setattr__(self, "paths", tuple(tuple(p) for p in paths))
+        object.__setattr__(self, "elements", elements)
+        object.__setattr__(self, "cost", float(cost))
+        return self
 
     @classmethod
     def from_cursors(
@@ -70,7 +97,12 @@ class MatchingSubgraph:
         which exploration discovered them)."""
         cached = getattr(self, "_order_key", None)
         if cached is None:
-            cached = repr(sorted(self.elements, key=repr))
+            cached = _ORDER_KEYS.get(self.elements)
+            if cached is None:
+                cached = repr(sorted(self.elements, key=repr))
+                if len(_ORDER_KEYS) >= _ORDER_KEY_CAP:
+                    _ORDER_KEYS.clear()
+                _ORDER_KEYS[self.elements] = cached
             object.__setattr__(self, "_order_key", cached)
         return cached
 

@@ -47,7 +47,13 @@ def levenshtein(a: str, b: str, max_distance: Optional[int] = None) -> int:
         if max_distance is not None and row_min > max_distance:
             return max_distance + 1
         previous = current
-    return previous[la]
+    distance = previous[la]
+    if max_distance is not None and distance > max_distance:
+        # The row minima never exceeded the bound (some band cell stayed
+        # cheap) but the final cell did: clamp to the sentinel so the
+        # bounded variant's contract — d <= bound ? d : bound + 1 — holds.
+        return max_distance + 1
+    return distance
 
 
 def within_distance(a: str, b: str, max_distance: int) -> bool:

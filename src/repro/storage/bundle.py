@@ -531,6 +531,7 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
             "search_cache_size": (
                 engine._search_cache.maxsize if engine._search_cache is not None else 0
             ),
+            "use_vectorized": engine.use_vectorized,
         },
         "graph": {
             "strict": graph_state["strict"],
@@ -994,6 +995,9 @@ def load_engine(
     loaded = load_bundle(path)
     meta = loaded.meta
     engine_meta = dict(meta["engine"])
+    # Bundles written before the vectorized kernels lack the key; the
+    # tri-state default (None = auto) keeps them loadable and overridable.
+    engine_meta.setdefault("use_vectorized", None)
     unknown = set(overrides) - set(engine_meta)
     if unknown:
         raise TypeError(f"unknown load() overrides: {sorted(unknown)}")
@@ -1010,6 +1014,7 @@ def load_engine(
         summary=loaded.summary,
         store=loaded.store,
         search_cache_size=engine_meta["search_cache_size"],
+        use_vectorized=engine_meta["use_vectorized"],
     )
     engine.index_manager.epoch = meta["snapshot"]["epoch"]
     if not lazy:

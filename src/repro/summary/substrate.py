@@ -18,7 +18,7 @@ so :class:`~repro.maintenance.IndexManager` updates invalidate it
 automatically.  Per query, only the O(#matches) overlay elements receive
 appended ids and adjacency rows (see ``repro.core.exploration``).
 
-The substrate also hosts two derived caches with the same lifetime (they
+The substrate also hosts derived caches with the same lifetime (they
 die with the substrate when ``version`` moves):
 
 * per-cost-table ``array('d')`` base-cost slots, keyed on the cost model's
@@ -26,7 +26,14 @@ die with the substrate when ``version`` moves):
   plus O(#matches) overrides;
 * guided-mode completion-bound tables, keyed per (cost table,
   keyword-element sets, overlay signature), so repeated queries skip the
-  per-keyword Dijkstra sweeps entirely.
+  per-keyword Dijkstra sweeps entirely;
+* assembled per-query substrate *views*, keyed per (overlay signature,
+  cost token), so a repeated query skips the extra-id/adjacency merge
+  work too (see ``repro.core.exploration._build_substrate_view``);
+* zero-copy int64 ndarray views over ``offsets``/``targets`` for the
+  vectorized kernels (:mod:`repro.core.kernels`) — built lazily on first
+  kernel use, sharing the underlying buffer (including the mmap pages of
+  a bundle-adopted substrate).
 """
 
 from __future__ import annotations
@@ -68,12 +75,16 @@ class ExplorationSubstrate:
         "backing",
         "_cost_arrays",
         "_bounds_cache",
+        "_view_cache",
+        "_ndarrays",
     )
 
     #: Base-cost arrays retained per substrate (one per live cost model).
     MAX_COST_TABLES = 4
     #: Guided completion-bound tables retained per substrate (LRU).
     MAX_BOUNDS = 32
+    #: Assembled per-query views retained per substrate (LRU).
+    MAX_VIEWS = 32
 
     def __init__(self, pairs: Iterable[Tuple[str, Hashable]], neighbors_of):
         pairs = tuple(pairs)
@@ -95,6 +106,8 @@ class ExplorationSubstrate:
 
         self._cost_arrays: Dict[int, Tuple[Mapping, array]] = {}
         self._bounds_cache: LruDict = LruDict(self.MAX_BOUNDS)
+        self._view_cache: LruDict = LruDict(self.MAX_VIEWS)
+        self._ndarrays = None
 
     @classmethod
     def from_arrays(
@@ -143,6 +156,8 @@ class ExplorationSubstrate:
         substrate.backing = backing
         substrate._cost_arrays = {}
         substrate._bounds_cache = LruDict(cls.MAX_BOUNDS)
+        substrate._view_cache = LruDict(cls.MAX_VIEWS)
+        substrate._ndarrays = None
         return substrate
 
     def row(self, element_id: int) -> array:
@@ -196,6 +211,48 @@ class ExplorationSubstrate:
 
     def store_bounds(self, key: tuple, cost_table: Mapping, bounds: list) -> None:
         self._bounds_cache.put(key, (cost_table, bounds))
+
+    def clear_bounds(self) -> None:
+        """Drop every cached bound table (views and CSR arrays stay).
+
+        For benchmarks and tests that need cold-bounds rounds without
+        rebuilding the substrate; production code never needs this —
+        entries age out of the LRU on their own.
+        """
+        self._bounds_cache = LruDict(self.MAX_BOUNDS)
+
+    # ------------------------------------------------------------------
+    # Assembled per-query views
+    # ------------------------------------------------------------------
+
+    def get_view(self, key: tuple, cost_table: Mapping):
+        """Cached per-query view for one (overlay signature, cost token).
+
+        Same ``id()``-aliasing defense as :meth:`cost_array`: the entry
+        holds the cost table whose identity the key embeds, so it can only
+        hit while that exact object is alive.
+        """
+        entry = self._view_cache.hit(key)
+        if entry is not None and entry[0] is cost_table:
+            return entry[1]
+        return None
+
+    def store_view(self, key: tuple, cost_table: Mapping, view) -> None:
+        self._view_cache.put(key, (cost_table, view))
+
+    # ------------------------------------------------------------------
+    # ndarray views (vectorized kernels)
+    # ------------------------------------------------------------------
+
+    def ndarray_views(self):
+        """The int64 ``(offsets, targets)`` ndarray pair adopted by
+        :func:`repro.core.kernels.csr_ndarrays`, or ``None`` before the
+        first kernel use.  Kept here so the views share the substrate's
+        lifetime (and its ``backing`` mmap pin)."""
+        return self._ndarrays
+
+    def adopt_ndarray_views(self, views) -> None:
+        self._ndarrays = views
 
     # ------------------------------------------------------------------
     # Introspection

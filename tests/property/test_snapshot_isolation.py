@@ -233,3 +233,59 @@ def test_search_many_is_byte_identical_to_sequential_after_update(batch):
         assert [_render(o.result) for o in outcomes] == expected
     finally:
         service.close()
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(update_batches())
+def test_shared_frontier_batch_racing_update_is_pre_or_post_never_hybrid(batch):
+    """A shared-frontier ``search_many`` racing an update epoch: the fused
+    bound-prefuse pass runs against the batch's pinned snapshot, so every
+    query in the batch must see *one* engine state — all-pre or all-post,
+    never a hybrid, and never bounds from one epoch applied to the other."""
+    adds, removes = batch
+
+    pre = _reference_render(BASE_TRIPLES)
+    post_triples = [t for t in BASE_TRIPLES if t not in set(removes)] + adds
+    post = _reference_render(post_triples)
+
+    engine = KeywordSearchEngine(DataGraph(BASE_TRIPLES), guided=True)
+    service = EngineService(engine, workers=4, max_pending=64)
+    try:
+        batches = []
+        failures = []
+        start = threading.Barrier(2)
+
+        def reader():
+            try:
+                start.wait()
+                for _ in range(4):
+                    outcomes = service.search_many(
+                        [KEYWORDS] * 3, shared_frontier=True
+                    )
+                    assert all(o.ok for o in outcomes)
+                    batches.append([_render(o.result) for o in outcomes])
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        start.wait()
+        service.update(adds=adds, removes=removes)
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "batch reader wedged against the update"
+        assert failures == []
+
+        legal = {pre, post}
+        for renders in batches:
+            assert renders[0] in legal, "hybrid result in shared-frontier batch"
+            # One snapshot per batch: identical queries, identical answers.
+            assert all(render == renders[0] for render in renders)
+        # After the epoch committed, a fresh batch serves only post state.
+        outcomes = service.search_many([KEYWORDS] * 2, shared_frontier=True)
+        assert [_render(o.result) for o in outcomes] == [post, post]
+    finally:
+        service.close()

@@ -191,7 +191,9 @@ class TestPersistenceCommands:
         from repro import __version__
 
         assert main(["--version"]) == 0
-        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == f"repro {__version__}"
+        assert lines[1].startswith("kernels: ")
         assert main(["-V"]) == 0
         assert f"repro {__version__}" in capsys.readouterr().out
 
