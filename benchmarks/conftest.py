@@ -41,6 +41,13 @@ def pytest_addoption(parser):
         help="benchmark smoke mode: tiny workloads, exercise the harness, "
         "skip timing assertions (failures mean exceptions, not regressions)",
     )
+    parser.addoption(
+        "--full",
+        action="store_true",
+        default=False,
+        help="extend long-running sweeps to their largest configuration "
+        "(e.g. the 10^7-triple row of the scale figure)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI scale-smoke: prove the out-of-core build path works at real size.
+
+Streams a ~10^5-triple LUBM corpus through ``repro build --stream`` in a
+fresh subprocess, asserts the build's peak RSS (``VmHWM`` from
+``/proc/self/status``) stays under a hard ceiling, then loads the
+resulting bundle and runs one search against it.  The point is liveness
+*and* the memory contract: a regression that quietly materializes the
+corpus (or an index) during the streamed build shows up here as a
+blown ceiling, not just as a slow job.
+
+Run under a hard ``timeout`` in CI so a wedged merge fails the job in
+minutes; any violated assertion exits nonzero.
+
+Usage: python scripts/scale_smoke.py [universities] [rss_ceiling_mb]
+"""
+
+import os
+import subprocess
+import sys
+
+#: ~37 universities ≈ 10^5 LUBM triples (the generator is deterministic).
+DEFAULT_UNIVERSITIES = 37
+#: The streamed build of 10^5 triples peaks near 110 MB (interpreter
+#: included); 256 MB is ~2.3x headroom while still far below the
+#: in-memory build's ~280 MB — the ceiling fails if streaming degrades
+#: to materialization.
+DEFAULT_CEILING_MB = 256
+
+_CHILD = """
+import resource
+from repro.datasets import LubmConfig, iter_lubm_triples
+from repro.storage import build_bundle_streaming
+
+info = build_bundle_streaming(
+    iter_lubm_triples(LubmConfig(universities={universities})),
+    {path!r},
+    force=True,
+)
+print('TRIPLES', info['triples'])
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+try:
+    for line in open('/proc/self/status'):
+        if line.startswith('VmHWM:'):
+            peak = int(line.split()[1])
+except OSError:
+    pass
+print('PEAK_KB', peak)
+"""
+
+
+def main() -> int:
+    universities = int(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_UNIVERSITIES
+    ceiling_mb = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_CEILING_MB
+    bundle = os.path.abspath("scale-smoke.reprobundle")
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    print(f"# streamed build: {universities} universities -> {bundle}")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(universities=universities, path=bundle)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    sys.stderr.write(out.stderr)
+    if out.returncode != 0:
+        print("FAIL: streamed build exited nonzero")
+        return 1
+    values = dict(line.split() for line in out.stdout.split("\n") if line.strip())
+    triples = int(values["TRIPLES"])
+    peak_mb = int(values["PEAK_KB"]) / 1024
+    print(f"# built {triples:,} triples, peak RSS {peak_mb:.0f} MB (ceiling {ceiling_mb} MB)")
+    if triples < 50_000:
+        print(f"FAIL: expected a ~10^5-triple corpus, generated {triples}")
+        return 1
+    if peak_mb > ceiling_mb:
+        print(f"FAIL: streamed build peaked at {peak_mb:.0f} MB > {ceiling_mb} MB ceiling")
+        return 1
+
+    # The artifact must actually serve: load + one search, in-process.
+    from repro.core.engine import KeywordSearchEngine
+
+    engine = KeywordSearchEngine.load(bundle, attach_wal=False)
+    result = engine.search("professor department0")
+    if not result.candidates:
+        print("FAIL: search over the streamed bundle returned no candidates")
+        return 1
+    print(f"# search ok: {len(result.candidates)} candidates, best cost {result.best().cost:.2f}")
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+    )
+    sys.exit(main())

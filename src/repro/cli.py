@@ -25,6 +25,7 @@ Examples::
     python -m repro "professor department0" --data my_data.nt --guided
     python -m repro "new paper" --data base.nt --update-ntriples delta.nt
     python -m repro build --data my_data.nt -o my_data.reprobundle
+    python -m repro build --data big.nt --stream --spill-budget 64 -o big.reprobundle
     python -m repro serve --bundle my_data.reprobundle --port 8080
 """
 
@@ -42,10 +43,38 @@ from repro.rdf.ntriples import parse_ntriples
 SUBCOMMANDS = ("search", "serve", "bench", "build", "compact")
 
 
+def _progress_lines(lines, every: int, label: str = "ingest"):
+    """Pass lines through, reporting throughput to stderr every ``every``.
+
+    Zero (the default for commands without ``--progress-every``) disables
+    reporting — the generator then adds nothing but a loop over its input.
+    """
+    if not every:
+        yield from lines
+        return
+    import time
+
+    started = time.perf_counter()
+    count = 0
+    for line in lines:
+        count += 1
+        if count % every == 0:
+            elapsed = time.perf_counter() - started
+            rate = count / elapsed if elapsed > 0 else 0.0
+            print(
+                f"# {label}: {count:,} lines in {elapsed:.1f}s ({rate:,.0f}/s)",
+                file=sys.stderr,
+            )
+        yield line
+
+
 def _load_graph(args) -> DataGraph:
     if args.data is not None:
+        # The file handle is handed to the parser as a line iterator —
+        # the whole file is never read into memory (see parse_ntriples).
         with open(args.data) as fh:
-            return DataGraph(parse_ntriples(fh))
+            lines = _progress_lines(fh, getattr(args, "progress_every", 0) or 0)
+            return DataGraph(parse_ntriples(lines))
     if args.dataset == "example":
         from repro.datasets.example import running_example_graph
 
@@ -676,13 +705,61 @@ def build_build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="overwrite an existing bundle (refused otherwise)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="out-of-core build: consume the triple source as an iterator "
+        "and spool intermediates to disk, so peak memory is bounded by the "
+        "keyword-class contexts + summary graph + the spill budget instead "
+        "of the corpus size",
+    )
+    parser.add_argument(
+        "--spill-budget",
+        type=_positive_int,
+        default=64,
+        metavar="MB",
+        help="with --stream: in-memory budget per sort/postings buffer "
+        "before spilling a sorted run to disk (default 64 MB)",
+    )
+    parser.add_argument(
+        "--progress-every",
+        type=_positive_int,
+        default=100_000,
+        metavar="N",
+        help="log an ingestion throughput line every N triples/lines "
+        "(default 100000)",
+    )
     return parser
+
+
+def _stream_triple_source(args):
+    """(context manager, triple iterator) for ``repro build --stream``.
+
+    Every branch returns a *lazy* source: a file handle parsed line by
+    line, or a dataset generator.  Nothing here materializes the corpus.
+    """
+    import contextlib
+
+    if args.data is not None:
+        fh = open(args.data)
+        lines = _progress_lines(fh, args.progress_every, label="parse")
+        return fh, parse_ntriples(lines)
+    if args.dataset == "lubm":
+        from repro.datasets import LubmConfig, iter_lubm_triples
+
+        config = LubmConfig(universities=max(1, args.scale // 1000))
+        return contextlib.nullcontext(), iter_lubm_triples(config)
+    # The remaining bundled datasets are small; iterating the generated
+    # graph keeps the streamed builder's input shape uniform.
+    return contextlib.nullcontext(), iter(_load_graph(args))
 
 
 def build_command(argv) -> int:
     from repro.storage import BundleError, WalError
 
     args = build_build_parser().parse_args(argv)
+    if args.stream:
+        return _stream_build_command(args)
     engine = _build_engine(args)
     try:
         info = engine.save(args.output, force=args.force)
@@ -695,6 +772,51 @@ def build_command(argv) -> int:
         f"# wrote {info['path']}: {info['bytes']} bytes, "
         f"{info['sections']} sections, format v{info['format_version']}, "
         f"epoch {info['epoch']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _stream_build_command(args) -> int:
+    from repro.storage import BundleError, WalError, build_bundle_streaming
+
+    if getattr(args, "bundle", None):
+        raise SystemExit("repro build: --stream builds from triples, not --bundle")
+    _resolve_engine_args(args)
+
+    def progress(count: int, elapsed: float) -> None:
+        rate = count / elapsed if elapsed > 0 else 0.0
+        print(
+            f"# build --stream: {count:,} triples in {elapsed:.1f}s "
+            f"({rate:,.0f} triples/s)",
+            file=sys.stderr,
+        )
+
+    source, triples = _stream_triple_source(args)
+    try:
+        with source:
+            info = build_bundle_streaming(
+                triples,
+                args.output,
+                force=args.force,
+                cost_model=args.cost_model,
+                k=args.k,
+                dmax=args.dmax,
+                guided=args.guided,
+                use_vectorized=args.use_vectorized,
+                spill_budget_bytes=args.spill_budget * 1024 * 1024,
+                progress=progress,
+                progress_every=args.progress_every,
+            )
+    except (BundleError, WalError) as exc:
+        print(f"repro build: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"# wrote {info['path']}: {info['bytes']} bytes, "
+        f"{info['sections']} sections, format v{info['format_version']}, "
+        f"epoch {info['epoch']} "
+        f"(streamed {info['triples']:,} triples, {info['terms']:,} terms, "
+        f"{info['postings_runs']} posting runs, {info['build_seconds']:.1f}s)",
         file=sys.stderr,
     )
     return 0

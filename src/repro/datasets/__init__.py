@@ -9,7 +9,7 @@ workloads with ground-truth intent used by the Fig. 4/5/6 benchmarks.
 
 from repro.datasets.example import running_example_graph
 from repro.datasets.dblp import generate_dblp, DblpConfig, DBLP
-from repro.datasets.lubm import generate_lubm, LubmConfig, UB
+from repro.datasets.lubm import generate_lubm, iter_lubm_triples, LubmConfig, UB
 from repro.datasets.tap import generate_tap, TapConfig, TAP
 from repro.datasets.workloads import (
     WorkloadQuery,
@@ -27,6 +27,7 @@ __all__ = [
     "DblpConfig",
     "DBLP",
     "generate_lubm",
+    "iter_lubm_triples",
     "LubmConfig",
     "UB",
     "generate_tap",

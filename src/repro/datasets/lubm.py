@@ -6,13 +6,19 @@ default) with a seeded PRNG: universities contain departments; departments
 employ full/associate/assistant professors and lecturers; students take
 courses, have advisors, and co-author publications with faculty — the same
 relation structure LUBM(50,0) exercises in the paper's Fig. 6b.
+
+:func:`iter_lubm_triples` is the streaming form: it yields the exact same
+triple sequence :func:`generate_lubm` materializes (asserted by test), with
+memory bounded by one department's entities — the out-of-core build path
+(`repro build --stream`) consumes it directly so million-triple scales never
+instantiate a :class:`~repro.rdf.graph.DataGraph` first.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 from repro.rdf.graph import DataGraph
 from repro.rdf.namespace import Namespace, RDF, RDFS
@@ -43,10 +49,14 @@ class LubmConfig:
 _FACULTY_CLASSES = ("FullProfessor", "AssociateProfessor", "AssistantProfessor")
 
 
-def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
-    """Generate the dataset deterministically for a given config."""
+def iter_lubm_triples(config: LubmConfig = LubmConfig()) -> Iterator[Triple]:
+    """Stream the dataset's triples deterministically for a given config.
+
+    Yields exactly the sequence ``generate_lubm(config)`` would store (the
+    PRNG consumption order is identical), holding only one department's
+    faculty/course/publication lists at a time.
+    """
     rng = random.Random(config.seed)
-    triples: List[Triple] = []
     t = RDF.type
     sub = RDFS.subClassOf
 
@@ -68,26 +78,26 @@ def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
         ("ResearchGroup", "Organization"),
     ]
     for child, parent in hierarchy:
-        triples.append(Triple(UB[child], sub, UB[parent]))
+        yield Triple(UB[child], sub, UB[parent])
 
     pub_index = 0
     course_index = 0
 
     for u in range(config.universities):
         university = UB[f"university{u}"]
-        triples.append(Triple(university, t, UB.University))
-        triples.append(Triple(university, UB.name, Literal(f"University{u}")))
+        yield Triple(university, t, UB.University)
+        yield Triple(university, UB.name, Literal(f"University{u}"))
 
         n_departments = rng.randint(*config.departments_per_university)
         for d in range(n_departments):
             department = UB[f"department{u}_{d}"]
-            triples.append(Triple(department, t, UB.Department))
-            triples.append(Triple(department, UB.name, Literal(f"Department{d} of University{u}")))
-            triples.append(Triple(department, UB.subOrganizationOf, university))
+            yield Triple(department, t, UB.Department)
+            yield Triple(department, UB.name, Literal(f"Department{d} of University{u}"))
+            yield Triple(department, UB.subOrganizationOf, university)
 
             group = UB[f"group{u}_{d}"]
-            triples.append(Triple(group, t, UB.ResearchGroup))
-            triples.append(Triple(group, UB.subOrganizationOf, department))
+            yield Triple(group, t, UB.ResearchGroup)
+            yield Triple(group, UB.subOrganizationOf, department)
 
             faculty: List[URI] = []
             counts = (
@@ -99,27 +109,23 @@ def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
                 for i in range(count):
                     prof = UB[f"{cls_name.lower()}{u}_{d}_{i}"]
                     faculty.append(prof)
-                    triples.append(Triple(prof, t, UB[cls_name]))
-                    triples.append(
-                        Triple(prof, UB.name, Literal(f"{cls_name}{i} Dept{d} Univ{u}"))
-                    )
-                    triples.append(
-                        Triple(prof, UB.emailAddress, Literal(f"{cls_name.lower()}{i}@u{u}d{d}.edu"))
-                    )
-                    triples.append(Triple(prof, UB.worksFor, department))
-                    triples.append(
-                        Triple(prof, UB.doctoralDegreeFrom,
-                               UB[f"university{rng.randrange(max(config.universities, 1))}"])
+                    yield Triple(prof, t, UB[cls_name])
+                    yield Triple(prof, UB.name, Literal(f"{cls_name}{i} Dept{d} Univ{u}"))
+                    yield Triple(prof, UB.emailAddress, Literal(f"{cls_name.lower()}{i}@u{u}d{d}.edu"))
+                    yield Triple(prof, UB.worksFor, department)
+                    yield Triple(
+                        prof, UB.doctoralDegreeFrom,
+                        UB[f"university{rng.randrange(max(config.universities, 1))}"],
                     )
             # The first full professor heads the department.
-            triples.append(Triple(faculty[0], UB.headOf, department))
+            yield Triple(faculty[0], UB.headOf, department)
 
             for i in range(rng.randint(*config.lecturers)):
                 lecturer = UB[f"lecturer{u}_{d}_{i}"]
                 faculty.append(lecturer)
-                triples.append(Triple(lecturer, t, UB.Lecturer))
-                triples.append(Triple(lecturer, UB.name, Literal(f"Lecturer{i} Dept{d} Univ{u}")))
-                triples.append(Triple(lecturer, UB.worksFor, department))
+                yield Triple(lecturer, t, UB.Lecturer)
+                yield Triple(lecturer, UB.name, Literal(f"Lecturer{i} Dept{d} Univ{u}"))
+                yield Triple(lecturer, UB.worksFor, department)
 
             # Courses taught by faculty.
             courses: List[URI] = []
@@ -129,11 +135,9 @@ def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
                     course = UB[f"course{course_index}"]
                     course_index += 1
                     courses.append(course)
-                    triples.append(
-                        Triple(course, t, UB.GraduateCourse if is_grad else UB.Course)
-                    )
-                    triples.append(Triple(course, UB.name, Literal(f"Course{course_index}")))
-                    triples.append(Triple(member, UB.teacherOf, course))
+                    yield Triple(course, t, UB.GraduateCourse if is_grad else UB.Course)
+                    yield Triple(course, UB.name, Literal(f"Course{course_index}"))
+                    yield Triple(member, UB.teacherOf, course)
 
             # Publications co-authored by faculty (and later grad students).
             publications: List[URI] = []
@@ -142,37 +146,38 @@ def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
                     pub = UB[f"publication{pub_index}"]
                     pub_index += 1
                     publications.append(pub)
-                    triples.append(Triple(pub, t, UB.Publication))
-                    triples.append(Triple(pub, UB.name, Literal(f"Publication{pub_index}")))
-                    triples.append(Triple(pub, UB.publicationAuthor, member))
+                    yield Triple(pub, t, UB.Publication)
+                    yield Triple(pub, UB.name, Literal(f"Publication{pub_index}"))
+                    yield Triple(pub, UB.publicationAuthor, member)
 
             # Students.
             n_faculty = len(faculty)
             n_undergrad = rng.randint(*config.undergrad_per_faculty) * n_faculty
             for i in range(n_undergrad):
                 student = UB[f"undergrad{u}_{d}_{i}"]
-                triples.append(Triple(student, t, UB.UndergraduateStudent))
-                triples.append(Triple(student, UB.name, Literal(f"UndergraduateStudent{i} Dept{d} Univ{u}")))
-                triples.append(Triple(student, UB.memberOf, department))
+                yield Triple(student, t, UB.UndergraduateStudent)
+                yield Triple(student, UB.name, Literal(f"UndergraduateStudent{i} Dept{d} Univ{u}"))
+                yield Triple(student, UB.memberOf, department)
                 for course in rng.sample(courses, min(len(courses), rng.randint(1, 3))):
-                    triples.append(Triple(student, UB.takesCourse, course))
+                    yield Triple(student, UB.takesCourse, course)
 
             n_grad = rng.randint(*config.grad_per_faculty) * n_faculty
             for i in range(n_grad):
                 student = UB[f"grad{u}_{d}_{i}"]
-                triples.append(Triple(student, t, UB.GraduateStudent))
-                triples.append(Triple(student, UB.name, Literal(f"GraduateStudent{i} Dept{d} Univ{u}")))
-                triples.append(Triple(student, UB.memberOf, department))
-                triples.append(Triple(student, UB.advisor, rng.choice(faculty)))
-                triples.append(
-                    Triple(student, UB.undergraduateDegreeFrom,
-                           UB[f"university{rng.randrange(max(config.universities, 1))}"])
+                yield Triple(student, t, UB.GraduateStudent)
+                yield Triple(student, UB.name, Literal(f"GraduateStudent{i} Dept{d} Univ{u}"))
+                yield Triple(student, UB.memberOf, department)
+                yield Triple(student, UB.advisor, rng.choice(faculty))
+                yield Triple(
+                    student, UB.undergraduateDegreeFrom,
+                    UB[f"university{rng.randrange(max(config.universities, 1))}"],
                 )
                 for course in rng.sample(courses, min(len(courses), rng.randint(1, 2))):
-                    triples.append(Triple(student, UB.takesCourse, course))
+                    yield Triple(student, UB.takesCourse, course)
                 if publications and rng.random() < 0.5:
-                    triples.append(
-                        Triple(rng.choice(publications), UB.publicationAuthor, student)
-                    )
+                    yield Triple(rng.choice(publications), UB.publicationAuthor, student)
 
-    return DataGraph(triples)
+
+def generate_lubm(config: LubmConfig = LubmConfig()) -> DataGraph:
+    """Generate the dataset deterministically for a given config."""
+    return DataGraph(iter_lubm_triples(config))

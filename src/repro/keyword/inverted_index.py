@@ -144,3 +144,53 @@ class InvertedIndex:
 
     def __len__(self) -> int:
         return self.term_count
+
+
+class SpillingPostingsBuilder:
+    """Out-of-core posting-list accumulator for the streaming build.
+
+    Accepts ``(vocab_id, element_id, tf, total)`` rows in element
+    processing order, keeping at most ``budget_rows`` resident; past the
+    budget a sorted run spills to ``directory`` and the runs are k-way
+    merged on read-back.  :meth:`merged_groups` yields per-term posting
+    lists in ascending vocab-id order — element order *within* a term is
+    ascending element id, which equals first-indexed order because the
+    streamed build assigns element ids sequentially.  That matches the
+    in-memory :class:`InvertedIndex`, whose per-term dict buckets also
+    record elements in first-indexed order.
+
+    Mirrors :meth:`InvertedIndex.index` semantics for the build-only
+    case: every element is indexed exactly once, so the ``tf`` merge
+    (``+=``) and ``total`` merge (``max``) paths never trigger.
+    """
+
+    def __init__(self, directory, budget_rows: int):
+        from repro.storage.segments import ExternalSorter
+
+        self._sorter = ExternalSorter(directory, 4, budget_rows, prefix="postings")
+        self.posting_rows = 0
+
+    @property
+    def runs_spilled(self) -> int:
+        return self._sorter.runs_spilled
+
+    def add(self, vocab_id: int, element_id: int, tf: int, total: int) -> None:
+        self._sorter.add((vocab_id, element_id, tf, total))
+        self.posting_rows += 1
+
+    def merged_groups(self) -> Iterator[Tuple[int, List[int]]]:
+        """Yield ``(vocab_id, flat [element_id, tf, total, ...])`` groups."""
+        from itertools import groupby
+
+        for vocab_id, rows in groupby(
+            self._sorter.sorted_rows(), key=lambda row: row[0]
+        ):
+            flat: List[int] = []
+            for _, element_id, tf, total in rows:
+                flat.append(element_id)
+                flat.append(tf)
+                flat.append(total)
+            yield vocab_id, flat
+
+    def cleanup(self) -> None:
+        self._sorter.cleanup()

@@ -156,6 +156,23 @@ _KIND_ATTRIBUTE = "attribute"
 _KIND_VALUE = "value"
 
 
+def element_label_text(kind: str, term, label_of) -> str:
+    """The label text one index element is analyzed under.
+
+    Shared between :meth:`KeywordIndex._build` and the out-of-core
+    streaming build (``repro.storage.stream_build``) so both paths feed
+    the analyzer byte-identical input: classes use the graph's display
+    label, edge labels their URI local name, values their lexical form.
+    ``label_of`` is only consulted for classes, so streamed callers can
+    pass a resident-aggregate implementation.
+    """
+    if kind == _KIND_CLASS:
+        return label_of(term)
+    if kind == _KIND_VALUE:
+        return term.lexical
+    return local_name(term)
+
+
 class KeywordIndex:
     """The IR engine over element labels: build once, look keywords up fast.
 
@@ -229,11 +246,17 @@ class KeywordIndex:
 
         for label in graph.attribute_labels:
             self._index.index(
-                (_KIND_ATTRIBUTE, label), self._analyzer.analyze(local_name(label))
+                (_KIND_ATTRIBUTE, label),
+                self._analyzer.analyze(
+                    element_label_text(_KIND_ATTRIBUTE, label, graph.label_of)
+                ),
             )
         for value in graph.values:
             self._index.index(
-                (_KIND_VALUE, value), self._analyzer.analyze(value.lexical)
+                (_KIND_VALUE, value),
+                self._analyzer.analyze(
+                    element_label_text(_KIND_VALUE, value, graph.label_of)
+                ),
             )
 
         # One pass over all A-edges seeds the class-context refcounts.
@@ -247,12 +270,18 @@ class KeywordIndex:
 
     def _index_class(self, cls: Term) -> None:
         self._index.index(
-            (_KIND_CLASS, cls), self._analyzer.analyze(self._graph.label_of(cls))
+            (_KIND_CLASS, cls),
+            self._analyzer.analyze(
+                element_label_text(_KIND_CLASS, cls, self._graph.label_of)
+            ),
         )
 
     def _index_relation_label(self, label: URI) -> None:
         self._index.index(
-            (_KIND_RELATION, label), self._analyzer.analyze(local_name(label))
+            (_KIND_RELATION, label),
+            self._analyzer.analyze(
+                element_label_text(_KIND_RELATION, label, self._graph.label_of)
+            ),
         )
 
     def _adjust_occurrence_refs(self, label, value, classes, delta: int) -> None:

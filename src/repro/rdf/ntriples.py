@@ -7,6 +7,7 @@ escapes, comments, and blank lines.
 
 from __future__ import annotations
 
+import io
 from typing import Iterable, Iterator, TextIO, Union
 
 from repro.rdf.terms import BNode, Literal, Term, URI
@@ -150,12 +151,24 @@ class _LineScanner:
 def parse_ntriples(source: Union[str, TextIO, Iterable[str]]) -> Iterator[Triple]:
     """Parse N-Triples from a string or line iterable, yielding triples.
 
+    Streaming contract: ``source`` is consumed strictly line by line —
+    ``.read()`` is never called and no list of lines is ever built, so an
+    open file handle (or any lazy line generator) parses in O(1) memory
+    regardless of corpus size.  Errors carry the 1-based line number and
+    column.  The out-of-core build path (``repro build --stream``) feeds
+    file handles through here directly.
+
     >>> list(parse_ntriples('<a:s> <a:p> "v" .'))
     [Triple(URI('a:s'), URI('a:p'), Literal('v'))]
     """
-    # Split on newline only: str.splitlines() would also break on Unicode
-    # line separators (U+0085, U+2028, …), which are data, not structure.
-    lines = source.split("\n") if isinstance(source, str) else source
+    if isinstance(source, str):
+        # Iterate \n-delimited lines without materializing a split list.
+        # (str.splitlines() would also break on Unicode line separators —
+        # U+0085, U+2028, … — which are data, not structure; StringIO
+        # splits on \n only.)
+        lines: Iterable[str] = io.StringIO(source)
+    else:
+        lines = source
     for number, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):

@@ -12,7 +12,11 @@ process*.  This package provides that lifecycle:
   ``KeywordSearchEngine.load`` and the CLI's ``--bundle`` call);
 * :class:`DeltaLog` — the write-ahead N-Triples delta log that makes
   update epochs restart-safe;
-* :func:`compact_bundle` — folds the log back into a fresh bundle.
+* :func:`compact_bundle` — folds the log back into a fresh bundle;
+* :func:`build_bundle_streaming` — the out-of-core build path
+  (``repro build --stream``): triple iterator in, bundle out, peak RSS
+  bounded by the hot structures plus the spill budget instead of the
+  corpus.
 
 ``repro build`` / ``repro compact`` and the ``--bundle`` option of
 ``search``/``serve``/``bench`` are the command-line surface.
@@ -22,11 +26,13 @@ from repro.storage.bundle import (
     BUNDLE_SUFFIX,
     FORMAT_VERSION,
     MAGIC,
+    BundleWriter,
     compact_bundle,
     load_bundle,
     load_engine,
     save_bundle,
 )
+from repro.storage.stream_build import DEFAULT_SPILL_BUDGET, build_bundle_streaming
 from repro.storage.errors import (
     BundleChecksumError,
     BundleError,
@@ -39,9 +45,12 @@ from repro.storage.wal import DeltaLog, WalCursor
 
 __all__ = [
     "BUNDLE_SUFFIX",
+    "DEFAULT_SPILL_BUDGET",
     "FORMAT_VERSION",
     "MAGIC",
     "BundleChecksumError",
+    "BundleWriter",
+    "build_bundle_streaming",
     "BundleError",
     "BundleExistsError",
     "BundleFormatError",

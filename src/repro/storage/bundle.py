@@ -300,6 +300,186 @@ def _decode_two_level(reader: Reader, terms):
 # ----------------------------------------------------------------------
 
 
+class _SectionWriter:
+    """One open section of a :class:`BundleWriter`: accumulates bytes,
+    length, and a running CRC32 without retaining the data."""
+
+    __slots__ = ("_writer", "name", "length", "crc32")
+
+    def __init__(self, writer: "BundleWriter", name: str):
+        self._writer = writer
+        self.name = name
+        self.length = 0
+        self.crc32 = 0
+
+    def write(self, data) -> None:
+        if not data:
+            return
+        self._writer._fh.write(data)
+        self.crc32 = zlib.crc32(data, self.crc32)
+        self.length += len(data)
+
+    def __enter__(self) -> "_SectionWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._writer._end_section(self)
+
+
+class BundleWriter:
+    """Streamed section-by-section bundle writer with running CRC32s.
+
+    Sections are appended to a same-directory payload spool as they are
+    produced — each framed 8-aligned with its checksum computed on the
+    fly — and :meth:`finish` prepends the prelude + header, copies the
+    spool across in bounded chunks, and atomically publishes the bundle
+    via ``os.replace``.  Both the in-memory :func:`save_bundle` and the
+    out-of-core streaming build write through this class, so neither
+    path ever holds the concatenated payload in memory.
+
+    ``finish`` also supersedes any delta log sitting next to the target
+    path (see the comment inside), preserving :func:`save_bundle`'s WAL
+    semantics for every producer of bundles.
+    """
+
+    def __init__(self, path, force: bool = False):
+        self.path = os.fspath(path)
+        if os.path.exists(self.path) and not force:
+            raise BundleExistsError(
+                f"refusing to overwrite existing bundle {self.path!r} "
+                "(pass force=True / --force)"
+            )
+        self._payload_path = f"{self.path}.payload.{os.getpid()}"
+        self._fh = open(self._payload_path, "wb")
+        self._table: List[Dict[str, object]] = []
+        self._offset = 0
+        self._open_section: Optional[_SectionWriter] = None
+
+    def section(self, name: str) -> _SectionWriter:
+        """Open the next section as a context manager with ``write()``."""
+        if self._fh is None:
+            raise ValueError("bundle writer is closed")
+        if self._open_section is not None:
+            raise ValueError(
+                f"section {self._open_section.name!r} is still open"
+            )
+        self._open_section = _SectionWriter(self, name)
+        return self._open_section
+
+    def add_section(self, name: str, payload: bytes) -> None:
+        """Append one fully-encoded section."""
+        with self.section(name) as sec:
+            sec.write(payload)
+
+    def _end_section(self, sec: _SectionWriter) -> None:
+        padding = -sec.length % 8
+        if padding:
+            self._fh.write(b"\x00" * padding)
+        self._table.append(
+            {
+                "name": sec.name,
+                "offset": self._offset,
+                "length": sec.length,
+                "crc32": sec.crc32,
+            }
+        )
+        self._offset += sec.length + padding
+        self._open_section = None
+
+    def finish(self, meta: Dict[str, object], engine_log=None) -> Dict[str, object]:
+        """Write the final bundle and publish it atomically.
+
+        ``meta`` is the header dict *without* the section table (added
+        here).  ``engine_log`` is the saving engine's attached delta log,
+        if any — used for the post-replace WAL truncation instead of the
+        sibling-lock guard when it is live and co-located.
+        """
+        if self._open_section is not None:
+            raise ValueError(f"section {self._open_section.name!r} is still open")
+        self._fh.close()
+        self._fh = None
+
+        meta = dict(meta)
+        meta["sections"] = self._table
+        header = json.dumps(meta, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+
+        # A new bundle supersedes whatever delta log sits next to the
+        # target path: the saved state already contains every epoch it
+        # applied, and a stale log from a *previous* bundle would
+        # otherwise be replayed into this one whenever the epoch numbers
+        # happen to line up.  Lock the sibling log up front (refusing if
+        # another engine is attached), truncate it only after the bundle
+        # is durably in place.
+        from repro.storage.wal import DeltaLog
+
+        wal_path = f"{self.path}.wal"
+        own_log = engine_log
+        if own_log is not None and (
+            own_log._retired
+            or os.path.abspath(own_log.path) != os.path.abspath(wal_path)
+        ):
+            # A retired (handed-over) log is no longer the caller's to
+            # truncate through; fall back to the guard path, which locks
+            # up front and fails *before* the bundle is replaced.
+            own_log = None
+        wal_guard = None
+        if own_log is None and os.path.exists(wal_path):
+            wal_guard = DeltaLog(wal_path)
+            wal_guard._lock_exclusively()
+
+        tmp_path = f"{self.path}.tmp.{os.getpid()}"
+        header_padding = -(len(MAGIC) + 8 + len(header)) % 8
+        try:
+            with open(tmp_path, "wb") as fh:
+                fh.write(MAGIC)
+                fh.write(_U32.pack(FORMAT_VERSION))
+                fh.write(_U32.pack(len(header)))
+                fh.write(header)
+                fh.write(b"\x00" * header_padding)
+                with open(self._payload_path, "rb") as payload:
+                    while True:
+                        chunk = payload.read(1 << 20)
+                        if not chunk:
+                            break
+                        fh.write(chunk)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+            fsync_directory(self.path)
+            if own_log is not None:
+                own_log.reset()
+            elif wal_guard is not None:
+                wal_guard.reset()
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        finally:
+            if wal_guard is not None:
+                wal_guard.close()
+            if os.path.exists(self._payload_path):
+                os.unlink(self._payload_path)
+
+        return {
+            "path": self.path,
+            "bytes": len(MAGIC) + 8 + len(header) + header_padding + self._offset,
+            "sections": len(self._table),
+            "format_version": FORMAT_VERSION,
+            "epoch": meta.get("snapshot", {}).get("epoch", 0),
+        }
+
+    def abort(self) -> None:
+        """Discard the partial payload spool (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if os.path.exists(self._payload_path):
+            os.unlink(self._payload_path)
+
+
 def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
     """Serialize an engine's offline layer to ``path``.
 
@@ -562,88 +742,14 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
         },
     }
 
-    payload, section_table = _frame_sections(sections)
-    meta["sections"] = section_table
-    header = json.dumps(meta, separators=(",", ":"), sort_keys=True).encode("utf-8")
-
-    # A new bundle supersedes whatever delta log sits next to the target
-    # path: the saved engine already contains every epoch it applied, and
-    # a stale log from a *previous* bundle would otherwise be replayed
-    # into this one whenever the epoch numbers happen to line up.  Lock
-    # the sibling log up front (refusing if another engine is attached),
-    # truncate it only after the bundle is durably in place.
-    from repro.storage.wal import DeltaLog
-
-    wal_path = f"{path}.wal"
-    own_log = getattr(engine, "delta_log", None)
-    if own_log is not None and (
-        own_log._retired
-        or os.path.abspath(own_log.path) != os.path.abspath(wal_path)
-    ):
-        # A retired (handed-over) log is no longer this engine's to
-        # truncate through; fall back to the guard path, which locks up
-        # front and fails *before* the bundle is replaced.
-        own_log = None
-    wal_guard = None
-    if own_log is None and os.path.exists(wal_path):
-        wal_guard = DeltaLog(wal_path)
-        wal_guard._lock_exclusively()
-
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    header_padding = -(len(MAGIC) + 8 + len(header)) % 8
+    writer = BundleWriter(path, force=force)
     try:
-        with open(tmp_path, "wb") as fh:
-            fh.write(MAGIC)
-            fh.write(_U32.pack(FORMAT_VERSION))
-            fh.write(_U32.pack(len(header)))
-            fh.write(header)
-            fh.write(b"\x00" * header_padding)
-            fh.write(payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_path, path)
-        fsync_directory(path)
-        if own_log is not None:
-            own_log.reset()
-        elif wal_guard is not None:
-            wal_guard.reset()
+        for name, payload in sections:
+            writer.add_section(name, payload)
+        return writer.finish(meta, engine_log=getattr(engine, "delta_log", None))
     except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
+        writer.abort()
         raise
-    finally:
-        if wal_guard is not None:
-            wal_guard.close()
-
-    return {
-        "path": path,
-        "bytes": len(MAGIC) + 8 + len(header) + header_padding + len(payload),
-        "sections": len(sections),
-        "format_version": FORMAT_VERSION,
-        "epoch": engine.index_manager.epoch,
-    }
-
-
-def _frame_sections(sections) -> Tuple[bytes, List[Dict[str, object]]]:
-    """Concatenate section payloads (8-aligned) and build the header table."""
-    table: List[Dict[str, object]] = []
-    chunks: List[bytes] = []
-    offset = 0
-    for name, payload in sections:
-        table.append(
-            {
-                "name": name,
-                "offset": offset,
-                "length": len(payload),
-                "crc32": zlib.crc32(payload),
-            }
-        )
-        chunks.append(payload)
-        padding = -len(payload) % 8
-        if padding:
-            chunks.append(b"\x00" * padding)
-        offset += len(payload) + padding
-    return b"".join(chunks), table
 
 
 # ----------------------------------------------------------------------

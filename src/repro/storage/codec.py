@@ -221,30 +221,41 @@ def decode_strings(reader: Reader) -> List[str]:
 # ----------------------------------------------------------------------
 
 
+def encode_term_record(term: Term, term_id) -> bytes:
+    """Encode one term-table record (kind byte + payload).
+
+    The streamed bundle builder writes the table through this in bounded
+    chunks; :func:`encode_terms` is the same records materialized at
+    once.  ``term_id`` resolves datatype URIs, which the
+    :class:`TermInterner` guarantees were assigned before their literals.
+    """
+    if isinstance(term, URI):
+        return bytes([_TERM_URI]) + _pack_str(term.value)
+    if isinstance(term, BNode):
+        return bytes([_TERM_BNODE]) + _pack_str(term.label)
+    if isinstance(term, Literal):
+        if term.datatype is not None:
+            return (
+                bytes([_TERM_LITERAL_DT])
+                + _pack_str(term.lexical)
+                + _U64.pack(term_id(term.datatype))
+            )
+        if term.language is not None:
+            return (
+                bytes([_TERM_LITERAL_LANG])
+                + _pack_str(term.lexical)
+                + _pack_str(term.language)
+            )
+        return bytes([_TERM_LITERAL]) + _pack_str(term.lexical)
+    # pragma: no cover - the graph never stores Variables
+    raise BundleFormatError(f"cannot encode term type {type(term).__name__}")
+
+
 def encode_terms(terms: Sequence[Term], term_id) -> bytes:
     """Encode the interned term table (id order)."""
     out = [_U64.pack(len(terms))]
     for term in terms:
-        if isinstance(term, URI):
-            out.append(bytes([_TERM_URI]))
-            out.append(_pack_str(term.value))
-        elif isinstance(term, BNode):
-            out.append(bytes([_TERM_BNODE]))
-            out.append(_pack_str(term.label))
-        elif isinstance(term, Literal):
-            if term.datatype is not None:
-                out.append(bytes([_TERM_LITERAL_DT]))
-                out.append(_pack_str(term.lexical))
-                out.append(_U64.pack(term_id(term.datatype)))
-            elif term.language is not None:
-                out.append(bytes([_TERM_LITERAL_LANG]))
-                out.append(_pack_str(term.lexical))
-                out.append(_pack_str(term.language))
-            else:
-                out.append(bytes([_TERM_LITERAL]))
-                out.append(_pack_str(term.lexical))
-        else:  # pragma: no cover - the graph never stores Variables
-            raise BundleFormatError(f"cannot encode term type {type(term).__name__}")
+        out.append(encode_term_record(term, term_id))
     return b"".join(out)
 
 

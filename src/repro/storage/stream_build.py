@@ -1,0 +1,731 @@
+"""Out-of-core bundle construction: stream triples in, stream sections out.
+
+:func:`build_bundle_streaming` consumes a triple *iterator* — an open
+N-Triples file handle through :func:`repro.rdf.ntriples.parse_ntriples`,
+or a generator like :func:`repro.datasets.lubm.iter_lubm_triples` — and
+writes a ``.reprobundle`` that loads into an engine behaviorally
+identical to one built in memory from the same triples (property-tested
+in ``tests/property/test_stream_build_identity.py``).  The corpus is
+never resident:
+
+* **pass A** (the only pass over the input) interns terms, classifies
+  and dedups each triple, appends its id row to an on-disk segment
+  spool, and maintains the *hot* aggregates: role refcounts, type/
+  subclass pairs, display labels, predicate counts, conflicts;
+* **pass B** re-reads the spool — with the full classification known —
+  to project the summary graph, seed the keyword class contexts, and
+  externally sort the rows into the adjacency, triple-bucket, and
+  SPO/POS/OSP sections; posting lists spill to sorted runs past the
+  in-memory budget and k-way merge at finalize.
+
+Peak RSS is ``O(hot structures + spill budgets)`` instead of
+``O(corpus)``: what stays resident is exactly what the paper calls the
+small structures (summary graph, keyword vocabulary, class contexts)
+plus bounded sort buffers, while triple-shaped state lives in the
+temporary segment files.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from itertools import groupby
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import __version__
+from repro.core.exploration import DEFAULT_DMAX
+from repro.keyword.analysis import Analyzer
+from repro.keyword.inverted_index import SpillingPostingsBuilder
+from repro.keyword.keyword_index import element_label_text
+from repro.rdf.namespace import (
+    LABEL_PREDICATES,
+    SUBCLASS_PREDICATES,
+    TYPE_PREDICATES,
+    local_name,
+)
+from repro.rdf.terms import Literal, Term, URI
+from repro.rdf.triples import Triple
+from repro.scoring.cost import COST_MODELS
+from repro.summary.elements import THING_KEY, SummaryEdgeKind
+from repro.summary.summary_graph import _SUBCLASS_LABEL, SummaryGraph
+
+from repro.storage.bundle import (
+    _EDGE_CODE,
+    _ELEMENT_CODE,
+    _VERTEX_CODE,
+    BundleWriter,
+    SummaryVertexKind,
+)
+from repro.storage.codec import (
+    Interner,
+    TermInterner,
+    _pack_str,
+    encode_grouping,
+    encode_ids,
+    encode_raw_ids,
+    encode_term_record,
+)
+from repro.storage.errors import UnsupportedEngineError
+from repro.storage.segments import (
+    ExternalSorter,
+    GroupingSpool,
+    SegmentWriter,
+    TwoLevelSpool,
+    iter_rows,
+    write_ids_from_segment,
+)
+
+_U64 = struct.Struct("<Q")
+_QQI = struct.Struct("<QQI")
+
+#: Default in-memory budget per spilled structure (each of the external
+#: sorters and the postings builder gets its own budget of this size).
+DEFAULT_SPILL_BUDGET = 64 * 1024 * 1024
+
+#: Rough resident bytes per buffered row tuple (Python tuple of small
+#: ints); converts the byte budget into the sorters' row budgets.
+_BYTES_PER_ROW = 96
+
+# Row classification codes in the kind spool.  "Bad" rows are Definition
+# 1 violations the in-memory DataGraph stores but excludes from every
+# derived structure; they occupy a triple index (and appear in the
+# triples + store sections) without contributing refs or buckets.
+_K_TYPE = 0
+_K_SUBCLASS = 1
+_K_ATTR = 2
+_K_REL = 3
+_K_TYPE_BAD = 4
+_K_SUBCLASS_BAD = 5
+
+# Ids fit three-per-word in the dedup key while the vocabulary is below
+# 2^21 terms; wider corpora fall back to tuple keys (ints and tuples
+# never compare equal, so mixing the two in one set is sound).
+_PACK_LIMIT = 1 << 21
+
+
+def build_bundle_streaming(
+    triples: Iterable[Triple],
+    path,
+    *,
+    force: bool = False,
+    cost_model: str = "c3",
+    k: int = 10,
+    dmax: int = DEFAULT_DMAX,
+    strict_keywords: bool = False,
+    guided: bool = False,
+    search_cache_size: int = 0,
+    use_vectorized: Optional[bool] = None,
+    fuzzy_max_distance: int = 1,
+    max_matches_per_keyword: int = 8,
+    lookup_cache_size: int = 1024,
+    spill_budget_bytes: int = DEFAULT_SPILL_BUDGET,
+    progress: Optional[Callable[[int, float], None]] = None,
+    progress_every: int = 100_000,
+    tmp_dir=None,
+) -> Dict[str, object]:
+    """Build a bundle from a triple iterator without materializing it.
+
+    Parameters mirror the engine/CLI configuration persisted in the
+    bundle header; ``spill_budget_bytes`` bounds each external sort's
+    resident buffer, ``progress(n_triples, elapsed_seconds)`` is invoked
+    every ``progress_every`` input triples.  Returns the
+    :meth:`BundleWriter.finish` info dict extended with build statistics
+    (triple/term counts, seconds, spill-run counts).
+    """
+    if cost_model not in COST_MODELS:
+        raise UnsupportedEngineError(
+            f"unknown cost model {cost_model!r}; bundles persist only the "
+            f"stock models {sorted(COST_MODELS)}"
+        )
+    path = os.fspath(path)
+    budget_rows = max(4, spill_budget_bytes // _BYTES_PER_ROW)
+    started = time.perf_counter()
+
+    writer = BundleWriter(path, force=force)
+    spool_parent = tmp_dir if tmp_dir is not None else (
+        os.path.dirname(os.path.abspath(path)) or "."
+    )
+    try:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-stream-", dir=spool_parent
+        ) as tmp:
+            info = _build(
+                triples,
+                writer,
+                tmp,
+                budget_rows=budget_rows,
+                cost_model=cost_model,
+                k=k,
+                dmax=dmax,
+                strict_keywords=strict_keywords,
+                guided=guided,
+                search_cache_size=search_cache_size,
+                use_vectorized=use_vectorized,
+                fuzzy_max_distance=fuzzy_max_distance,
+                max_matches_per_keyword=max_matches_per_keyword,
+                lookup_cache_size=lookup_cache_size,
+                progress=progress,
+                progress_every=max(1, progress_every),
+                started=started,
+            )
+    except BaseException:
+        writer.abort()
+        raise
+    info["build_seconds"] = time.perf_counter() - started
+    return info
+
+
+def _build(
+    triples,
+    writer: BundleWriter,
+    tmp: str,
+    *,
+    budget_rows: int,
+    cost_model: str,
+    k: int,
+    dmax: int,
+    strict_keywords: bool,
+    guided: bool,
+    search_cache_size: int,
+    use_vectorized: Optional[bool],
+    fuzzy_max_distance: int,
+    max_matches_per_keyword: int,
+    lookup_cache_size: int,
+    progress,
+    progress_every: int,
+    started: float,
+) -> Dict[str, object]:
+    interner = TermInterner()
+    term_id = interner.id
+    terms = interner.terms
+
+    # ------------------------------------------------------------------
+    # Pass A: one pass over the input.
+    # ------------------------------------------------------------------
+    rows_spool = SegmentWriter(os.path.join(tmp, "rows.seg"), 3)
+    kind_spool = SegmentWriter(os.path.join(tmp, "kinds.seg"), 1)
+
+    seen: Set = set()
+    # Role refcounts and classification, id-keyed, insertion order
+    # matching the in-memory DataGraph's first-acquisition order.
+    entity_refs: Dict[int, int] = {}
+    class_refs: Dict[int, int] = {}
+    value_refs: Dict[int, int] = {}
+    entities: Set[int] = set()
+    classes: Set[int] = set()
+    types_of: Dict[int, List[int]] = {}
+    type_pairs: Dict[Tuple[int, int], int] = {}
+    subclass_pairs: Dict[Tuple[int, int], int] = {}
+    type_pred_counts: Dict[int, int] = {}
+    subclass_pred_counts: Dict[int, int] = {}
+    rel_pred_counts: Dict[int, int] = {}
+    attr_pred_counts: Dict[int, int] = {}
+    out_rank: Dict[int, int] = {}
+    in_rank: Dict[int, int] = {}
+    labels: Dict[int, Tuple[int, int]] = {}
+    label_rank_cache: Dict[int, Optional[int]] = {}
+    conflicts: List[str] = []
+    n_rows = 0
+
+    def acquire_entity(tid: int, term: Term) -> None:
+        entity_refs[tid] = entity_refs.get(tid, 0) + 1
+        if tid in classes:
+            conflicts.append(f"term used both as class and entity: {term}")
+            return
+        entities.add(tid)
+
+    def acquire_class(tid: int, term: Term) -> None:
+        class_refs[tid] = class_refs.get(tid, 0) + 1
+        if tid in entities:
+            conflicts.append(f"term used both as entity and class: {term}")
+            entities.discard(tid)
+        classes.add(tid)
+
+    for triple in triples:
+        s, p, o = triple
+        sid = term_id(s)
+        pid = term_id(p)
+        oid = term_id(o)
+        if (sid | pid | oid) < _PACK_LIMIT:
+            key = (sid << 42) | (pid << 21) | oid
+        else:
+            key = (sid, pid, oid)
+        if key in seen:
+            continue
+        seen.add(key)
+
+        if p in TYPE_PREDICATES:
+            if isinstance(o, Literal):
+                conflicts.append(f"type edge with literal object: {triple.n3()}")
+                kind = _K_TYPE_BAD
+            else:
+                acquire_entity(sid, s)
+                acquire_class(oid, o)
+                pair = (sid, oid)
+                count = type_pairs.get(pair, 0) + 1
+                type_pairs[pair] = count
+                if count == 1:
+                    types_of.setdefault(sid, []).append(oid)
+                type_pred_counts[pid] = type_pred_counts.get(pid, 0) + 1
+                kind = _K_TYPE
+        elif p in SUBCLASS_PREDICATES:
+            if isinstance(o, Literal):
+                conflicts.append(
+                    f"subclass edge with literal endpoint: {triple.n3()}"
+                )
+                kind = _K_SUBCLASS_BAD
+            else:
+                acquire_class(sid, s)
+                acquire_class(oid, o)
+                pair = (sid, oid)
+                subclass_pairs[pair] = subclass_pairs.get(pair, 0) + 1
+                subclass_pred_counts[pid] = subclass_pred_counts.get(pid, 0) + 1
+                kind = _K_SUBCLASS
+        elif isinstance(o, Literal):
+            acquire_entity(sid, s)
+            value_refs[oid] = value_refs.get(oid, 0) + 1
+            attr_pred_counts[pid] = attr_pred_counts.get(pid, 0) + 1
+            if sid not in out_rank:
+                out_rank[sid] = len(out_rank)
+            if oid not in in_rank:
+                in_rank[oid] = len(in_rank)
+            rank = label_rank_cache.get(pid, -1)
+            if rank == -1:
+                try:
+                    rank = LABEL_PREDICATES.index(p)
+                except ValueError:
+                    rank = None
+                label_rank_cache[pid] = rank
+            if rank is not None:
+                entry = labels.get(sid)
+                if entry is None or rank < entry[0]:
+                    labels[sid] = (rank, oid)
+            kind = _K_ATTR
+        else:
+            acquire_entity(sid, s)
+            acquire_entity(oid, o)
+            rel_pred_counts[pid] = rel_pred_counts.get(pid, 0) + 1
+            if sid not in out_rank:
+                out_rank[sid] = len(out_rank)
+            if oid not in in_rank:
+                in_rank[oid] = len(in_rank)
+            kind = _K_REL
+
+        rows_spool.append((sid, pid, oid))
+        kind_spool.append_value(kind)
+        n_rows += 1
+        if progress is not None and n_rows % progress_every == 0:
+            progress(n_rows, time.perf_counter() - started)
+
+    rows_spool.close()
+    kind_spool.close()
+    del seen  # the largest pass-A structure; done deduping
+
+    untyped_count = sum(1 for e in entities if e not in types_of)
+    stats = {
+        "triples": n_rows,
+        "entities": len(entities),
+        "classes": len(classes),
+        "values": len(value_refs),
+        "relation_labels": len(rel_pred_counts),
+        "attribute_labels": len(attr_pred_counts),
+        "relation_edges": sum(rel_pred_counts.values()),
+        "attribute_edges": sum(attr_pred_counts.values()),
+        "untyped_entities": untyped_count,
+    }
+
+    # ------------------------------------------------------------------
+    # Sections straight from pass-A state.
+    # ------------------------------------------------------------------
+    with writer.section("triples") as sec:
+        write_ids_from_segment(sec, rows_spool)
+
+    def flat_pairs(mapping) -> Iterable[int]:
+        for key, value in mapping.items():
+            yield key
+            yield value
+
+    writer.add_section("graph.entity_refs", encode_ids(flat_pairs(entity_refs)))
+    writer.add_section("graph.class_refs", encode_ids(flat_pairs(class_refs)))
+    writer.add_section("graph.value_refs", encode_ids(flat_pairs(value_refs)))
+
+    def flat_triads(mapping) -> Iterable[int]:
+        for (a, b), count in mapping.items():
+            yield a
+            yield b
+            yield count
+
+    writer.add_section("graph.type_pairs", encode_ids(flat_triads(type_pairs)))
+    writer.add_section(
+        "graph.subclass_pairs", encode_ids(flat_triads(subclass_pairs))
+    )
+
+    # ------------------------------------------------------------------
+    # Pass B: one pass over the spool feeds every external sort.
+    # ------------------------------------------------------------------
+    sort_spo = ExternalSorter(tmp, 3, budget_rows, "spo")
+    sort_pos = ExternalSorter(tmp, 3, budget_rows, "pos")
+    sort_osp = ExternalSorter(tmp, 3, budget_rows, "osp")
+    sort_out = ExternalSorter(tmp, 5, budget_rows, "out")
+    sort_in = ExternalSorter(tmp, 5, budget_rows, "in")
+    sort_rel = ExternalSorter(tmp, 5, budget_rows, "rel")
+    sort_attr = ExternalSorter(tmp, 5, budget_rows, "attr")
+    rel_rank = {pid: i for i, pid in enumerate(rel_pred_counts)}
+    attr_rank = {pid: i for i, pid in enumerate(attr_pred_counts)}
+
+    seq = 0
+    kind_iter = iter_rows(kind_spool.path, 1)
+    for sid, pid, oid in iter_rows(rows_spool.path, 3):
+        (kind,) = next(kind_iter)
+        sort_spo.add((sid, pid, oid))
+        sort_pos.add((pid, oid, sid))
+        sort_osp.add((oid, sid, pid))
+        if kind == _K_REL:
+            sort_out.add((out_rank[sid], seq, sid, pid, oid))
+            sort_in.add((in_rank[oid], seq, oid, pid, sid))
+            sort_rel.add((rel_rank[pid], seq, pid, sid, oid))
+        elif kind == _K_ATTR:
+            sort_out.add((out_rank[sid], seq, sid, pid, oid))
+            sort_in.add((in_rank[oid], seq, oid, pid, sid))
+            sort_attr.add((attr_rank[pid], seq, pid, sid, oid))
+        seq += 1
+    del out_rank, in_rank
+
+    # Adjacency: sorted by (first-seen-as-vertex rank, insertion seq),
+    # which reproduces the in-memory dicts' insertion order exactly.
+    for name, sorter in (("graph.out", sort_out), ("graph.in", sort_in)):
+        grouping = GroupingSpool(tmp, name.replace(".", "_"))
+        for vertex, vertex_rows in groupby(
+            sorter.sorted_rows(), key=lambda row: row[2]
+        ):
+            grouping.add(
+                vertex,
+                (value for row in vertex_rows for value in (row[3], row[4])),
+            )
+        with writer.section(name) as sec:
+            grouping.write_to(sec)
+        grouping.cleanup()
+        sorter.cleanup()
+
+    # Relation buckets + summary edge projection in one sorted pass.
+    types_sorted: Dict[int, Tuple[int, ...]] = {
+        e: tuple(sorted(v)) for e, v in types_of.items()
+    }
+    edge_counts: Dict[Tuple[int, int, int], int] = {}
+    rel_bucket = GroupingSpool(tmp, "rel_buckets")
+    for pid, pred_rows in groupby(sort_rel.sorted_rows(), key=lambda row: row[2]):
+        indices: List[int] = []
+        for _, row_seq, _, sid, oid in pred_rows:
+            indices.append(row_seq)
+            for sc in types_sorted.get(sid, (-1,)):
+                for tc in types_sorted.get(oid, (-1,)):
+                    ekey = (pid, sc, tc)
+                    edge_counts[ekey] = edge_counts.get(ekey, 0) + 1
+        rel_bucket.add(pid, indices)
+    with writer.section("graph.relation_triples") as sec:
+        rel_bucket.write_to(sec)
+    rel_bucket.cleanup()
+    sort_rel.cleanup()
+
+    # Attribute buckets + keyword class contexts in one sorted pass
+    # (the same order KeywordIndex._build seeds its refcounts in).
+    attr_class_refs: Dict[int, Dict[int, int]] = {}
+    value_occ_refs: Dict[int, Dict[Tuple[int, int], int]] = {}
+    attr_bucket = GroupingSpool(tmp, "attr_buckets")
+    for pid, pred_rows in groupby(sort_attr.sorted_rows(), key=lambda row: row[2]):
+        indices = []
+        label_refs = attr_class_refs.setdefault(pid, {})
+        for _, row_seq, _, sid, oid in pred_rows:
+            indices.append(row_seq)
+            refs = value_occ_refs.setdefault(oid, {})
+            for cls in types_sorted.get(sid, (-1,)):
+                label_refs[cls] = label_refs.get(cls, 0) + 1
+                occ = (pid, cls)
+                refs[occ] = refs.get(occ, 0) + 1
+        attr_bucket.add(pid, indices)
+    with writer.section("graph.attribute_triples") as sec:
+        attr_bucket.write_to(sec)
+    attr_bucket.cleanup()
+    sort_attr.cleanup()
+
+    with writer.section("graph.labels") as sec:
+        sec.write(_U64.pack(len(labels)))
+        for sid, (rank, value_id) in labels.items():
+            data = terms[value_id].lexical.encode("utf-8")
+            sec.write(_QQI.pack(sid, rank, len(data)))
+            sec.write(data)
+
+    writer.add_section(
+        "graph.type_pred_counts", encode_ids(flat_pairs(type_pred_counts))
+    )
+    writer.add_section(
+        "graph.subclass_pred_counts", encode_ids(flat_pairs(subclass_pred_counts))
+    )
+
+    # Triple store indexes: three external sorts into the two-level shape.
+    for name, sorter in (
+        ("store.spo", sort_spo),
+        ("store.pos", sort_pos),
+        ("store.osp", sort_osp),
+    ):
+        two_level = TwoLevelSpool(tmp, name.replace(".", "_"))
+        two_level.feed(sorter.sorted_rows())
+        with writer.section(name) as sec:
+            two_level.write_to(sec)
+        two_level.cleanup()
+        sorter.cleanup()
+
+    # ------------------------------------------------------------------
+    # Keyword index: elements in _build() order, postings via spill runs.
+    # ------------------------------------------------------------------
+    kindex_started = time.perf_counter()
+    analyzer = Analyzer()
+    analyze = analyzer.analyze
+    vocab = Interner()
+    vocab_id = vocab.id
+    postings = SpillingPostingsBuilder(tmp, budget_rows)
+    elements_spool = SegmentWriter(os.path.join(tmp, "elements.seg"), 2)
+    element_terms = GroupingSpool(tmp, "element_terms")
+    element_count = 0
+
+    def class_label_text(tid: int) -> str:
+        entry = labels.get(tid)
+        if entry is not None:
+            return terms[entry[1]].lexical
+        term = terms[tid]
+        if isinstance(term, URI):
+            return local_name(term)
+        return str(term)
+
+    def index_element(code: int, tid: int, text: str) -> None:
+        nonlocal element_count
+        analyzed = analyze(text)
+        if not analyzed:
+            return
+        counts: Dict[str, int] = {}
+        for t in analyzed:
+            counts[t] = counts.get(t, 0) + 1
+        total = len(analyzed)
+        eid = element_count
+        element_count += 1
+        elements_spool.append((code, tid))
+        term_ids = []
+        for text_term, tf in counts.items():
+            vid = vocab_id(text_term)
+            term_ids.append(vid)
+            postings.add(vid, eid, tf, total)
+        element_terms.add(eid, term_ids)
+
+    code_class = _ELEMENT_CODE["class"]
+    code_relation = _ELEMENT_CODE["relation"]
+    code_attribute = _ELEMENT_CODE["attribute"]
+    code_value = _ELEMENT_CODE["value"]
+    for cid in class_refs:
+        index_element(
+            code_class,
+            cid,
+            element_label_text(
+                "class", terms[cid], lambda term: class_label_text(term_id(term))
+            ),
+        )
+    for pid in rel_pred_counts:
+        index_element(
+            code_relation, pid, element_label_text("relation", terms[pid], None)
+        )
+    for pid in attr_pred_counts:
+        index_element(
+            code_attribute, pid, element_label_text("attribute", terms[pid], None)
+        )
+    for vid in value_refs:
+        index_element(code_value, vid, element_label_text("value", terms[vid], None))
+
+    with writer.section("kindex.vocab") as sec:
+        sec.write(_U64.pack(len(vocab.items)))
+        for text in vocab.items:
+            sec.write(_pack_str(text))
+    elements_spool.close()
+    with writer.section("kindex.elements") as sec:
+        write_ids_from_segment(sec, elements_spool)
+    postings_grouping = GroupingSpool(tmp, "postings_grouping")
+    for vid, flat in postings.merged_groups():
+        postings_grouping.add(vid, flat)
+    with writer.section("kindex.postings") as sec:
+        postings_grouping.write_to(sec)
+    postings_grouping.cleanup()
+    postings_runs = postings.runs_spilled
+    postings.cleanup()
+    with writer.section("kindex.element_terms") as sec:
+        element_terms.write_to(sec)
+    element_terms.cleanup()
+    elements_spool.unlink()
+
+    writer.add_section(
+        "kindex.attr_class_refs",
+        encode_grouping(
+            (pid, flat_pairs(refs)) for pid, refs in attr_class_refs.items()
+        ),
+    )
+    writer.add_section(
+        "kindex.value_occ_refs",
+        encode_grouping(
+            (
+                vid,
+                (
+                    value
+                    for (label_id, cls), count in refs.items()
+                    for value in (label_id, cls, count)
+                ),
+            )
+            for vid, refs in value_occ_refs.items()
+        ),
+    )
+    kindex_seconds = time.perf_counter() - kindex_started
+
+    # ------------------------------------------------------------------
+    # Summary graph: replay the Definition 4 projection from aggregates.
+    # ------------------------------------------------------------------
+    summary_started = time.perf_counter()
+    summary = SummaryGraph()
+    summary.total_entities = max(stats["entities"], 1)
+    summary.total_relation_edges = max(stats["relation_edges"], 1)
+    summary.total_attribute_edges = max(stats["attribute_edges"], 1)
+
+    instance_counts: Dict[int, int] = {}
+    for _, cls in type_pairs:
+        instance_counts[cls] = instance_counts.get(cls, 0) + 1
+    for cid in class_refs:
+        summary.add_class_vertex(terms[cid], agg_count=instance_counts.get(cid, 0))
+    if untyped_count:
+        summary.ensure_thing(agg_count=untyped_count)
+    for (pid, sc, tc), count in edge_counts.items():
+        sk = THING_KEY if sc == -1 else ("class", terms[sc])
+        tk = THING_KEY if tc == -1 else ("class", terms[tc])
+        if sk == THING_KEY or tk == THING_KEY:
+            summary.ensure_thing()
+        summary.add_edge(
+            terms[pid], SummaryEdgeKind.RELATION, sk, tk, agg_count=count
+        )
+    for sub, sup in subclass_pairs:
+        summary.add_edge(
+            _SUBCLASS_LABEL,
+            SummaryEdgeKind.SUBCLASS,
+            ("class", terms[sub]),
+            ("class", terms[sup]),
+            agg_count=1,
+        )
+    summary.build_seconds = time.perf_counter() - summary_started
+
+    summary_state = summary.state_for_persistence()
+    vertices = list(summary_state["vertices"].values())
+    vertex_index = {v.key: i for i, v in enumerate(vertices)}
+
+    def vertex_term_id(vertex) -> int:
+        if vertex.kind is SummaryVertexKind.THING:
+            return -1
+        return term_id(vertex.key[1])
+
+    writer.add_section(
+        "summary.vertices",
+        encode_ids(
+            value
+            for v in vertices
+            for value in (_VERTEX_CODE[v.kind], vertex_term_id(v), v.agg_count)
+        ),
+    )
+    writer.add_section(
+        "summary.edges",
+        encode_ids(
+            value
+            for e in summary_state["edges"].values()
+            for value in (
+                term_id(e.label),
+                _EDGE_CODE[e.kind],
+                vertex_index[e.source_key],
+                vertex_index[e.target_key],
+                e.agg_count,
+            )
+        ),
+    )
+
+    substrate = summary.exploration_substrate()
+    writer.add_section("substrate.offsets", encode_raw_ids(substrate.offsets))
+    writer.add_section("substrate.targets", encode_raw_ids(substrate.targets))
+
+    # Term table last: every id is assigned by now (the loader finds it
+    # by name, not position).
+    with writer.section("terms") as sec:
+        sec.write(_U64.pack(len(terms)))
+        buffer: List[bytes] = []
+        buffered = 0
+        for term in terms:
+            record = encode_term_record(term, term_id)
+            buffer.append(record)
+            buffered += len(record)
+            if buffered >= (1 << 20):
+                sec.write(b"".join(buffer))
+                buffer.clear()
+                buffered = 0
+        if buffer:
+            sec.write(b"".join(buffer))
+
+    rows_spool.unlink()
+    kind_spool.unlink()
+
+    meta = {
+        "writer": f"repro {__version__}",
+        "builder": "stream",
+        "snapshot": {
+            "summary_version": summary.snapshot_key,
+            "index_version": 0,
+            "epoch": 0,
+        },
+        "engine": {
+            "cost_model": cost_model,
+            "k": k,
+            "dmax": dmax,
+            "strict_keywords": strict_keywords,
+            "guided": guided,
+            "search_cache_size": search_cache_size,
+            "use_vectorized": use_vectorized,
+        },
+        "graph": {
+            "strict": False,
+            "conflicts": conflicts,
+            "stats": stats,
+        },
+        "kindex": {
+            "version": 0,
+            "fuzzy_max_distance": fuzzy_max_distance,
+            "max_matches": max_matches_per_keyword,
+            "lookup_cache_size": lookup_cache_size,
+            "build_seconds": kindex_seconds,
+        },
+        "summary": {
+            "version": summary_state["version"],
+            "total_entities": summary_state["total_entities"],
+            "total_relation_edges": summary_state["total_relation_edges"],
+            "total_attribute_edges": summary_state["total_attribute_edges"],
+            "build_seconds": summary_state["build_seconds"],
+        },
+        "counts": {
+            "terms": len(terms),
+            "triples": n_rows,
+            "summary_vertices": len(vertices),
+            "summary_edges": len(summary_state["edges"]),
+        },
+    }
+
+    info = writer.finish(meta)
+    info.update(
+        {
+            "triples": n_rows,
+            "terms": len(terms),
+            "elements": element_count,
+            "posting_rows": postings.posting_rows,
+            "postings_runs": postings_runs,
+            "conflicts": len(conflicts),
+        }
+    )
+    return info

@@ -104,6 +104,19 @@ class VerticalStore:
         for t in triples:
             self.add(t)
 
+    @classmethod
+    def from_stream(cls, triples: Iterable[Triple]) -> "VerticalStore":
+        """Build from a triple iterator, consumed incrementally.
+
+        Rows land unsorted in their per-predicate tables (sorting and
+        dedup happen lazily on first read), so ingesting a stream is a
+        straight append pass with no intermediate list of triples.
+        """
+        store = cls()
+        for triple in triples:
+            store.add(triple)
+        return store
+
     def __len__(self) -> int:
         return sum(len(t) for t in self._tables.values())
 

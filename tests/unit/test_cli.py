@@ -235,6 +235,60 @@ class TestPersistenceCommands:
         assert "[1]" in captured.out
         assert "# bundle:" in captured.err
 
+    def test_build_stream_and_search_bundle(self, tmp_path, capsys):
+        bundle = str(tmp_path / "example.reprobundle")
+        assert main(["build", "--dataset", "example", "--stream", "-o", bundle]) == 0
+        err = capsys.readouterr().err
+        assert "# wrote" in err and "streamed" in err
+        assert main(["search", "2006 cimiano aifb", "--bundle", bundle]) == 0
+        assert "[1]" in capsys.readouterr().out
+
+    def test_build_stream_matches_in_memory_build(self, tmp_path, capsys):
+        from repro.core.engine import KeywordSearchEngine
+
+        streamed = str(tmp_path / "streamed.reprobundle")
+        saved = str(tmp_path / "saved.reprobundle")
+        assert main(["build", "--dataset", "example", "--stream", "-o", streamed]) == 0
+        assert main(["build", "--dataset", "example", "-o", saved]) == 0
+        capsys.readouterr()
+        a = KeywordSearchEngine.load(streamed, attach_wal=False)
+        b = KeywordSearchEngine.load(saved, attach_wal=False)
+        assert a.summary.snapshot_key == b.summary.snapshot_key
+        assert a.keyword_index.snapshot_key == b.keyword_index.snapshot_key
+        # The CLI's resolved engine defaults apply on both paths.
+        assert (a.k, a.dmax, a.cost_model.name) == (b.k, b.dmax, b.cost_model.name)
+
+    def test_build_stream_from_data_file(self, tmp_path, capsys, example_graph):
+        data = tmp_path / "example.nt"
+        data.write_text(serialize_ntriples(example_graph.triples))
+        bundle = str(tmp_path / "data.reprobundle")
+        assert (
+            main(
+                [
+                    "build",
+                    "--data",
+                    str(data),
+                    "--stream",
+                    "--progress-every",
+                    "10",
+                    "-o",
+                    bundle,
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "# wrote" in err
+        assert "# build --stream:" in err  # progress lines reached stderr
+        assert main(["search", "2006 cimiano aifb", "--bundle", bundle]) == 0
+
+    def test_build_stream_refuses_overwrite_without_force(self, tmp_path, capsys):
+        bundle = str(tmp_path / "example.reprobundle")
+        assert main(["build", "--dataset", "example", "--stream", "-o", bundle]) == 0
+        capsys.readouterr()
+        assert main(["build", "--dataset", "example", "--stream", "-o", bundle]) == 1
+        assert "refusing to overwrite" in capsys.readouterr().err
+
     def test_build_refuses_overwrite_without_force(self, tmp_path, capsys):
         bundle = str(tmp_path / "example.reprobundle")
         assert main(["build", "--dataset", "example", "-o", bundle]) == 0

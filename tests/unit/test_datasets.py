@@ -9,6 +9,7 @@ from repro.datasets import (
     generate_dblp,
     generate_lubm,
     generate_tap,
+    iter_lubm_triples,
 )
 from repro.datasets.dblp import DBLP, DECOY_CONFERENCE_NAMES, DECOY_PERSON_NAMES
 from repro.datasets.lubm import UB
@@ -89,6 +90,24 @@ class TestLubm:
         g1 = generate_lubm(LubmConfig(universities=1))
         g2 = generate_lubm(LubmConfig(universities=1))
         assert list(g1) == list(g2)
+
+    def test_streaming_generator_matches_graph_build(self):
+        # The out-of-core build path consumes iter_lubm_triples directly;
+        # it must yield exactly the triples generate_lubm materializes.
+        config = LubmConfig(universities=2)
+        streamed = list(iter_lubm_triples(config))
+        assert streamed == list(generate_lubm(config))
+
+    def test_streaming_generator_deterministic(self):
+        config = LubmConfig(universities=1)
+        assert list(iter_lubm_triples(config)) == list(iter_lubm_triples(config))
+
+    def test_streaming_generator_is_lazy(self):
+        # A generator, not a list: the first triples arrive without
+        # exhausting the source.
+        it = iter_lubm_triples(LubmConfig(universities=1))
+        assert iter(it) is it
+        assert next(it) is not None
 
     def test_universities_scale(self):
         one = generate_lubm(LubmConfig(universities=1))

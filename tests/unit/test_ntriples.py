@@ -90,3 +90,60 @@ class TestRoundTrip:
         ]
         document = serialize_ntriples(triples)
         assert list(parse_ntriples(document)) == triples
+
+
+class TestStreamingContract:
+    """parse_ntriples must consume sources line by line, never .read()."""
+
+    class _NoReadFile:
+        """Iterable of lines whose bulk-read methods are booby-trapped."""
+
+        def __init__(self, lines):
+            self._lines = list(lines)
+
+        def read(self, *args):
+            raise AssertionError("parse_ntriples called .read()")
+
+        def readlines(self, *args):
+            raise AssertionError("parse_ntriples called .readlines()")
+
+        def __iter__(self):
+            return iter(self._lines)
+
+    def test_never_calls_read(self):
+        source = self._NoReadFile(
+            ["<a:s> <a:p> <a:o> .\n", "# comment\n", '<a:s> <a:p> "v" .\n']
+        )
+        triples = list(parse_ntriples(source))
+        assert triples == [
+            Triple(URI("a:s"), URI("a:p"), URI("a:o")),
+            Triple(URI("a:s"), URI("a:p"), Literal("v")),
+        ]
+
+    def test_generator_source_is_lazy(self):
+        consumed = []
+
+        def lines():
+            for n in range(100):
+                consumed.append(n)
+                yield f"<a:s{n}> <a:p> <a:o> .\n"
+
+        parser = parse_ntriples(lines())
+        next(parser)
+        # Only a bounded prefix of the source was pulled to produce the
+        # first triple — the document was never materialized.
+        assert len(consumed) < 5
+
+    def test_error_line_number_from_line_iterable(self):
+        source = self._NoReadFile(["<a:s> <a:p> <a:o> .\n", "\n", "nonsense\n"])
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse_ntriples(source))
+        assert excinfo.value.line_number == 3
+        assert "column" in str(excinfo.value)
+
+    def test_file_handle_roundtrip(self, tmp_path):
+        path = tmp_path / "doc.nt"
+        triples = [Triple(URI("a:s"), URI("a:p"), Literal("x")) for _ in range(1)]
+        path.write_text(serialize_ntriples(triples))
+        with open(path) as fh:
+            assert list(parse_ntriples(fh)) == triples
