@@ -13,12 +13,22 @@ in fresh subprocesses so each row's ``VmHWM`` (peak RSS from
 * **bundle MB / cold ms / warm p50** — the artifact each path leaves
   behind is the same, so serving costs are measured once per scale.
 
-Acceptance gate (non-``--quick``): at the largest default scale the
-streamed build's peak RSS is at least **3x** below the in-memory
-build's.  The streamed peak is dominated by the hot structures the
-builder keeps resident (term interner, keyword-class contexts, summary
-aggregates) plus its spill budget; a sensitivity row at the top scale
-shows the budget knob working.
+The *serving* sweep prices the two index tiers on the same artifact,
+each load in its own fresh subprocess so VmHWM isolates the tier:
+
+* **cold ms** — load + first search + first execute, per tier;
+* **peak MB** — the subprocess's VmHWM: the materialized tier decodes
+  every section into Python dicts, the mmap tier
+  (``--index-tier mmap``) binary-searches the format-v2 queryable
+  sections in place and pays only for pages it touches.
+
+Acceptance gates (non-``--quick``), both at the largest default scale:
+the streamed build's peak RSS is at least **3x** below the in-memory
+build's, and the mmap tier's serving peak RSS is at least **3x** below
+the materialized tier's.  The streamed peak is dominated by the hot
+structures the builder keeps resident (term interner, keyword-class
+contexts, summary aggregates) plus its spill budget; a sensitivity row
+at the top scale shows the budget knob working.
 
 Results land in ``benchmarks/results/fig_scale.txt``.
 """
@@ -83,6 +93,18 @@ engine.save({path!r}, force=True)
 print('SECONDS', time.perf_counter() - started)
 """
 
+_SERVE_CHILD = """
+import time
+from repro.core.engine import KeywordSearchEngine
+started = time.perf_counter()
+engine = KeywordSearchEngine.load({path!r}, attach_wal=False, index_tier={tier!r})
+result = engine.search({query!r})
+best = result.best()
+answers = list(engine.execute(best)) if best is not None else []
+print('COLD', 1000 * (time.perf_counter() - started))
+print('ANSWERS', len(answers))
+"""
+
 
 def _run_child(code: str) -> dict:
     env = dict(os.environ)
@@ -97,7 +119,14 @@ def _run_child(code: str) -> dict:
     values = {}
     for line in out.stdout.splitlines():
         parts = line.split()
-        if len(parts) == 2 and parts[0] in ("PEAK", "SECONDS", "TRIPLES", "RUNS"):
+        if len(parts) == 2 and parts[0] in (
+            "PEAK",
+            "SECONDS",
+            "TRIPLES",
+            "RUNS",
+            "COLD",
+            "ANSWERS",
+        ):
             values[parts[0]] = float(parts[1])
     return values
 
@@ -138,6 +167,12 @@ def scale_rows(pytestconfig):
                     universities=universities, path=path + ".mem"
                 )
             )
+            serve = {
+                tier: _run_child(
+                    _SERVE_CHILD.format(path=path, tier=tier, query=_QUERY)
+                )
+                for tier in ("memory", "mmap")
+            }
             rows.append(
                 {
                     "label": label,
@@ -150,8 +185,16 @@ def scale_rows(pytestconfig):
                     "bundle_mb": bundle_mb,
                     "cold_ms": cold_ms,
                     "warm_ms": warm_ms,
+                    "serve_mem_cold_ms": serve["memory"]["COLD"],
+                    "serve_mem_mb": serve["memory"]["PEAK"] / 1024,
+                    "serve_mmap_cold_ms": serve["mmap"]["COLD"],
+                    "serve_mmap_mb": serve["mmap"]["PEAK"] / 1024,
+                    "serve_answers": int(serve["mmap"]["ANSWERS"]),
                 }
             )
+            # Same artifact, same query: both tiers must agree before
+            # their costs are comparable at all.
+            assert serve["memory"]["ANSWERS"] == serve["mmap"]["ANSWERS"]
         # Budget sensitivity at the top scale: a 8 MB spill budget must
         # lower the streamed peak further (the RSS model's spill term).
         label, universities = sweep[-1]
@@ -214,17 +257,54 @@ def test_fig_scale(scale_rows, report):
         f"8 MB -> {budget['stream_mb']:.0f} MB peak ({budget['runs']} runs)"
     )
 
+    rep.line()
+    rep.line("Serving tiers on the same bundle (fresh subprocess per load;")
+    rep.line("cold = load + first search + first execute; peak = VmHWM)")
+    rep.line()
+    rep.table(
+        [
+            "scale",
+            "triples",
+            "materialized cold ms",
+            "materialized MB",
+            "mmap cold ms",
+            "mmap MB",
+            "RSS ratio",
+        ],
+        [
+            (
+                r["label"],
+                r["triples"],
+                f"{r['serve_mem_cold_ms']:.0f}",
+                f"{r['serve_mem_mb']:.0f}",
+                f"{r['serve_mmap_cold_ms']:.0f}",
+                f"{r['serve_mmap_mb']:.0f}",
+                f"{r['serve_mem_mb'] / r['serve_mmap_mb']:.2f}x",
+            )
+            for r in rows
+        ],
+    )
+
     top = rows[-1]
     ratio = top["memory_mb"] / top["stream_mb"]
+    serve_ratio = top["serve_mem_mb"] / top["serve_mmap_mb"]
     rep.line()
     rep.line(
         f"acceptance: streamed peak RSS {ratio:.2f}x below in-memory at "
         f"{top['label']} triples (gate: >= 3x)"
     )
+    rep.line(
+        f"acceptance: mmap-tier serving peak RSS {serve_ratio:.2f}x below "
+        f"materialized at {top['label']} triples (gate: >= 3x)"
+    )
     if not scale_rows["quick"]:
         assert ratio >= 3.0, (
             f"streamed build peak RSS only {ratio:.2f}x below in-memory "
             f"at {top['label']} triples"
+        )
+        assert serve_ratio >= 3.0, (
+            f"mmap-tier serving peak RSS only {serve_ratio:.2f}x below "
+            f"materialized at {top['label']} triples"
         )
 
 
@@ -235,3 +315,4 @@ def test_streamed_artifact_serves(scale_rows):
     assert row["triples"] >= 10_000
     assert row["cold_ms"] > 0 and row["warm_ms"] > 0
     assert row["bundle_mb"] > 0
+    assert row["serve_mem_cold_ms"] > 0 and row["serve_mmap_cold_ms"] > 0

@@ -190,6 +190,15 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "scalar path; default: auto, or the bundle's setting with "
         "--bundle)",
     )
+    parser.add_argument(
+        "--index-tier",
+        choices=("memory", "mmap"),
+        default=None,
+        help="how --bundle serves the keyword index and triple store: "
+        "'memory' materializes them at load (default); 'mmap' reads the "
+        "format-v2 queryable sections in place — cold start stays "
+        "O(metadata) and resident memory O(touched data)",
+    )
 
 
 def _resolve_engine_args(args) -> None:
@@ -202,6 +211,14 @@ def _resolve_engine_args(args) -> None:
 def _build_engine(
     args, search_cache_size: int = 0, writer: bool = False
 ) -> KeywordSearchEngine:
+    index_tier = getattr(args, "index_tier", None)
+    if index_tier == "mmap" and not getattr(args, "bundle", None):
+        # The mmap tier reads bundle sections in place; there is nothing
+        # to map when the offline layer is built fresh in this process.
+        raise SystemExit(
+            "repro: --index-tier mmap requires --bundle (build one with "
+            "`repro build` first)"
+        )
     if getattr(args, "bundle", None):
         from repro.storage import BundleError, WalError
 
@@ -231,6 +248,7 @@ def _build_engine(
                 guided=args.guided,
                 use_vectorized=args.use_vectorized,
                 search_cache_size=search_cache_size,
+                index_tier=index_tier or "memory",
             )
         except FileNotFoundError as exc:
             raise SystemExit(f"repro: --bundle: {exc}") from exc
@@ -450,6 +468,7 @@ def _dispatch_overrides(args) -> dict:
         "guided": args.guided,
         "use_vectorized": args.use_vectorized,
         "search_cache_size": max(0, args.cache),
+        "index_tier": getattr(args, "index_tier", None),
     }
 
 

@@ -338,6 +338,9 @@ class KeywordSearchEngine:
         #: epoch at save, WAL state) — ``None`` for a built engine.  The
         #: serving layer surfaces it through ``/stats``.
         self.artifact: Optional[Dict[str, object]] = None
+        #: Serving tier of the keyword index / triple store ("memory" or
+        #: "mmap"); ``load(..., index_tier="mmap")`` overwrites this.
+        self.index_tier = "memory"
         #: The attached write-ahead delta log of a bundle-loaded engine
         #: (``None`` otherwise).  The log is single-writer (an exclusive
         #: lock is held while attached); ``delta_log.close()`` releases
@@ -376,7 +379,7 @@ class KeywordSearchEngine:
     # Persistence (the offline layer as a durable artifact)
     # ------------------------------------------------------------------
 
-    def save(self, path, force: bool = False) -> Dict[str, object]:
+    def save(self, path, force: bool = False, **kwargs) -> Dict[str, object]:
         """Write the whole offline layer to a ``.reprobundle`` file.
 
         The bundle (``repro.storage``) holds the triple store, keyword
@@ -386,10 +389,12 @@ class KeywordSearchEngine:
         :meth:`load` reconstitutes an engine that is byte-identical in
         behavior to this one.  Refuses to overwrite an existing file
         unless ``force``.  Returns an info dict (path, size, epoch).
+        Keyword arguments (``format_version``) pass through to
+        :func:`repro.storage.save_bundle`.
         """
         from repro.storage import save_bundle
 
-        return save_bundle(self, path, force=force)
+        return save_bundle(self, path, force=force, **kwargs)
 
     @classmethod
     def load(
@@ -867,6 +872,9 @@ class KeywordSearchEngine:
         """Hit/miss statistics of the query-time memo layers (the numbers
         the service's ``/stats`` endpoint reports as cache hit rates)."""
         stats = {"keyword_lookups": self.keyword_index.cache_stats()}
+        postings = self.keyword_index.postings_cache_stats()
+        if postings is not None:
+            stats["postings"] = postings
         if self._search_cache is not None:
             stats["search_results"] = self._search_cache.cache_stats()
         return stats

@@ -23,6 +23,11 @@ class Posting(NamedTuple):
 class InvertedIndex:
     """term → postings, with document-frequency bookkeeping."""
 
+    #: Which serving tier the index lives in; the mmap-resident reader
+    #: (:class:`repro.storage.mmap_tier.MmapInvertedIndex`) overrides
+    #: this so stats endpoints can report the active tier.
+    tier = "memory"
+
     def __init__(self):
         self._postings: Dict[str, Dict[Hashable, List[int]]] = {}
         self._indexed_elements: set = set()

@@ -447,6 +447,22 @@ class KeywordIndex:
         """Hit/miss statistics of the lookup memo (service ``/stats``)."""
         return self._lookup_cache.cache_stats()
 
+    @property
+    def index_tier(self) -> str:
+        """Serving tier of the underlying inverted index (memory/mmap)."""
+        return getattr(self._index, "tier", "memory")
+
+    def postings_cache_stats(self) -> Optional[Dict[str, float]]:
+        """Decoded-postings LRU statistics, or None on the memory tier.
+
+        Only the mmap-resident index decodes posting runs on demand and
+        keeps an LRU over them; the materialized tier holds everything,
+        so there is nothing to count.
+        """
+        if self.index_tier != "mmap":
+            return None
+        return self._index.cache_stats()
+
     def lookup(self, keyword: str) -> List[KeywordMatch]:
         """All elements matching a keyword, best score first.
 

@@ -695,6 +695,7 @@ class DispatchService:
         artifact = getattr(engine, "artifact", None)
         return {
             "artifact": dict(artifact) if artifact is not None else None,
+            "index_tier": getattr(engine, "index_tier", "memory"),
             "service": {
                 "mode": "dispatch",
                 "workers": self.workers,

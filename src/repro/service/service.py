@@ -508,6 +508,7 @@ class EngineService:
                 queue_wait_p99_ms=1000 * _percentile(queue_waits, 0.99),
                 queue_wait_max_ms=1000 * (queue_waits[-1] if queue_waits else 0.0),
             ),
+            "index_tier": getattr(engine, "index_tier", "memory"),
             "caches": engine.cache_stats(),
             "kernels": kernels.kernel_status(),
             "snapshot": {

@@ -252,6 +252,7 @@ class WorkerRuntime:
             "epochs_replayed": self.epochs_replayed,
             "reloads": self.reloads,
             "load_seconds": self.load_seconds,
+            "index_tier": getattr(self.engine, "index_tier", "memory"),
             "caches": self.engine.cache_stats(),
         }
         payload.update(process_memory())

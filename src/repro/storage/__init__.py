@@ -16,7 +16,11 @@ process*.  This package provides that lifecycle:
 * :func:`build_bundle_streaming` — the out-of-core build path
   (``repro build --stream``): triple iterator in, bundle out, peak RSS
   bounded by the hot structures plus the spill budget instead of the
-  corpus.
+  corpus;
+* :mod:`repro.storage.mmap_tier` — the out-of-core *serving* path
+  (``load_engine(..., index_tier="mmap")``): disk-resident readers over
+  the format-v2 queryable sections, so a loaded engine's cold start is
+  O(metadata) and its resident set O(touched data).
 
 ``repro build`` / ``repro compact`` and the ``--bundle`` option of
 ``search``/``serve``/``bench`` are the command-line surface.
@@ -26,11 +30,18 @@ from repro.storage.bundle import (
     BUNDLE_SUFFIX,
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_FORMAT_VERSIONS,
     BundleWriter,
     compact_bundle,
     load_bundle,
     load_engine,
     save_bundle,
+)
+from repro.storage.mmap_tier import (
+    MmapInvertedIndex,
+    MmapTermDictionary,
+    MmapTermTable,
+    MmapTripleTier,
 )
 from repro.storage.stream_build import DEFAULT_SPILL_BUDGET, build_bundle_streaming
 from repro.storage.errors import (
@@ -55,6 +66,11 @@ __all__ = [
     "BundleExistsError",
     "BundleFormatError",
     "DeltaLog",
+    "MmapInvertedIndex",
+    "MmapTermDictionary",
+    "MmapTermTable",
+    "MmapTripleTier",
+    "SUPPORTED_FORMAT_VERSIONS",
     "WalCursor",
     "UnsupportedEngineError",
     "WalError",

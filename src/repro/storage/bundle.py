@@ -62,6 +62,8 @@ from repro.summary.substrate import ExplorationSubstrate
 from repro.summary.summary_graph import SummaryGraph
 
 from repro.storage.codec import (
+    ELEMENT_CODE,
+    ELEMENT_KINDS,
     Interner,
     Reader,
     TermInterner,
@@ -73,8 +75,9 @@ from repro.storage.codec import (
     encode_ids,
     encode_raw_ids,
     encode_strings,
-    encode_terms,
+    encode_term_record,
     fsync_directory,
+    term_order_key,
 )
 from repro.storage.errors import (
     BundleChecksumError,
@@ -86,20 +89,26 @@ from repro.storage.errors import (
 from repro.storage.lazy import LazyDataGraph, LazyTripleStore
 
 MAGIC = b"RPROBNDL"
-#: Bump on any change to the section layout or encodings; readers refuse
-#: other versions outright (rebuild is cheap and always correct, a
-#: misdecoded engine never is).
-FORMAT_VERSION = 1
+#: Bump on any change to the section layout or encodings.  Version 2
+#: added the queryable mmap-tier sections (sorted term/vocab offset
+#: tables, posting runs, SPO/POS/OSP triple runs) as a superset of the
+#: version-1 layout, so readers accept both — version-1 bundles simply
+#: cannot serve ``index_tier="mmap"``.
+FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 #: Conventional file extension (the CLI and docs use it; the reader only
 #: trusts the magic).
 BUNDLE_SUFFIX = ".reprobundle"
 
 _U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
-# Stable wire codes for the element/edge/vertex kinds.
-_ELEMENT_KINDS = ("class", "relation", "attribute", "value")
-_ELEMENT_CODE = {kind: code for code, kind in enumerate(_ELEMENT_KINDS)}
+# Stable wire codes for the element/edge/vertex kinds.  The element
+# codes live in the codec (the mmap tier decodes against them); the
+# underscored names are the bundle-internal aliases other modules import.
+_ELEMENT_KINDS = ELEMENT_KINDS
+_ELEMENT_CODE = ELEMENT_CODE
 _VERTEX_KINDS = (
     SummaryVertexKind.CLASS,
     SummaryVertexKind.THING,
@@ -387,14 +396,27 @@ class BundleWriter:
         self._offset += sec.length + padding
         self._open_section = None
 
-    def finish(self, meta: Dict[str, object], engine_log=None) -> Dict[str, object]:
+    def finish(
+        self,
+        meta: Dict[str, object],
+        engine_log=None,
+        format_version: int = FORMAT_VERSION,
+    ) -> Dict[str, object]:
         """Write the final bundle and publish it atomically.
 
         ``meta`` is the header dict *without* the section table (added
         here).  ``engine_log`` is the saving engine's attached delta log,
         if any — used for the post-replace WAL truncation instead of the
         sibling-lock guard when it is live and co-located.
+        ``format_version`` stamps the prelude — callers that skip the
+        version-2 queryable sections pass 1 so readers know not to look
+        for them.
         """
+        if format_version not in SUPPORTED_FORMAT_VERSIONS:
+            raise ValueError(
+                f"unsupported bundle format version {format_version!r} "
+                f"(supported: {SUPPORTED_FORMAT_VERSIONS})"
+            )
         if self._open_section is not None:
             raise ValueError(f"section {self._open_section.name!r} is still open")
         self._fh.close()
@@ -435,7 +457,7 @@ class BundleWriter:
         try:
             with open(tmp_path, "wb") as fh:
                 fh.write(MAGIC)
-                fh.write(_U32.pack(FORMAT_VERSION))
+                fh.write(_U32.pack(format_version))
                 fh.write(_U32.pack(len(header)))
                 fh.write(header)
                 fh.write(b"\x00" * header_padding)
@@ -467,7 +489,7 @@ class BundleWriter:
             "path": self.path,
             "bytes": len(MAGIC) + 8 + len(header) + header_padding + self._offset,
             "sections": len(self._table),
-            "format_version": FORMAT_VERSION,
+            "format_version": format_version,
             "epoch": meta.get("snapshot", {}).get("epoch", 0),
         }
 
@@ -480,7 +502,9 @@ class BundleWriter:
             os.unlink(self._payload_path)
 
 
-def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
+def save_bundle(
+    engine, path, force: bool = False, *, format_version: int = FORMAT_VERSION
+) -> Dict[str, object]:
     """Serialize an engine's offline layer to ``path``.
 
     Refuses to overwrite an existing file unless ``force`` (the CLI's
@@ -488,9 +512,18 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
     goes through a same-directory temporary file and ``os.replace`` so a
     crash never leaves a half-written bundle under the final name.
 
+    ``format_version=1`` writes the legacy layout without the queryable
+    mmap-tier sections — the compatibility tests use it to produce old
+    bundles; production callers take the default.
+
     Returns a small info dict (path, bytes written, section count,
     format version, epoch).
     """
+    if format_version not in SUPPORTED_FORMAT_VERSIONS:
+        raise ValueError(
+            f"unsupported bundle format version {format_version!r} "
+            f"(supported: {SUPPORTED_FORMAT_VERSIONS})"
+        )
     path = os.fspath(path)
     if os.path.exists(path) and not force:
         raise BundleExistsError(
@@ -578,6 +611,33 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
     add(("store.spo", _encode_two_level(store_state["spo"], term_id)))
     add(("store.pos", _encode_two_level(store_state["pos"], term_id)))
     add(("store.osp", _encode_two_level(store_state["osp"], term_id)))
+    if format_version >= 2:
+        # Queryable triple runs: the same triple set as flat sorted id
+        # rows, binary-searchable by prefix without decoding (the mmap
+        # tier's whole point).
+        spo_rows = sorted(
+            (term_id(s), term_id(p), term_id(o))
+            for s, po in store_state["spo"].items()
+            for p, objs in po.items()
+            for o in objs
+        )
+        add(("store2.spo", encode_raw_ids(chain.from_iterable(spo_rows))))
+        add(
+            (
+                "store2.pos",
+                encode_raw_ids(
+                    chain.from_iterable(sorted((p, o, s) for s, p, o in spo_rows))
+                ),
+            )
+        )
+        add(
+            (
+                "store2.osp",
+                encode_raw_ids(
+                    chain.from_iterable(sorted((o, s, p) for s, p, o in spo_rows))
+                ),
+            )
+        )
 
     # -- keyword index -------------------------------------------------
     kindex_state = keyword_index.state_for_persistence()
@@ -647,6 +707,112 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
         )
     )
 
+    if format_version >= 2:
+        # Queryable keyword sections: vocabulary offset table + sorted
+        # permutation (binary-searchable term dictionary), posting lists
+        # as per-vocab-id int64 runs, element lookup and element→terms
+        # runs (the unindex path), and the refcount groupings re-keyed by
+        # sorted term id for bisection.
+        vocab_offsets = [8]
+        for text in vocab.items:
+            vocab_offsets.append(vocab_offsets[-1] + 4 + len(text.encode("utf-8")))
+        add(("kindex2.vocab.offsets", encode_raw_ids(vocab_offsets)))
+        add(
+            (
+                "kindex2.vocab.sorted",
+                encode_raw_ids(
+                    sorted(range(len(vocab.items)), key=vocab.items.__getitem__)
+                ),
+            )
+        )
+        run_offsets = [0]
+        runs: List[int] = []
+        for bucket in postings.values():
+            for el, (tf, total) in bucket.items():
+                runs.extend((element_id(el), tf, total))
+            run_offsets.append(len(runs) // 3)
+        while len(run_offsets) < len(vocab.items) + 1:
+            run_offsets.append(run_offsets[-1])
+        add(("kindex2.postings.offsets", encode_raw_ids(run_offsets)))
+        add(("kindex2.postings.runs", encode_raw_ids(runs)))
+        element_sort_keys = [
+            (_ELEMENT_CODE[kind], term_id(term))
+            for kind, term in element_interner.items
+        ]
+        add(
+            (
+                "kindex2.elements.sorted",
+                encode_raw_ids(
+                    sorted(
+                        range(len(element_sort_keys)),
+                        key=element_sort_keys.__getitem__,
+                    )
+                ),
+            )
+        )
+        runs_by_eid: List[List[int]] = [[] for _ in element_interner.items]
+        for el, terms_of in element_terms.items():
+            runs_by_eid[element_id(el)] = [vocab_id(t) for t in terms_of]
+        eterm_offsets = [0]
+        eterm_runs: List[int] = []
+        for run in runs_by_eid:
+            eterm_runs.extend(run)
+            eterm_offsets.append(len(eterm_runs))
+        add(("kindex2.element_terms.offsets", encode_raw_ids(eterm_offsets)))
+        add(("kindex2.element_terms.runs", encode_raw_ids(eterm_runs)))
+        add(
+            (
+                "kindex2.attr_refs",
+                encode_grouping(
+                    sorted(
+                        (
+                            (
+                                term_id(label),
+                                list(
+                                    chain.from_iterable(
+                                        (-1 if cls is None else term_id(cls), count)
+                                        for cls, count in refs.items()
+                                    )
+                                ),
+                            )
+                            for label, refs in kindex_state[
+                                "attribute_class_refs"
+                            ].items()
+                        ),
+                        key=lambda kv: kv[0],
+                    )
+                ),
+            )
+        )
+        add(
+            (
+                "kindex2.value_refs",
+                encode_grouping(
+                    sorted(
+                        (
+                            (
+                                term_id(value),
+                                list(
+                                    chain.from_iterable(
+                                        (
+                                            term_id(label),
+                                            -1 if cls is None else term_id(cls),
+                                            count,
+                                        )
+                                        for (label, cls), count in refs.items()
+                                    )
+                                ),
+                            )
+                            for value, refs in kindex_state[
+                                "value_occurrence_refs"
+                            ].items()
+                        ),
+                        key=lambda kv: kv[0],
+                    )
+                ),
+            )
+        )
+
     # -- summary graph + substrate ------------------------------------
     summary_state = engine.summary.state_for_persistence()
     vertices: List[SummaryVertex] = list(summary_state["vertices"].values())
@@ -693,7 +859,30 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
     add(("substrate.targets", encode_raw_ids(substrate.targets)))
 
     # The term table is interned last but read first.
-    sections.insert(0, ("terms", encode_terms(interner.terms, term_id)))
+    term_records = [encode_term_record(t, term_id) for t in interner.terms]
+    sections.insert(
+        0, ("terms", _U64.pack(len(term_records)) + b"".join(term_records))
+    )
+    if format_version >= 2:
+        # Byte offsets of each record within the terms section (first
+        # record sits past the 8-byte count prefix) and the order-key
+        # permutation — together they make the table binary-searchable
+        # without decoding it.
+        term_offsets = [8]
+        for record in term_records:
+            term_offsets.append(term_offsets[-1] + len(record))
+        add(("terms.offsets", encode_raw_ids(term_offsets)))
+        add(
+            (
+                "terms.sorted",
+                encode_raw_ids(
+                    sorted(
+                        range(len(interner.terms)),
+                        key=lambda i: term_order_key(interner.terms[i], term_id),
+                    )
+                ),
+            )
+        )
 
     meta = {
         "writer": f"repro {__version__}",
@@ -746,7 +935,11 @@ def save_bundle(engine, path, force: bool = False) -> Dict[str, object]:
     try:
         for name, payload in sections:
             writer.add_section(name, payload)
-        return writer.finish(meta, engine_log=getattr(engine, "delta_log", None))
+        return writer.finish(
+            meta,
+            engine_log=getattr(engine, "delta_log", None),
+            format_version=format_version,
+        )
     except BaseException:
         writer.abort()
         raise
@@ -768,17 +961,36 @@ class LoadedBundle:
         "substrate",
         "meta",
         "path",
+        "format_version",
+        "index_tier",
     )
 
 
-def load_bundle(path) -> LoadedBundle:
+def load_bundle(path, index_tier: str = "memory") -> LoadedBundle:
     """Decode a bundle file into engine parts.
 
+    ``index_tier`` selects how the keyword index and triple store come
+    back: ``"memory"`` (the default) decodes them into the materialized
+    Python structures; ``"mmap"`` wraps the format-v2 queryable sections
+    in disk-resident readers (:mod:`repro.storage.mmap_tier`) so neither
+    postings nor triples are materialized — cold start stays O(metadata)
+    and resident memory O(touched data).  The big queryable sections are
+    *not* CRC-verified on the mmap path (checksumming them would read
+    every byte, defeating the tier); the metadata, summary, and graph
+    sections still are.
+
     Raises :class:`BundleFormatError` on anything that is not a
-    same-version repro bundle and :class:`BundleChecksumError` when a
-    section's bytes do not match its recorded CRC — the artifact is then
-    unusable by definition and no partial engine is produced.
+    supported-version repro bundle and :class:`BundleChecksumError` when
+    a verified section's bytes do not match its recorded CRC — the
+    artifact is then unusable by definition and no partial engine is
+    produced.  A version-1 bundle with ``index_tier="mmap"`` raises
+    :class:`UnsupportedEngineError`: the queryable sections do not exist
+    in the old layout, so the only fix is a rebuild.
     """
+    if index_tier not in ("memory", "mmap"):
+        raise ValueError(
+            f"unknown index_tier {index_tier!r} (expected 'memory' or 'mmap')"
+        )
     path = os.fspath(path)
     with open(path, "rb") as fh:
         try:
@@ -794,11 +1006,19 @@ def load_bundle(path) -> LoadedBundle:
     if bytes(view[: len(MAGIC)]) != MAGIC:
         raise BundleFormatError(f"{path}: not a repro bundle (bad magic)")
     (format_version,) = _U32.unpack(view[8:12])
-    if format_version != FORMAT_VERSION:
+    if format_version not in SUPPORTED_FORMAT_VERSIONS:
         raise BundleFormatError(
-            f"{path}: bundle format version {format_version} is not the "
-            f"supported version {FORMAT_VERSION}; rebuild the bundle with "
-            "`repro build` (or read it with the matching release)"
+            f"{path}: bundle format version {format_version} is not a "
+            f"supported version ({', '.join(map(str, SUPPORTED_FORMAT_VERSIONS))}); "
+            "rebuild the bundle with `repro build` (or read it with the "
+            "matching release)"
+        )
+    if index_tier == "mmap" and format_version < 2:
+        raise UnsupportedEngineError(
+            f"{path}: bundle format version {format_version} predates the "
+            "queryable mmap-tier sections; rebuild with `repro build` "
+            "(format version 2) to serve with index_tier='mmap', or load "
+            "with the default tier"
         )
     (header_length,) = _U32.unpack(view[12:16])
     header_end = 16 + header_length
@@ -843,8 +1063,51 @@ def load_bundle(path) -> LoadedBundle:
             checked.add(name)
         return payload
 
+    def section_raw(name: str) -> memoryview:
+        """One section's bytes with *no* CRC pass — the mmap tier's
+        queryable sections go through here so cold start never reads
+        them end to end; integrity of the touched rows rests on the
+        binary-search invariants instead."""
+        try:
+            return section_views[name]
+        except KeyError:
+            raise BundleFormatError(
+                f"{path}: missing section {name!r} — the bundle predates "
+                "the queryable layout; rebuild with `repro build`"
+            ) from None
+
+    mmap_tier = index_tier == "mmap"
+    if mmap_tier:
+        from repro.storage import mmap_tier as mt
+
+        for name in (
+            "terms.offsets",
+            "terms.sorted",
+            "store2.spo",
+            "store2.pos",
+            "store2.osp",
+            "kindex2.vocab.offsets",
+            "kindex2.vocab.sorted",
+            "kindex2.postings.offsets",
+            "kindex2.postings.runs",
+            "kindex2.elements.sorted",
+            "kindex2.element_terms.offsets",
+            "kindex2.element_terms.runs",
+            "kindex2.attr_refs",
+            "kindex2.value_refs",
+        ):
+            if name not in section_views:
+                raise BundleFormatError(f"{path}: missing section {name!r}")
+
     # -- terms ---------------------------------------------------------
-    terms = decode_terms(section("terms"))
+    if mmap_tier:
+        terms = mt.MmapTermTable(
+            section_raw("terms"),
+            decode_raw_ids(section_raw("terms.offsets")),
+            decode_raw_ids(section_raw("terms.sorted")),
+        )
+    else:
+        terms = decode_terms(section("terms"))
     counts = meta.get("counts", {})
     if counts.get("terms") is not None and counts["terms"] != len(terms):
         raise BundleFormatError(
@@ -944,51 +1207,99 @@ def load_bundle(path) -> LoadedBundle:
         stats=meta_graph["stats"],
     )
 
-    def store_thunk() -> TripleStore:
-        spo, size = _decode_two_level(Reader(section("store.spo")), terms)
-        pos, _ = _decode_two_level(Reader(section("store.pos")), terms)
-        osp, _ = _decode_two_level(Reader(section("store.osp")), terms)
-        return TripleStore.from_state(spo, pos, osp, size)
+    if mmap_tier:
+        store = mt.MmapTripleTier(
+            decode_raw_ids(section_raw("store2.spo")),
+            decode_raw_ids(section_raw("store2.pos")),
+            decode_raw_ids(section_raw("store2.osp")),
+            meta_graph["stats"]["triples"],
+            terms,
+        )
+    else:
 
-    store = LazyTripleStore(store_thunk, size=meta_graph["stats"]["triples"])
+        def store_thunk() -> TripleStore:
+            spo, size = _decode_two_level(Reader(section("store.spo")), terms)
+            pos, _ = _decode_two_level(Reader(section("store.pos")), terms)
+            osp, _ = _decode_two_level(Reader(section("store.osp")), terms)
+            return TripleStore.from_state(spo, pos, osp, size)
+
+        store = LazyTripleStore(store_thunk, size=meta_graph["stats"]["triples"])
 
     # -- keyword index -------------------------------------------------
-    vocab = decode_strings(Reader(section("kindex.vocab")))
-    element_flat = Reader(section("kindex.elements")).ids()
-    it = iter(element_flat)
-    elements = [(_ELEMENT_KINDS[code], terms[t]) for code, t in zip(it, it)]
+    if mmap_tier:
+        vocab_dict = mt.MmapTermDictionary(
+            section_raw("kindex.vocab"),
+            decode_raw_ids(section_raw("kindex2.vocab.offsets")),
+            decode_raw_ids(section_raw("kindex2.vocab.sorted")),
+        )
+        inverted = mt.MmapInvertedIndex(
+            vocab_dict,
+            decode_raw_ids(section_raw("kindex2.postings.offsets")),
+            decode_raw_ids(section_raw("kindex2.postings.runs")),
+            decode_raw_ids(section_raw("kindex.elements")[8:]),
+            decode_raw_ids(section_raw("kindex2.elements.sorted")),
+            decode_raw_ids(section_raw("kindex2.element_terms.offsets")),
+            decode_raw_ids(section_raw("kindex2.element_terms.runs")),
+            terms,
+        )
+        a_keys, a_offsets, a_values = mt.grouping_views(
+            section_raw("kindex2.attr_refs")
+        )
+        attr_class_refs = mt.LazyRefMap(
+            a_keys, a_offsets, a_values, terms, mt.attr_refs_decoder(terms)
+        )
+        v_keys, v_offsets, v_values = mt.grouping_views(
+            section_raw("kindex2.value_refs")
+        )
+        value_occ_refs = mt.LazyRefMap(
+            v_keys, v_offsets, v_values, terms, mt.value_refs_decoder(terms)
+        )
+    else:
+        vocab = decode_strings(Reader(section("kindex.vocab")))
+        element_flat = Reader(section("kindex.elements")).ids()
+        it = iter(element_flat)
+        elements = [(_ELEMENT_KINDS[code], terms[t]) for code, t in zip(it, it)]
 
-    keys, offsets, values = decode_grouping(Reader(section("kindex.postings")))
-    postings: Dict[str, Dict] = {}
-    for i, k in enumerate(keys):
-        segment = iter(values[offsets[i] : offsets[i + 1]])
-        postings[vocab[k]] = {
-            elements[e]: [tf, total] for e, tf, total in zip(segment, segment, segment)
+        keys, offsets, values = decode_grouping(Reader(section("kindex.postings")))
+        postings: Dict[str, Dict] = {}
+        for i, k in enumerate(keys):
+            segment = iter(values[offsets[i] : offsets[i + 1]])
+            postings[vocab[k]] = {
+                elements[e]: [tf, total]
+                for e, tf, total in zip(segment, segment, segment)
+            }
+        keys, offsets, values = decode_grouping(
+            Reader(section("kindex.element_terms"))
+        )
+        element_terms = {
+            elements[k]: {vocab[v] for v in values[offsets[i] : offsets[i + 1]]}
+            for i, k in enumerate(keys)
         }
-    keys, offsets, values = decode_grouping(Reader(section("kindex.element_terms")))
-    element_terms = {
-        elements[k]: {vocab[v] for v in values[offsets[i] : offsets[i + 1]]}
-        for i, k in enumerate(keys)
-    }
-    keys, offsets, values = decode_grouping(Reader(section("kindex.attr_class_refs")))
-    attr_class_refs: Dict[URI, Dict[Optional[Term], int]] = {}
-    for i, k in enumerate(keys):
-        segment = iter(values[offsets[i] : offsets[i + 1]])
-        attr_class_refs[terms[k]] = {
-            (None if cls < 0 else terms[cls]): count for cls, count in zip(segment, segment)
-        }
-    keys, offsets, values = decode_grouping(Reader(section("kindex.value_occ_refs")))
-    value_occ_refs: Dict[Literal, Dict[Tuple[URI, Optional[Term]], int]] = {}
-    for i, k in enumerate(keys):
-        segment = iter(values[offsets[i] : offsets[i + 1]])
-        value_occ_refs[terms[k]] = {
-            (terms[label], None if cls < 0 else terms[cls]): count
-            for label, cls, count in zip(segment, segment, segment)
-        }
+        keys, offsets, values = decode_grouping(
+            Reader(section("kindex.attr_class_refs"))
+        )
+        attr_class_refs: Dict[URI, Dict[Optional[Term], int]] = {}
+        for i, k in enumerate(keys):
+            segment = iter(values[offsets[i] : offsets[i + 1]])
+            attr_class_refs[terms[k]] = {
+                (None if cls < 0 else terms[cls]): count
+                for cls, count in zip(segment, segment)
+            }
+        keys, offsets, values = decode_grouping(
+            Reader(section("kindex.value_occ_refs"))
+        )
+        value_occ_refs: Dict[Literal, Dict[Tuple[URI, Optional[Term]], int]] = {}
+        for i, k in enumerate(keys):
+            segment = iter(values[offsets[i] : offsets[i + 1]])
+            value_occ_refs[terms[k]] = {
+                (terms[label], None if cls < 0 else terms[cls]): count
+                for label, cls, count in zip(segment, segment, segment)
+            }
+        inverted = InvertedIndex.from_state(postings, element_terms)
     kindex_meta = meta["kindex"]
     keyword_index = KeywordIndex.from_state(
         graph,
-        InvertedIndex.from_state(postings, element_terms),
+        inverted,
         attr_class_refs,
         value_occ_refs,
         version=kindex_meta["version"],
@@ -1052,6 +1363,8 @@ def load_bundle(path) -> LoadedBundle:
     loaded.substrate = substrate
     loaded.meta = meta
     loaded.path = path
+    loaded.format_version = format_version
+    loaded.index_tier = index_tier
     return loaded
 
 
@@ -1067,6 +1380,7 @@ def load_engine(
     attach_wal: bool = True,
     wal_path=None,
     lazy: bool = True,
+    index_tier: str = "memory",
     **overrides,
 ):
     """Reconstitute a :class:`~repro.core.engine.KeywordSearchEngine`.
@@ -1087,6 +1401,12 @@ def load_engine(
     returned engine serves queries after O(metadata) work.  ``lazy=False``
     forces full materialization before returning.
 
+    ``index_tier="mmap"`` goes further: the keyword index and the triple
+    store are *never* materialized — lookups binary-search the bundle's
+    format-v2 queryable sections through the mmap, updates land in small
+    in-memory overlays, and serving RSS stays O(touched data) (see
+    :mod:`repro.storage.mmap_tier`).  Requires a version-2 bundle.
+
     The bundle + log pair is a **single-writer artifact**: attaching
     takes an exclusive lock on the log (released by
     ``engine.delta_log.close()``, or implicitly when the process dies),
@@ -1098,7 +1418,7 @@ def load_engine(
     from repro.storage.wal import DeltaLog
 
     started = time.perf_counter()
-    loaded = load_bundle(path)
+    loaded = load_bundle(path, index_tier=index_tier)
     meta = loaded.meta
     engine_meta = dict(meta["engine"])
     # Bundles written before the vectorized kernels lack the key; the
@@ -1123,9 +1443,13 @@ def load_engine(
         use_vectorized=engine_meta["use_vectorized"],
     )
     engine.index_manager.epoch = meta["snapshot"]["epoch"]
+    engine.index_tier = index_tier
     if not lazy:
         loaded.graph._materialize()
-        loaded.store._materialize()
+        if hasattr(loaded.store, "_materialize"):
+            # The mmap triple tier has no materialized form — it *is*
+            # the store; lazy=False only forces the graph then.
+            loaded.store._materialize()
 
     wal_path = os.fspath(wal_path) if wal_path is not None else loaded.path + ".wal"
     wal = DeltaLog(wal_path)
@@ -1161,7 +1485,8 @@ def load_engine(
 
     engine.artifact = {
         "path": os.path.abspath(loaded.path),
-        "format_version": FORMAT_VERSION,
+        "format_version": loaded.format_version,
+        "index_tier": index_tier,
         "epoch_at_save": meta["snapshot"]["epoch"],
         "summary_version_at_save": meta["snapshot"]["summary_version"],
         "index_version_at_save": meta["snapshot"]["index_version"],

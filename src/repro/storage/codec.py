@@ -63,6 +63,12 @@ _TERM_LITERAL = 2
 _TERM_LITERAL_DT = 3
 _TERM_LITERAL_LANG = 4
 
+#: Keyword-index element kinds in wire-code order: an element reference is
+#: encoded as ``(code, term-id)``, and ``ELEMENT_KINDS[code]`` restores the
+#: kind string of the element key.
+ELEMENT_KINDS = ("class", "relation", "attribute", "value")
+ELEMENT_CODE = {kind: code for code, kind in enumerate(ELEMENT_KINDS)}
+
 
 class Interner:
     """Dense get-or-assign id table, first-seen order.
@@ -321,6 +327,30 @@ def decode_terms(buf) -> List[Term]:
     except (struct.error, IndexError) as exc:
         raise BundleFormatError(f"term table truncated: {exc}") from exc
     return terms
+
+
+def term_order_key(term: Term, term_id) -> Tuple[int, str, object]:
+    """Total order over terms used by the sorted-permutation sections.
+
+    The leading code matches the wire kind byte, so a reader probing an
+    encoded record can build the same key without constructing a
+    :class:`Term`.  The third component is only compared within one kind
+    (an ``int`` datatype id for typed literals, a language ``str`` for
+    tagged ones), keeping the mixed types safe; ``term_id`` resolves the
+    datatype URI exactly as :func:`encode_term_record` does, so the key
+    is injective over any interned table.
+    """
+    if isinstance(term, URI):
+        return (_TERM_URI, term.value, 0)
+    if isinstance(term, BNode):
+        return (_TERM_BNODE, term.label, 0)
+    if isinstance(term, Literal):
+        if term.datatype is not None:
+            return (_TERM_LITERAL_DT, term.lexical, term_id(term.datatype))
+        if term.language is not None:
+            return (_TERM_LITERAL_LANG, term.lexical, term.language)
+        return (_TERM_LITERAL, term.lexical, 0)
+    raise BundleFormatError(f"cannot order term type {type(term).__name__}")
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,9 @@ class UnsupportedEngineError(BundleError):
     """The engine holds components the bundle format cannot represent
     faithfully (a custom analyzer, lexicon, or cost model instance); a
     round-tripped engine would silently behave differently, so saving is
-    refused instead."""
+    refused instead.  Also raised when a requested serving tier needs
+    sections the bundle's format version lacks (``index_tier="mmap"``
+    against a version-1 bundle) — the fix is a rebuild, never a guess."""
 
 
 class WalError(RuntimeError):

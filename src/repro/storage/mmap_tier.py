@@ -1,0 +1,1001 @@
+"""Disk-resident serving tier: binary-searchable readers over the mmap.
+
+PR 8 made *building* a million-triple bundle possible in bounded memory;
+this module is the serving half.  A format-v2 bundle carries, next to
+the eagerly-decodable v1 sections, *queryable* layouts: byte-offset
+tables over the term table and the keyword vocabulary, order-preserving
+sorted permutations for binary search, posting lists as contiguous
+``(element, tf, total)`` int64 runs, and the full triple set as
+SPO/POS/OSP-sorted flat runs.  The classes here serve the exact same
+interfaces the materialized structures expose — ``InvertedIndex``'s
+lookup/maintenance surface, ``TripleStore``'s pattern matching — by
+binary search over ``memoryview('q')`` casts of the mmap-ed sections,
+so cold start is O(metadata) and resident memory is O(touched data):
+the page cache faults in only the runs a query's keywords and join
+atoms actually address (EMBANKS's disk-resident-search-structure
+argument, see PAPERS.md).
+
+Updates never mutate the read-only file.  Each reader pairs the base
+sections with a small in-memory **overlay** — a delta
+:class:`~repro.keyword.inverted_index.InvertedIndex` plus element
+tombstones, a delta :class:`~repro.store.triple_store.TripleStore` plus
+id-triple tombstones, promoted-on-write refcount groups — maintained by
+the same incremental-maintenance calls the in-memory structures
+receive.  The overlay semantics are chosen so that a WAL-tail replay or
+a live ``/update`` epoch leaves lookup results *identical* to the
+materialized tier (property-tested in
+``tests/property/test_mmap_tier_identity.py``); the ordering argument
+rests on the maintenance invariant that an element is always unindexed
+before it is re-indexed, so base postings and delta postings never
+overlap for a live element.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.rdf.terms import BNode, Literal, Term, URI
+from repro.rdf.triples import Triple
+from repro.store.triple_store import TripleStore, ill_typed_pattern
+from repro.util import LruDict
+
+from repro.storage.codec import (
+    ELEMENT_CODE,
+    ELEMENT_KINDS,
+    decode_raw_ids,
+    term_order_key,
+)
+from repro.storage.errors import BundleFormatError
+from repro.keyword.inverted_index import InvertedIndex, Posting
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: Default LRU bound for decoded posting lists (lists, not bytes — the
+#: undecoded runs stay on disk either way).
+DEFAULT_POSTINGS_CACHE = 4096
+
+
+def grouping_views(buf) -> Tuple:
+    """Zero-copy ``(keys, offsets, values)`` int64 views of one grouping
+    section (the ``encode_grouping`` wire shape: three count-prefixed
+    id blobs back to back)."""
+    pos = 0
+    views = []
+    for part in ("keys", "offsets", "values"):
+        if pos + 8 > len(buf):
+            raise BundleFormatError(f"grouping truncated before {part}")
+        (count,) = _U64.unpack_from(buf, pos)
+        end = pos + 8 + 8 * count
+        if end > len(buf):
+            raise BundleFormatError(f"grouping truncated inside {part}")
+        views.append(decode_raw_ids(buf[pos + 8 : end]))
+        pos = end
+    keys, offsets, values = views
+    if len(offsets) != len(keys) + 1:
+        raise BundleFormatError(
+            f"grouping offsets mismatch: {len(keys)} keys, {len(offsets)} offsets"
+        )
+    return keys, offsets, values
+
+
+class _AbsentTerm(Exception):
+    """Internal: a probe term references a datatype the table lacks."""
+
+
+class MmapTermTable:
+    """The interned term table, decoded per record on demand.
+
+    A drop-in for the eagerly decoded ``List[Term]``: every load-time
+    consumer only *indexes* the table, so ``__getitem__`` (memoized —
+    each term is constructed at most once, preserving the shared-object
+    identity the caches rely on) is the whole read surface.  ``id_of``
+    adds the reverse mapping by binary search over the sorted
+    permutation, comparing :func:`repro.storage.codec.term_order_key`
+    probes against keys parsed straight out of the encoded records.
+    """
+
+    __slots__ = ("_records", "_offsets", "_sorted", "_terms", "_ids")
+
+    def __init__(self, records, offsets, sorted_ids):
+        self._records = records
+        self._offsets = offsets
+        self._sorted = sorted_ids
+        if len(offsets) != len(sorted_ids) + 1:
+            raise BundleFormatError(
+                f"term offset table has {len(offsets)} entries for "
+                f"{len(sorted_ids)} sorted ids"
+            )
+        self._terms: Dict[int, Term] = {}
+        self._ids: Dict[Term, Optional[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, index: int) -> Term:
+        term = self._terms.get(index)
+        if term is not None:
+            return term
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        term = self._decode(index)
+        self._terms[index] = term
+        return term
+
+    def _text_at(self, pos: int) -> Tuple[str, int]:
+        (length,) = _U32.unpack_from(self._records, pos)
+        end = pos + 4 + length
+        return bytes(self._records[pos + 4 : end]).decode("utf-8"), end
+
+    def _decode(self, index: int) -> Term:
+        buf = self._records
+        start = self._offsets[index]
+        kind = buf[start]
+        text, pos = self._text_at(start + 1)
+        if kind == 0:
+            return URI(text)
+        if kind == 1:
+            return BNode(text)
+        if kind == 2:
+            return Literal(text)
+        if kind == 3:
+            (dt_id,) = _U64.unpack_from(buf, pos)
+            datatype = self[dt_id]
+            if not isinstance(datatype, URI):
+                raise BundleFormatError(
+                    f"term {index}: datatype id {dt_id} is not a URI"
+                )
+            return Literal(text, datatype=datatype)
+        if kind == 4:
+            lang, _ = self._text_at(pos)
+            return Literal(text, language=lang)
+        raise BundleFormatError(f"unknown term kind {kind} at term {index}")
+
+    def _record_key(self, index: int) -> Tuple[int, str, object]:
+        """The record's :func:`term_order_key` without building a Term."""
+        buf = self._records
+        start = self._offsets[index]
+        kind = buf[start]
+        text, pos = self._text_at(start + 1)
+        if kind == 3:
+            (dt_id,) = _U64.unpack_from(buf, pos)
+            return (kind, text, dt_id)
+        if kind == 4:
+            lang, _ = self._text_at(pos)
+            return (kind, text, lang)
+        return (kind, text, 0)
+
+    def _datatype_id(self, datatype: URI) -> int:
+        dt_id = self.id_of(datatype)
+        if dt_id is None:
+            raise _AbsentTerm
+        return dt_id
+
+    def id_of(self, term: Term) -> Optional[int]:
+        """The term's table id, or None when it is not interned."""
+        try:
+            return self._ids[term]
+        except KeyError:
+            pass
+        found: Optional[int] = None
+        try:
+            probe = term_order_key(term, self._datatype_id)
+        except _AbsentTerm:
+            probe = None
+        if probe is not None:
+            sorted_ids = self._sorted
+            lo, hi = 0, len(sorted_ids)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                key = self._record_key(sorted_ids[mid])
+                if key < probe:
+                    lo = mid + 1
+                elif key > probe:
+                    hi = mid
+                else:
+                    found = sorted_ids[mid]
+                    break
+        self._ids[term] = found
+        return found
+
+
+class MmapTermDictionary:
+    """The keyword vocabulary: id ↔ analyzed-term text over the mmap.
+
+    ``text`` decodes one length-prefixed string by offset (memoized);
+    ``id_of`` binary-searches the lexicographic permutation;
+    ``iter_texts`` walks the vocabulary in **id order** — which is the
+    insertion order the materialized postings dict iterates in, so the
+    fuzzy scan's first-best-on-tie behavior is preserved exactly.
+    """
+
+    __slots__ = ("_strings", "_offsets", "_sorted", "_texts", "_ids")
+
+    def __init__(self, strings, offsets, sorted_ids):
+        self._strings = strings
+        self._offsets = offsets
+        self._sorted = sorted_ids
+        if len(offsets) != len(sorted_ids) + 1:
+            raise BundleFormatError(
+                f"vocab offset table has {len(offsets)} entries for "
+                f"{len(sorted_ids)} sorted ids"
+            )
+        self._texts: Dict[int, str] = {}
+        self._ids: Dict[str, Optional[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def text(self, vid: int) -> str:
+        cached = self._texts.get(vid)
+        if cached is not None:
+            return cached
+        start = self._offsets[vid]
+        (length,) = _U32.unpack_from(self._strings, start)
+        text = bytes(self._strings[start + 4 : start + 4 + length]).decode("utf-8")
+        self._texts[vid] = text
+        return text
+
+    def id_of(self, text: str) -> Optional[int]:
+        try:
+            return self._ids[text]
+        except KeyError:
+            pass
+        sorted_ids = self._sorted
+        lo, hi = 0, len(sorted_ids)
+        found: Optional[int] = None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            candidate = self.text(sorted_ids[mid])
+            if candidate < text:
+                lo = mid + 1
+            elif candidate > text:
+                hi = mid
+            else:
+                found = sorted_ids[mid]
+                break
+        self._ids[text] = found
+        return found
+
+    def iter_texts(self) -> Iterator[str]:
+        for vid in range(len(self)):
+            yield self.text(vid)
+
+
+class MmapPostingsReader:
+    """Posting lists as contiguous int64 runs, LRU over decoded lists.
+
+    ``rows(vid)`` slices the run for one vocabulary id out of the mmap
+    (zero-copy until the per-row tuple build) and resolves element ids
+    through the supplied callback; decoded lists are kept in a small
+    :class:`~repro.util.LruDict` so hot keywords do not re-decode.
+    """
+
+    __slots__ = ("_offsets", "_runs", "_resolve", "_cache")
+
+    def __init__(self, offsets, runs, resolve_element, cache_size: int):
+        self._offsets = offsets
+        self._runs = runs
+        self._resolve = resolve_element
+        self._cache = LruDict(cache_size) if cache_size > 0 else None
+
+    def df(self, vid: int) -> int:
+        return self._offsets[vid + 1] - self._offsets[vid]
+
+    def rows(self, vid: int) -> Tuple[Tuple[Hashable, int, int], ...]:
+        cache = self._cache
+        if cache is not None:
+            hit = cache.hit(vid)
+            if hit is not None:
+                return hit
+        runs = self._runs
+        resolve = self._resolve
+        start = 3 * self._offsets[vid]
+        end = 3 * self._offsets[vid + 1]
+        rows = tuple(
+            (resolve(runs[i]), runs[i + 1], runs[i + 2])
+            for i in range(start, end, 3)
+        )
+        if cache is not None:
+            cache.put(vid, rows)
+        return rows
+
+    def cache_stats(self) -> Dict[str, float]:
+        if self._cache is None:
+            return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0, "hit_rate": 0.0}
+        return self._cache.cache_stats()
+
+
+class MmapInvertedIndex:
+    """The inverted index served from the file, updatable via overlay.
+
+    Behavior-compatible with
+    :class:`~repro.keyword.inverted_index.InvertedIndex`:
+
+    * **reads** combine the base runs (filtered through element
+      tombstones) with a delta ``InvertedIndex`` holding everything
+      indexed since load — appended after the base postings, which is
+      exactly where a re-inserted dict key would sit in the
+      materialized tier;
+    * **unindex** of a base element records a tombstone and bumps
+      per-term dead counters (via the element→terms runs), keeping
+      ``document_frequency`` / ``term_count`` / ``posting_count`` O(1)
+      to O(delta) instead of O(scan);
+    * **index** always lands in the delta — safe because maintenance
+      unindexes an element before ever re-indexing it, so a live base
+      element never receives delta postings under the same term.
+    """
+
+    tier = "mmap"
+
+    def __init__(
+        self,
+        dictionary: MmapTermDictionary,
+        postings_offsets,
+        postings_runs,
+        elements,
+        elements_sorted,
+        element_terms_offsets,
+        element_terms_runs,
+        term_table: MmapTermTable,
+        postings_cache_size: int = DEFAULT_POSTINGS_CACHE,
+    ):
+        self._dict = dictionary
+        self._elements = elements  # flat (code, term-id) pairs
+        self._elements_sorted = elements_sorted
+        self._eterm_offsets = element_terms_offsets
+        self._eterm_runs = element_terms_runs
+        self._terms = term_table
+        self._n_elements = len(elements) // 2
+        if len(element_terms_offsets) != self._n_elements + 1:
+            raise BundleFormatError(
+                f"element-terms offset table has {len(element_terms_offsets)} "
+                f"entries for {self._n_elements} elements"
+            )
+        if len(postings_offsets) != len(dictionary) + 1:
+            raise BundleFormatError(
+                f"postings offset table has {len(postings_offsets)} entries "
+                f"for a vocabulary of {len(dictionary)}"
+            )
+        self._base_rows = len(postings_runs) // 3
+        self._element_keys: Dict[int, Hashable] = {}
+        self._postings = MmapPostingsReader(
+            postings_offsets, postings_runs, self._element_key, postings_cache_size
+        )
+        # Update overlay.
+        self._delta = InvertedIndex()
+        self._tombstones: set = set()
+        self._dead_df: Dict[int, int] = {}
+        self._dead_vids: set = set()
+        self._dead_rows = 0
+
+    # -- element identity ----------------------------------------------
+
+    def _element_key(self, eid: int) -> Hashable:
+        key = self._element_keys.get(eid)
+        if key is None:
+            code = self._elements[2 * eid]
+            tid = self._elements[2 * eid + 1]
+            key = (ELEMENT_KINDS[code], self._terms[tid])
+            self._element_keys[eid] = key
+        return key
+
+    def _base_eid(self, element: Hashable) -> Optional[int]:
+        kind, term = element
+        code = ELEMENT_CODE.get(kind)
+        if code is None:
+            return None
+        tid = self._terms.id_of(term)
+        if tid is None:
+            return None
+        probe = (code, tid)
+        sorted_ids = self._elements_sorted
+        elements = self._elements
+        lo, hi = 0, len(sorted_ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            eid = sorted_ids[mid]
+            key = (elements[2 * eid], elements[2 * eid + 1])
+            if key < probe:
+                lo = mid + 1
+            elif key > probe:
+                hi = mid
+            else:
+                return eid
+        return None
+
+    # -- maintenance (InvertedIndex surface) ---------------------------
+
+    def index(self, element: Hashable, terms: Iterable[str]) -> None:
+        self._delta.index(element, terms)
+
+    def unindex(self, element: Hashable) -> bool:
+        if self._delta.unindex(element):
+            return True
+        if element in self._tombstones:
+            return False
+        eid = self._base_eid(element)
+        if eid is None:
+            return False
+        self._tombstones.add(element)
+        runs = self._eterm_runs
+        df = self._postings.df
+        for i in range(self._eterm_offsets[eid], self._eterm_offsets[eid + 1]):
+            vid = runs[i]
+            dead = self._dead_df.get(vid, 0) + 1
+            self._dead_df[vid] = dead
+            self._dead_rows += 1
+            if dead == df(vid):
+                self._dead_vids.add(vid)
+        return True
+
+    # -- lookup --------------------------------------------------------
+
+    def lookup(self, term: str) -> List[Posting]:
+        out: List[Posting] = []
+        vid = self._dict.id_of(term)
+        if vid is not None and vid not in self._dead_vids:
+            rows = self._postings.rows(vid)
+            if self._dead_df.get(vid):
+                tombstones = self._tombstones
+                out.extend(
+                    Posting(element, tf, total)
+                    for element, tf, total in rows
+                    if element not in tombstones
+                )
+            else:
+                out.extend(Posting(*row) for row in rows)
+        out.extend(self._delta.lookup(term))
+        return out
+
+    def __contains__(self, term: str) -> bool:
+        if term in self._delta:
+            return True
+        vid = self._dict.id_of(term)
+        return vid is not None and vid not in self._dead_vids
+
+    def _base_live(self, term: str) -> bool:
+        vid = self._dict.id_of(term)
+        return vid is not None and vid not in self._dead_vids
+
+    def iter_terms(self) -> Iterator[str]:
+        # Base vocabulary in id (= materialized insertion) order, minus
+        # fully-dead terms; delta-only terms append, matching a dict
+        # whose deleted key was re-inserted at the end.
+        dead = self._dead_vids
+        for vid in range(len(self._dict)):
+            if vid not in dead:
+                yield self._dict.text(vid)
+        for term in self._delta.iter_terms():
+            if not self._base_live(term):
+                yield term
+
+    @property
+    def vocabulary(self) -> Tuple[str, ...]:
+        return tuple(self.iter_terms())
+
+    # -- statistics ----------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        df = self._delta.document_frequency(term)
+        vid = self._dict.id_of(term)
+        if vid is not None:
+            df += self._postings.df(vid) - self._dead_df.get(vid, 0)
+        return df
+
+    def idf(self, term: str) -> float:
+        n = max(self.element_count, 1)
+        df = self.document_frequency(term)
+        return math.log((n + 1) / (df + 1)) + 1.0
+
+    @property
+    def element_count(self) -> int:
+        return self._n_elements - len(self._tombstones) + self._delta.element_count
+
+    @property
+    def term_count(self) -> int:
+        count = len(self._dict) - len(self._dead_vids)
+        for term in self._delta.iter_terms():
+            if not self._base_live(term):
+                count += 1
+        return count
+
+    @property
+    def posting_count(self) -> int:
+        return self._base_rows - self._dead_rows + self._delta.posting_count
+
+    def estimated_bytes(self) -> int:
+        """Same estimate as the materialized index (term text + 16 bytes
+        per live posting) — an O(vocabulary) scan, computed on demand;
+        the serving loop never calls it."""
+        total = 0
+        dictionary = self._dict
+        df = self._postings.df
+        dead_df = self._dead_df
+        for vid in range(len(dictionary)):
+            live = df(vid) - dead_df.get(vid, 0)
+            if live > 0:
+                total += len(dictionary.text(vid).encode()) + 16 * live
+        for term in self._delta.iter_terms():
+            delta_df = self._delta.document_frequency(term)
+            if self._base_live(term):
+                total += 16 * delta_df
+            else:
+                total += len(term.encode()) + 16 * delta_df
+        return total
+
+    def __len__(self) -> int:
+        return self.term_count
+
+    # -- persistence ---------------------------------------------------
+
+    def state_for_persistence(self) -> Dict[str, object]:
+        """Materialize the combined base + overlay state (the save path;
+        an O(index) scan by necessity)."""
+        postings: Dict[str, Dict[Hashable, List[int]]] = {}
+        for term in self.iter_terms():
+            postings[term] = {
+                p.element: [p.term_frequency, p.label_terms]
+                for p in self.lookup(term)
+            }
+        element_terms: Dict[Hashable, set] = {}
+        texts = self._dict.text
+        runs = self._eterm_runs
+        offsets = self._eterm_offsets
+        for eid in range(self._n_elements):
+            element = self._element_key(eid)
+            if element in self._tombstones:
+                continue
+            element_terms[element] = {
+                texts(runs[i]) for i in range(offsets[eid], offsets[eid + 1])
+            }
+        delta_state = self._delta.state_for_persistence()
+        for element, terms_of in delta_state["element_terms"].items():
+            element_terms[element] = set(terms_of)
+        return {"postings": postings, "element_terms": element_terms}
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the decoded-postings LRU."""
+        return self._postings.cache_stats()
+
+
+def attr_refs_decoder(term_table: MmapTermTable):
+    """Group decoder for ``kindex2.attr_refs``: flat ``(class|-1, count)``
+    pairs → ``{class-or-None: count}``."""
+
+    def decode(values, start: int, end: int) -> Dict:
+        return {
+            (None if values[i] < 0 else term_table[values[i]]): values[i + 1]
+            for i in range(start, end, 2)
+        }
+
+    return decode
+
+
+def value_refs_decoder(term_table: MmapTermTable):
+    """Group decoder for ``kindex2.value_refs``: flat ``(label, class|-1,
+    count)`` triples → ``{(label, class-or-None): count}``."""
+
+    def decode(values, start: int, end: int) -> Dict:
+        return {
+            (
+                term_table[values[i]],
+                None if values[i + 1] < 0 else term_table[values[i + 1]],
+            ): values[i + 2]
+            for i in range(start, end, 3)
+        }
+
+    return decode
+
+
+class LazyRefMap:
+    """A dict-compatible refcount map over a term-id-sorted grouping.
+
+    Backs ``KeywordIndex``'s ``_attribute_class_refs`` /
+    ``_value_occurrence_refs`` without decoding them: membership is a
+    binary search on the sorted key ids, and a group decodes on first
+    read — at which point it is **promoted** into the overlay dict, so
+    the in-place refcount mutations the maintenance path performs stick.
+    Deletions tombstone base keys; a re-added key lives in the overlay.
+
+    Iteration order is base (key-id) order then overlay-only keys —
+    *not* the materialized insertion order; every consumer builds sets
+    from it (``attribute_labels``, match classes), so ordering is
+    immaterial to identity.
+    """
+
+    __slots__ = ("_keys", "_offsets", "_values", "_resolve", "_key_id",
+                 "_decode", "_overlay", "_deleted")
+
+    def __init__(self, keys, offsets, values, term_table: MmapTermTable, decode_group):
+        self._keys = keys
+        self._offsets = offsets
+        self._values = values
+        self._resolve = term_table.__getitem__
+        self._key_id = term_table.id_of
+        self._decode = decode_group
+        self._overlay: Dict = {}
+        self._deleted: set = set()
+
+    def _base_index(self, key) -> Optional[int]:
+        tid = self._key_id(key)
+        if tid is None:
+            return None
+        keys = self._keys
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            value = keys[mid]
+            if value < tid:
+                lo = mid + 1
+            elif value > tid:
+                hi = mid
+            else:
+                return mid
+        return None
+
+    def __contains__(self, key) -> bool:
+        if key in self._overlay:
+            return True
+        if key in self._deleted:
+            return False
+        return self._base_index(key) is not None
+
+    def __getitem__(self, key) -> Dict:
+        group = self._overlay.get(key)
+        if group is not None:
+            return group
+        if key in self._deleted:
+            raise KeyError(key)
+        index = self._base_index(key)
+        if index is None:
+            raise KeyError(key)
+        group = self._decode(
+            self._values, self._offsets[index], self._offsets[index + 1]
+        )
+        self._overlay[key] = group
+        return group
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def setdefault(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            self._deleted.discard(key)
+            self._overlay[key] = default
+            return default
+
+    def __setitem__(self, key, value) -> None:
+        self._deleted.discard(key)
+        self._overlay[key] = value
+
+    def __delitem__(self, key) -> None:
+        existed = self._overlay.pop(key, None) is not None
+        if self._base_index(key) is not None and key not in self._deleted:
+            self._deleted.add(key)
+            existed = True
+        if not existed:
+            raise KeyError(key)
+
+    def __iter__(self):
+        deleted = self._deleted
+        resolve = self._resolve
+        for i in range(len(self._keys)):
+            key = resolve(self._keys[i])
+            if key not in deleted:
+                yield key
+        for key in self._overlay:
+            if self._base_index(key) is None:
+                yield key
+
+    def __len__(self) -> int:
+        extra = sum(1 for key in self._overlay if self._base_index(key) is None)
+        return len(self._keys) - len(self._deleted) + extra
+
+    def keys(self):
+        return iter(self)
+
+    def items(self):
+        for key in self:
+            yield key, self[key]
+
+
+# Row reorderings from each index's storage order back to (s, p, o).
+def _from_spo(a, b, c):
+    return (a, b, c)
+
+
+def _from_pos(a, b, c):
+    return (c, a, b)
+
+
+def _from_osp(a, b, c):
+    return (b, c, a)
+
+
+class MmapTripleTier:
+    """A ``TripleStore``-compatible tier over SPO/POS/OSP-sorted runs.
+
+    Every pattern binds a prefix of one of the three sort orders, so
+    ``match``/``count`` are a binary-searched row range plus a skip of
+    tombstoned rows, then the delta store's answer for the same pattern.
+    Adds and removes go to the overlay (delta store / id-triple
+    tombstones); the base file is never written.
+    """
+
+    def __init__(self, spo, pos, osp, size: int, term_table: MmapTermTable):
+        for name, view in (("spo", spo), ("pos", pos), ("osp", osp)):
+            if len(view) != 3 * size:
+                raise BundleFormatError(
+                    f"store2.{name} holds {len(view)} values, expected "
+                    f"{3 * size} for {size} triples"
+                )
+        self._spo = spo
+        self._pos = pos
+        self._osp = osp
+        self._n = size
+        self._terms = term_table
+        self._delta = TripleStore()
+        self._tombstones: set = set()  # (sid, pid, oid) id triples
+
+    # -- binary search over sorted rows --------------------------------
+
+    def _lower(self, view, prefix: Tuple[int, ...]) -> int:
+        k = len(prefix)
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            base = 3 * mid
+            if tuple(view[base : base + k]) < prefix:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _upper(self, view, prefix: Tuple[int, ...]) -> int:
+        k = len(prefix)
+        lo, hi = 0, self._n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            base = 3 * mid
+            if tuple(view[base : base + k]) <= prefix:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _range(self, view, prefix: Tuple[int, ...]) -> Tuple[int, int]:
+        return self._lower(view, prefix), self._upper(view, prefix)
+
+    def _base_ids(self, view, prefix, reorder) -> Iterator[Tuple[int, int, int]]:
+        """Live base rows under a prefix, reordered to (s, p, o) ids."""
+        lo, hi = self._range(view, prefix)
+        tombstones = self._tombstones
+        for i in range(lo, hi):
+            base = 3 * i
+            ids = reorder(view[base], view[base + 1], view[base + 2])
+            if tombstones and ids in tombstones:
+                continue
+            yield ids
+
+    def _ids(self, triple: Triple) -> Optional[Tuple[int, int, int]]:
+        id_of = self._terms.id_of
+        sid = id_of(triple.subject)
+        if sid is None:
+            return None
+        pid = id_of(triple.predicate)
+        if pid is None:
+            return None
+        oid = id_of(triple.object)
+        if oid is None:
+            return None
+        return (sid, pid, oid)
+
+    def _dead_matching(self, sid, pid, oid) -> int:
+        """Tombstones matching a pattern (None = wildcard)."""
+        if not self._tombstones:
+            return 0
+        return sum(
+            1
+            for t in self._tombstones
+            if (sid is None or t[0] == sid)
+            and (pid is None or t[1] == pid)
+            and (oid is None or t[2] == oid)
+        )
+
+    # -- mutation (overlay) --------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        ids = self._ids(triple)
+        if ids is not None:
+            if ids in self._tombstones:
+                self._tombstones.discard(ids)
+                return True
+            lo, hi = self._range(self._spo, ids)
+            if lo < hi:
+                return False
+        return self._delta.add(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        if self._delta.remove(triple):
+            return True
+        ids = self._ids(triple)
+        if ids is None or ids in self._tombstones:
+            return False
+        lo, hi = self._range(self._spo, ids)
+        if lo >= hi:
+            return False
+        self._tombstones.add(ids)
+        return True
+
+    def remove_all(self, triples: Iterable[Triple]) -> int:
+        return sum(1 for t in triples if self.remove(t))
+
+    # -- lookup --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n - len(self._tombstones) + len(self._delta)
+
+    def __contains__(self, triple: Triple) -> bool:
+        if triple in self._delta:
+            return True
+        ids = self._ids(triple)
+        if ids is None or ids in self._tombstones:
+            return False
+        lo, hi = self._range(self._spo, ids)
+        return lo < hi
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        if ill_typed_pattern(subject, predicate):
+            return
+        terms = self._terms
+        id_of = terms.id_of
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None and o is not None:
+            if Triple(s, p, o) in self:
+                yield Triple(s, p, o)
+            return
+        if s is not None and p is not None:
+            sid, pid = id_of(s), id_of(p)
+            if sid is not None and pid is not None:
+                for _, _, oid in self._base_ids(self._spo, (sid, pid), _from_spo):
+                    yield Triple(s, p, terms[oid])
+            yield from self._delta.match(s, p, None)
+            return
+        if p is not None and o is not None:
+            pid, oid = id_of(p), id_of(o)
+            if pid is not None and oid is not None:
+                for sid, _, _ in self._base_ids(self._pos, (pid, oid), _from_pos):
+                    yield Triple(terms[sid], p, o)
+            yield from self._delta.match(None, p, o)
+            return
+        if s is not None and o is not None:
+            sid, oid = id_of(s), id_of(o)
+            if sid is not None and oid is not None:
+                for _, pid, _ in self._base_ids(self._osp, (oid, sid), _from_osp):
+                    yield Triple(s, terms[pid], o)
+            yield from self._delta.match(s, None, o)
+            return
+        if s is not None:
+            sid = id_of(s)
+            if sid is not None:
+                for _, pid, oid in self._base_ids(self._spo, (sid,), _from_spo):
+                    yield Triple(s, terms[pid], terms[oid])
+            yield from self._delta.match(s, None, None)
+            return
+        if p is not None:
+            pid = id_of(p)
+            if pid is not None:
+                for sid, _, oid in self._base_ids(self._pos, (pid,), _from_pos):
+                    yield Triple(terms[sid], p, terms[oid])
+            yield from self._delta.match(None, p, None)
+            return
+        if o is not None:
+            oid = id_of(o)
+            if oid is not None:
+                for sid, pid, _ in self._base_ids(self._osp, (oid,), _from_osp):
+                    yield Triple(terms[sid], terms[pid], o)
+            yield from self._delta.match(None, None, o)
+            return
+        for sid, pid, oid in self._base_ids(self._spo, (), _from_spo):
+            yield Triple(terms[sid], terms[pid], terms[oid])
+        yield from self._delta.match(None, None, None)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        if ill_typed_pattern(subject, predicate):
+            return 0
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None and o is not None:
+            return 1 if Triple(s, p, o) in self else 0
+        if s is None and p is None and o is None:
+            return len(self)
+        id_of = self._terms.id_of
+        sid = id_of(s) if s is not None else None
+        pid = id_of(p) if p is not None else None
+        oid = id_of(o) if o is not None else None
+        total = self._delta.count(s, p, o)
+        bound = [x for x, t in ((sid, s), (pid, p), (oid, o)) if t is not None]
+        if any(x is None for x in bound):
+            return total  # a bound term missing from the table: no base rows
+        if sid is not None and pid is not None:
+            lo, hi = self._range(self._spo, (sid, pid))
+        elif pid is not None and oid is not None:
+            lo, hi = self._range(self._pos, (pid, oid))
+        elif sid is not None and oid is not None:
+            lo, hi = self._range(self._osp, (oid, sid))
+        elif sid is not None:
+            lo, hi = self._range(self._spo, (sid,))
+        elif pid is not None:
+            lo, hi = self._range(self._pos, (pid,))
+        else:
+            lo, hi = self._range(self._osp, (oid,))
+        return total + (hi - lo) - self._dead_matching(sid, pid, oid)
+
+    def subjects(self, predicate: Term, obj: Term) -> Iterator[Term]:
+        for triple in self.match(None, predicate, obj):
+            yield triple.subject
+
+    def objects(self, subject: Term, predicate: Term) -> Iterator[Term]:
+        for triple in self.match(subject, predicate, None):
+            yield triple.object
+
+    def predicates(self) -> Iterator[Term]:
+        view = self._pos
+        terms = self._terms
+        i = 0
+        while i < self._n:
+            pid = view[3 * i]
+            hi = self._upper(view, (pid,))
+            if (hi - i) - self._dead_matching(None, pid, None) > 0:
+                yield terms[pid]
+            i = hi
+        id_of = terms.id_of
+        for pred in self._delta.predicates():
+            pid = id_of(pred)
+            if pid is None:
+                yield pred
+                continue
+            lo, hi = self._range(self._pos, (pid,))
+            if (hi - lo) - self._dead_matching(None, pid, None) <= 0:
+                yield pred
+
+    def predicate_cardinality(self, predicate: Term) -> int:
+        total = self._delta.predicate_cardinality(predicate)
+        pid = self._terms.id_of(predicate)
+        if pid is not None:
+            lo, hi = self._range(self._pos, (pid,))
+            total += (hi - lo) - self._dead_matching(None, pid, None)
+        return total
+
+    # -- persistence ---------------------------------------------------
+
+    def state_for_persistence(self) -> Dict[str, object]:
+        """Materialize the live triple set into the nested-index shape
+        (the save path; O(store) by necessity)."""
+        return TripleStore(self.match()).state_for_persistence()
+
+    def __repr__(self):
+        return (
+            f"MmapTripleTier(base={self._n}, "
+            f"tombstones={len(self._tombstones)}, delta={len(self._delta)})"
+        )

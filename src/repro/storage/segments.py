@@ -140,6 +140,22 @@ def write_ids_from_segment(section, segment: SegmentWriter) -> None:
             section.write(chunk)
 
 
+def write_raw_from_segment(section, segment: SegmentWriter) -> None:
+    """Stream a closed segment into a section as a bare int64 blob.
+
+    A segment file's bytes already *are* ``encode_raw_ids`` of its flat
+    values, so this is a straight copy — the mmap-tier sections
+    (offset tables, posting runs, sorted triple runs) use it to avoid
+    a count prefix that raw ``memoryview`` casts would have to skip.
+    """
+    with open(segment.path, "rb") as fh:
+        while True:
+            chunk = fh.read(_COPY_CHUNK)
+            if not chunk:
+                return
+            section.write(chunk)
+
+
 class ExternalSorter:
     """Budget-bounded sorter over fixed-arity ``int64`` row tuples.
 
@@ -224,6 +240,21 @@ class GroupingSpool:
         for spool in (self._keys, self._offsets, self._values):
             spool.close()
             write_ids_from_segment(section, spool)
+
+    def write_raw_offsets(self, section) -> None:
+        """Stream just the offsets spool as a bare int64 blob.
+
+        When the grouping's keys are the dense sequence ``0..n-1`` (the
+        element→terms map), the offsets and values spools *are* the
+        mmap-tier run layout — no re-encode needed.
+        """
+        self._offsets.close()
+        write_raw_from_segment(section, self._offsets)
+
+    def write_raw_values(self, section) -> None:
+        """Stream just the flat values spool as a bare int64 blob."""
+        self._values.close()
+        write_raw_from_segment(section, self._values)
 
     def cleanup(self) -> None:
         for spool in (self._keys, self._offsets, self._values):

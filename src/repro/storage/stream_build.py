@@ -31,8 +31,9 @@ import os
 import struct
 import tempfile
 import time
+from array import array
 from itertools import groupby
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro import __version__
 from repro.core.exploration import DEFAULT_DMAX
@@ -66,6 +67,7 @@ from repro.storage.codec import (
     encode_ids,
     encode_raw_ids,
     encode_term_record,
+    term_order_key,
 )
 from repro.storage.errors import UnsupportedEngineError
 from repro.storage.segments import (
@@ -75,6 +77,7 @@ from repro.storage.segments import (
     TwoLevelSpool,
     iter_rows,
     write_ids_from_segment,
+    write_raw_from_segment,
 )
 
 _U64 = struct.Struct("<Q")
@@ -103,6 +106,28 @@ _K_SUBCLASS_BAD = 5
 # 2^21 terms; wider corpora fall back to tuple keys (ints and tuples
 # never compare equal, so mixing the two in one set is sound).
 _PACK_LIMIT = 1 << 21
+
+
+def _capture_rows(
+    rows: Iterable[Tuple[int, int, int]], section, buffer_rows: int = 16384
+) -> Iterator[Tuple[int, int, int]]:
+    """Tee a sorted-row stream into a raw int64 section while yielding it.
+
+    The mmap-tier triple runs (``store2.*``) are the *same* merge pass
+    that feeds the two-level store sections; this wrapper writes each
+    row to the open raw section in bounded chunks on the way through, so
+    the sort is consumed exactly once.
+    """
+    buf: List[int] = []
+    flush_at = 3 * max(1, buffer_rows)
+    for row in rows:
+        buf.extend(row)
+        if len(buf) >= flush_at:
+            section.write(encode_raw_ids(buf))
+            buf.clear()
+        yield row
+    if buf:
+        section.write(encode_raw_ids(buf))
 
 
 def build_bundle_streaming(
@@ -464,14 +489,17 @@ def _build(
         "graph.subclass_pred_counts", encode_ids(flat_pairs(subclass_pred_counts))
     )
 
-    # Triple store indexes: three external sorts into the two-level shape.
-    for name, sorter in (
-        ("store.spo", sort_spo),
-        ("store.pos", sort_pos),
-        ("store.osp", sort_osp),
+    # Triple store indexes: three external sorts, each consumed once —
+    # teed into the raw mmap-tier runs (store2.*) and the two-level
+    # hash-store sections (store.*).
+    for name, raw_name, sorter in (
+        ("store.spo", "store2.spo", sort_spo),
+        ("store.pos", "store2.pos", sort_pos),
+        ("store.osp", "store2.osp", sort_osp),
     ):
         two_level = TwoLevelSpool(tmp, name.replace(".", "_"))
-        two_level.feed(sorter.sorted_rows())
+        with writer.section(raw_name) as sec:
+            two_level.feed(_capture_rows(sorter.sorted_rows(), sec))
         with writer.section(name) as sec:
             two_level.write_to(sec)
         two_level.cleanup()
@@ -543,21 +571,75 @@ def _build(
 
     with writer.section("kindex.vocab") as sec:
         sec.write(_U64.pack(len(vocab.items)))
+        vocab_offsets = array("q", [8])
+        offset = 8
         for text in vocab.items:
-            sec.write(_pack_str(text))
+            packed = _pack_str(text)
+            offset += len(packed)
+            vocab_offsets.append(offset)
+            sec.write(packed)
+    writer.add_section("kindex2.vocab.offsets", encode_raw_ids(vocab_offsets))
+    writer.add_section(
+        "kindex2.vocab.sorted",
+        encode_raw_ids(
+            sorted(range(len(vocab.items)), key=vocab.items.__getitem__)
+        ),
+    )
     elements_spool.close()
     with writer.section("kindex.elements") as sec:
         write_ids_from_segment(sec, elements_spool)
+    # The sorted element permutation re-reads the closed spool: two
+    # resident int64 arrays over the element set (vocabulary scale, not
+    # corpus scale) are within the hot-structure budget.
+    element_codes = array("q")
+    element_tids = array("q")
+    for code, tid in iter_rows(elements_spool.path, 2):
+        element_codes.append(code)
+        element_tids.append(tid)
+    writer.add_section(
+        "kindex2.elements.sorted",
+        encode_raw_ids(
+            sorted(
+                range(element_count),
+                key=lambda i: (element_codes[i], element_tids[i]),
+            )
+        ),
+    )
+    del element_codes, element_tids
+    # Posting lists: the merged spill runs feed the v1 grouping and the
+    # mmap-tier run layout (per-vocab-id row offsets + flat rows) in one
+    # consumption.
     postings_grouping = GroupingSpool(tmp, "postings_grouping")
+    postings_runs_spool = SegmentWriter(os.path.join(tmp, "postings_runs.seg"), 3)
+    run_offsets = array("q", [0])
+    rows_so_far = 0
     for vid, flat in postings.merged_groups():
+        while len(run_offsets) <= vid:
+            run_offsets.append(rows_so_far)  # vocab id with no postings
+        it = iter(flat)
+        for row in zip(it, it, it):
+            postings_runs_spool.append(row)
+        rows_so_far += len(flat) // 3
+        run_offsets.append(rows_so_far)
         postings_grouping.add(vid, flat)
+    while len(run_offsets) <= len(vocab.items):
+        run_offsets.append(rows_so_far)
     with writer.section("kindex.postings") as sec:
         postings_grouping.write_to(sec)
     postings_grouping.cleanup()
+    postings_runs_spool.close()
+    writer.add_section("kindex2.postings.offsets", encode_raw_ids(run_offsets))
+    with writer.section("kindex2.postings.runs") as sec:
+        write_raw_from_segment(sec, postings_runs_spool)
+    postings_runs_spool.unlink()
     postings_runs = postings.runs_spilled
     postings.cleanup()
     with writer.section("kindex.element_terms") as sec:
         element_terms.write_to(sec)
+    with writer.section("kindex2.element_terms.offsets") as sec:
+        element_terms.write_raw_offsets(sec)
+    with writer.section("kindex2.element_terms.runs") as sec:
+        element_terms.write_raw_values(sec)
     element_terms.cleanup()
     elements_spool.unlink()
 
@@ -579,6 +661,29 @@ def _build(
                 ),
             )
             for vid, refs in value_occ_refs.items()
+        ),
+    )
+    # The same refcount groupings re-keyed in ascending term-id order,
+    # so the mmap tier can bisect them without decoding.
+    writer.add_section(
+        "kindex2.attr_refs",
+        encode_grouping(
+            (pid, flat_pairs(attr_class_refs[pid]))
+            for pid in sorted(attr_class_refs)
+        ),
+    )
+    writer.add_section(
+        "kindex2.value_refs",
+        encode_grouping(
+            (
+                vid,
+                (
+                    value
+                    for (label_id, cls), count in value_occ_refs[vid].items()
+                    for value in (label_id, cls, count)
+                ),
+            )
+            for vid in sorted(value_occ_refs)
         ),
     )
     kindex_seconds = time.perf_counter() - kindex_started
@@ -654,13 +759,19 @@ def _build(
     writer.add_section("substrate.targets", encode_raw_ids(substrate.targets))
 
     # Term table last: every id is assigned by now (the loader finds it
-    # by name, not position).
+    # by name, not position).  The byte-offset table accumulates along
+    # the way (8 bytes per term, marginal next to the resident interner)
+    # and the order-key permutation makes the table binary-searchable.
+    term_offsets = array("q", [8])
     with writer.section("terms") as sec:
         sec.write(_U64.pack(len(terms)))
         buffer: List[bytes] = []
         buffered = 0
+        offset = 8
         for term in terms:
             record = encode_term_record(term, term_id)
+            offset += len(record)
+            term_offsets.append(offset)
             buffer.append(record)
             buffered += len(record)
             if buffered >= (1 << 20):
@@ -669,6 +780,16 @@ def _build(
                 buffered = 0
         if buffer:
             sec.write(b"".join(buffer))
+    writer.add_section("terms.offsets", encode_raw_ids(term_offsets))
+    writer.add_section(
+        "terms.sorted",
+        encode_raw_ids(
+            sorted(
+                range(len(terms)),
+                key=lambda i: term_order_key(terms[i], term_id),
+            )
+        ),
+    )
 
     rows_spool.unlink()
     kind_spool.unlink()

@@ -22,6 +22,21 @@ def _nested() -> _Index:
     return defaultdict(lambda: defaultdict(set))
 
 
+def ill_typed_pattern(subject: Optional[Term], predicate: Optional[Term]) -> bool:
+    """True when a match pattern can never hold in any store.
+
+    A literal in subject position or a non-URI predicate is not an error
+    — joins routinely probe with values bound from other atoms — but it
+    matches nothing.  Every store tier (hash-indexed, vertical, mmap)
+    applies the same guard so their answers stay identical.
+    """
+    from repro.rdf.terms import Literal as _Literal
+
+    return isinstance(subject, _Literal) or (
+        predicate is not None and not isinstance(predicate, URI)
+    )
+
+
 class TripleStore:
     """Triple storage with SPO/POS/OSP hash indexes.
 
@@ -159,14 +174,10 @@ class TripleStore:
         answered without a full scan (except the all-wildcard pattern).
 
         Ill-typed constants — a literal in subject position, a non-URI
-        predicate — match nothing rather than erroring: joins routinely
-        probe with values bound from other atoms.
+        predicate — match nothing rather than erroring
+        (:func:`ill_typed_pattern`).
         """
-        from repro.rdf.terms import Literal as _Literal
-
-        if isinstance(subject, _Literal) or (
-            predicate is not None and not isinstance(predicate, URI)
-        ):
+        if ill_typed_pattern(subject, predicate):
             return
         s, p, o = subject, predicate, obj
         if s is not None and p is not None and o is not None:
@@ -216,11 +227,7 @@ class TripleStore:
         Fully-indexed patterns are O(1)/O(bucket); this is what the join
         optimizer uses for selectivity estimates.
         """
-        from repro.rdf.terms import Literal as _Literal
-
-        if isinstance(subject, _Literal) or (
-            predicate is not None and not isinstance(predicate, URI)
-        ):
+        if ill_typed_pattern(subject, predicate):
             return 0
         s, p, o = subject, predicate, obj
         if s is not None and p is not None and o is not None:

@@ -18,8 +18,9 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.rdf.terms import Literal, Term, URI
+from repro.rdf.terms import Term, URI
 from repro.rdf.triples import Triple
+from repro.store.triple_store import ill_typed_pattern
 
 
 class _PredicateTable:
@@ -139,9 +140,7 @@ class VerticalStore:
         obj: Optional[Term] = None,
     ) -> Iterator[Triple]:
         """Pattern lookup; ``None`` is a wildcard (TripleStore-compatible)."""
-        if isinstance(subject, Literal) or (
-            predicate is not None and not isinstance(predicate, URI)
-        ):
+        if ill_typed_pattern(subject, predicate):
             return
         if predicate is not None:
             table = self._tables.get(predicate)

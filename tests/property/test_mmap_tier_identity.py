@@ -1,0 +1,170 @@
+"""Property: the mmap serving tier ≡ the materialized tier, byte for byte.
+
+``load(path, index_tier="mmap")`` serves the keyword index and triple
+store straight off the format-v2 queryable sections — binary-searched
+term dictionary, contiguous posting runs, sorted triple runs — without
+ever materializing the Python dicts.  The contract is *identity*, not
+similarity: for every query, ``search()`` (candidates, costs, SPARQL/SQL
+/NL renderings, matching subgraphs, exploration diagnostics) and
+``execute()`` answer multisets must equal the materialized engine's,
+including after update epochs that overlay deltas on the read-only
+mmap postings and through a WAL-tail replay.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from test_persistence_identity import (
+    DBLP_QUERIES,
+    EXAMPLE_QUERIES,
+    TAP_QUERIES,
+    assert_engines_identical,
+    execute_signature,
+    search_signature,
+)
+from test_stream_build_identity import PROP_QUERIES, TINY_BUDGET, any_triple
+
+from repro.core.engine import KeywordSearchEngine
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.storage import build_bundle_streaming
+from repro.storage.errors import UnsupportedEngineError
+
+
+def _both_tiers(engine, path):
+    """Save the engine, load it back on both serving tiers (no WAL)."""
+    engine.save(path, force=True)
+    memory = KeywordSearchEngine.load(path, attach_wal=False)
+    mapped = KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+    return memory, mapped
+
+
+@pytest.mark.parametrize(
+    "fixture_name, queries",
+    [
+        ("example_graph", EXAMPLE_QUERIES),
+        ("dblp_small", DBLP_QUERIES),
+        ("tap_small", TAP_QUERIES),
+    ],
+)
+def test_mmap_tier_equals_materialized(request, tmp_path, fixture_name, queries):
+    graph = request.getfixturevalue(fixture_name)
+    reference = KeywordSearchEngine(DataGraph(graph.triples))
+    memory, mapped = _both_tiers(reference, tmp_path / "b.reprobundle")
+    assert mapped.index_tier == "mmap"
+    assert mapped.keyword_index.index_tier == "mmap"
+    assert len(mapped.store) == len(reference.store)
+    assert_engines_identical(reference, mapped, queries)
+    assert_engines_identical(memory, mapped, queries)
+
+
+def test_mmap_tier_on_streamed_bundle(dblp_small, tmp_path):
+    """The out-of-core *build* path feeds the out-of-core *serving* path:
+    a --stream bundle (tiny spill budget, so the merge machinery runs)
+    must serve identically through the mmap tier."""
+    triples = list(dblp_small.triples)
+    path = tmp_path / "s.reprobundle"
+    build_bundle_streaming(iter(triples), path, spill_budget_bytes=TINY_BUDGET)
+    reference = KeywordSearchEngine(DataGraph(triples))
+    mapped = KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+    assert_engines_identical(reference, mapped, DBLP_QUERIES)
+
+
+def test_mmap_tier_update_epoch_identity(dblp_small, tmp_path):
+    """Updates overlay the read-only mmap sections: after identical
+    add/remove epochs both tiers must still agree with each other *and*
+    with an engine rebuilt from scratch on the final triple set."""
+    triples = list(dblp_small.triples)
+    engine = KeywordSearchEngine(DataGraph(triples))
+    memory, mapped = _both_tiers(engine, tmp_path / "u.reprobundle")
+
+    ns = "http://example.org/mmapprop/"
+    added = [
+        Triple(URI(ns + "p1"), RDF.type, URI("http://example.org/dblp/Article")),
+        Triple(
+            URI(ns + "p1"),
+            URI("http://purl.org/dc/elements/1.1/title"),
+            Literal("Mmap Overlay Paper"),
+        ),
+        Triple(URI(ns + "p1"), URI("http://example.org/dblp/year"), Literal("2008")),
+    ]
+    removed = triples[40:50]
+    for eng in (memory, mapped):
+        assert eng.add_triples(added) == len(added)
+        assert eng.remove_triples(removed) == len(removed)
+
+    final = [t for t in triples if t not in set(removed)] + added
+    rebuilt = KeywordSearchEngine(DataGraph(final))
+    queries = DBLP_QUERIES + ("mmap overlay paper", "2008 article")
+    assert len(mapped.store) == len(rebuilt.store)
+    assert_engines_identical(memory, mapped, queries)
+    assert_engines_identical(rebuilt, mapped, queries)
+
+
+def test_mmap_tier_wal_tail_replay_identity(dblp_small, tmp_path):
+    """A WAL tail written by one engine replays identically into a fresh
+    mmap-tier load: deltas land in the overlay, the mapped base stays
+    untouched, and both tiers reconstruct the same post-crash state."""
+    triples = list(dblp_small.triples)
+    engine = KeywordSearchEngine(DataGraph(triples))
+    path = tmp_path / "w.reprobundle"
+    engine.save(path)
+
+    ns = "http://example.org/mmapwal/"
+    added = [
+        Triple(URI(ns + "p2"), RDF.type, URI("http://example.org/dblp/Article")),
+        Triple(
+            URI(ns + "p2"),
+            URI("http://purl.org/dc/elements/1.1/title"),
+            Literal("Tail Replayed Paper"),
+        ),
+    ]
+    removed = triples[10:16]
+    writer = KeywordSearchEngine.load(path)
+    assert writer.add_triples(added) == len(added)
+    assert writer.remove_triples(removed) == len(removed)
+    writer.delta_log.close()  # release the single-writer lock ("crash")
+
+    memory = KeywordSearchEngine.load(path, attach_wal=False)
+    mapped = KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+    assert mapped.artifact["wal_epochs_replayed"] == 2
+    queries = DBLP_QUERIES + ("tail replayed paper",)
+    assert_engines_identical(writer, mapped, queries)
+    assert_engines_identical(memory, mapped, queries)
+
+
+def test_v1_bundle_mmap_tier_refused_loudly(example_graph, tmp_path):
+    """A version-1 bundle lacks the queryable sections: the mmap tier
+    must refuse with a rebuild hint, while the default tier still loads
+    and serves the old layout identically."""
+    reference = KeywordSearchEngine(DataGraph(example_graph.triples))
+    path = tmp_path / "v1.reprobundle"
+    reference.save(path, format_version=1)
+
+    with pytest.raises(UnsupportedEngineError, match="rebuild with `repro build`"):
+        KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+
+    loaded = KeywordSearchEngine.load(path, attach_wal=False)
+    assert loaded.index_tier == "memory"
+    assert_engines_identical(reference, loaded, EXAMPLE_QUERIES)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random corpora through the streamed build + mmap serve
+# ----------------------------------------------------------------------
+
+
+@given(triples=st.lists(any_triple, min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_mmap_identity_random_corpora(tmp_path_factory, triples):
+    tmp = tmp_path_factory.mktemp("mmap-prop")
+    path = tmp / "g.reprobundle"
+    reference = KeywordSearchEngine(DataGraph(triples))
+    build_bundle_streaming(iter(triples), path, spill_budget_bytes=TINY_BUDGET)
+    mapped = KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+    assert len(mapped.store) == len(reference.store)
+    for query in PROP_QUERIES:
+        assert search_signature(mapped, query) == search_signature(reference, query), query
+        assert execute_signature(mapped, query) == execute_signature(reference, query), query

@@ -1,0 +1,177 @@
+"""Unit tests for the mmap-resident serving tier (repro.storage.mmap_tier).
+
+The property suite (tests/property/test_mmap_tier_identity.py) proves
+end-to-end behavioral identity; these tests pin the component contracts
+the identity rests on — binary-searched term lookup over the sorted
+permutation, pattern-complete triple matching against the sorted runs,
+delta/tombstone overlay bookkeeping, and the postings-LRU counters the
+service's ``/stats`` endpoint reports.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets.example import running_example_graph
+from repro.rdf.graph import DataGraph
+from repro.rdf.namespace import RDF, XSD
+from repro.rdf.terms import Literal, URI
+from repro.rdf.triples import Triple
+from repro.storage import MmapInvertedIndex, MmapTripleTier, load_bundle
+from repro.store.triple_store import TripleStore
+
+
+@pytest.fixture(scope="module")
+def example_bundle(tmp_path_factory):
+    graph = running_example_graph()
+    # Exercise every term shape the wire codec distinguishes: plain,
+    # typed, and language-tagged literals alongside URIs and bnodes.
+    ex = "http://example.org/mmapunit/"
+    extra = [
+        Triple(URI(ex + "d1"), URI(ex + "score"), Literal("42", datatype=XSD.integer)),
+        Triple(URI(ex + "d1"), URI(ex + "motto"), Literal("hello", language="en")),
+        Triple(URI(ex + "d1"), RDF.type, URI(ex + "Doc")),
+    ]
+    triples = list(graph.triples) + extra
+    engine = KeywordSearchEngine(DataGraph(triples))
+    path = tmp_path_factory.mktemp("mmap-unit") / "e.reprobundle"
+    engine.save(path)
+    return engine, path
+
+
+@pytest.fixture()
+def mapped(example_bundle):
+    _, path = example_bundle
+    return load_bundle(path, index_tier="mmap")
+
+
+def test_term_table_round_trips_every_term(example_bundle, mapped):
+    engine, _ = example_bundle
+    table = mapped.store._terms
+    seen = set()
+    for i in range(len(table)):
+        term = table[i]
+        seen.add(term)
+        # id_of is the inverse of decoding, for every stored shape.
+        assert table.id_of(term) == i
+    for triple in engine.graph.triples:
+        assert triple.subject in seen
+        assert triple.predicate in seen
+        assert triple.object in seen
+
+
+def test_term_table_absent_terms_return_none(mapped):
+    table = mapped.store._terms
+    assert table.id_of(URI("http://example.org/absent")) is None
+    assert table.id_of(Literal("no-such-lexical-form")) is None
+    assert table.id_of(Literal("42", datatype=URI("http://example.org/noDT"))) is None
+    assert table.id_of(Literal("hello", language="zz")) is None
+
+
+def test_triple_tier_matches_every_pattern(example_bundle, mapped):
+    engine, _ = example_bundle
+    tier = mapped.store
+    assert isinstance(tier, MmapTripleTier)
+    reference = TripleStore(engine.graph.triples)
+    assert len(tier) == len(reference)
+
+    triples = list(engine.graph.triples)
+    probes = [triples[0], triples[len(triples) // 2], triples[-1]]
+    absent = Triple(URI("http://example.org/nope"), URI("http://example.org/p"), Literal("x"))
+    for t in probes:
+        for s, p, o in itertools.product((t.subject, None), (t.predicate, None), (t.object, None)):
+            expect = sorted(map(repr, reference.match(s, p, o)))
+            got = sorted(map(repr, tier.match(s, p, o)))
+            assert got == expect, (s, p, o)
+            assert tier.count(s, p, o) == reference.count(s, p, o), (s, p, o)
+    assert list(tier.match(absent.subject, absent.predicate, absent.object)) == []
+    assert absent not in tier
+    assert probes[0] in tier
+    # Ill-typed patterns match nothing instead of erroring.
+    assert list(tier.match(Literal("lit-subject"), None, None)) == []
+    assert tier.count(None, Literal("lit-predicate"), None) == 0
+    assert sorted(map(repr, tier.predicates())) == sorted(map(repr, reference.predicates()))
+    for pred in reference.predicates():
+        assert tier.predicate_cardinality(pred) == reference.predicate_cardinality(pred)
+
+
+def test_triple_tier_overlay_add_remove(example_bundle, mapped):
+    engine, _ = example_bundle
+    tier = mapped.store
+    reference = TripleStore(engine.graph.triples)
+    base = list(engine.graph.triples)
+    fresh = Triple(URI("http://example.org/new"), URI("http://example.org/p"), Literal("v"))
+    victim = base[3]
+
+    for store in (tier, reference):
+        assert store.add(fresh) is True
+        assert store.add(fresh) is False  # already present
+        assert store.remove(victim) is True
+        assert store.remove(victim) is False  # already gone
+    assert len(tier) == len(reference)
+    assert sorted(map(repr, tier.match())) == sorted(map(repr, reference.match()))
+
+    # Un-tombstoning: re-adding a removed base triple revives the mapped
+    # row instead of duplicating it in the delta.
+    for store in (tier, reference):
+        assert store.add(victim) is True
+        assert store.remove(fresh) is True
+    assert len(tier) == len(reference)
+    assert sorted(map(repr, tier.match())) == sorted(map(repr, reference.match()))
+
+
+def test_inverted_index_lookup_and_tombstones(example_bundle, mapped):
+    engine, _ = example_bundle
+    inverted = mapped.keyword_index._index
+    assert isinstance(inverted, MmapInvertedIndex)
+    reference = engine.keyword_index._index
+
+    assert sorted(inverted.vocabulary) == sorted(reference.vocabulary)
+    for term in reference.vocabulary:
+        assert inverted.document_frequency(term) == reference.document_frequency(term)
+        assert sorted(map(repr, inverted.lookup(term))) == sorted(
+            map(repr, reference.lookup(term))
+        ), term
+
+    # Unindex an element: its postings disappear from every term; the
+    # remaining base rows survive the tombstone filter untouched.
+    victim = next(iter(reference.lookup("public")))  # best-scored posting
+    element = victim.element
+    assert inverted.unindex(element) is True
+    assert inverted.unindex(element) is False
+    for term in reference.vocabulary:
+        live = [p for p in reference.lookup(term) if p.element != element]
+        assert sorted(map(repr, inverted.lookup(term))) == sorted(map(repr, live)), term
+
+    # Re-index through the delta: lookups see base rows then delta rows,
+    # matching a materialized dict's delete/reinsert-at-end ordering.
+    inverted.index(element, ["public", "public", "reborn"])
+    assert inverted.document_frequency("reborn") == 1
+    rows = inverted.lookup("public")
+    assert rows[-1].element == element and rows[-1].term_frequency == 2
+
+
+def test_postings_lru_counters(mapped):
+    inverted = mapped.keyword_index._index
+    stats = inverted.cache_stats()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    inverted.lookup("public")
+    inverted.lookup("public")
+    stats = inverted.cache_stats()
+    assert stats["misses"] == 1 and stats["hits"] >= 1
+    assert set(stats) == {"size", "maxsize", "hits", "misses", "hit_rate"}
+
+
+def test_engine_stats_report_tier(example_bundle):
+    _, path = example_bundle
+    mm = KeywordSearchEngine.load(path, attach_wal=False, index_tier="mmap")
+    mem = KeywordSearchEngine.load(path, attach_wal=False)
+    assert mm.index_tier == "mmap" and mem.index_tier == "memory"
+    assert mm.artifact["index_tier"] == "mmap"
+    assert mm.keyword_index.index_tier == "mmap"
+    assert mem.keyword_index.postings_cache_stats() is None
+    mm.search("publication")
+    stats = mm.cache_stats()
+    assert "postings" in stats and stats["postings"]["misses"] > 0
+    assert "postings" not in mem.cache_stats()
