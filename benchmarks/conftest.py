@@ -48,6 +48,39 @@ def pytest_addoption(parser):
         help="extend long-running sweeps to their largest configuration "
         "(e.g. the 10^7-triple row of the scale figure)",
     )
+    parser.addoption(
+        "--eval-bundle",
+        default=None,
+        help="score the Fig. 4 effectiveness study against this "
+        ".reprobundle instead of building the offline layer fresh",
+    )
+    parser.addoption(
+        "--eval-bundle-dataset",
+        choices=("dblp", "tap"),
+        default="dblp",
+        help="which Fig. 4 workload --eval-bundle holds data for "
+        "(default dblp)",
+    )
+    parser.addoption(
+        "--eval-index-tier",
+        choices=("memory", "mmap"),
+        default="memory",
+        help="index tier for --eval-bundle loads (default memory)",
+    )
+
+
+@pytest.fixture(scope="session")
+def eval_bundle_config(pytestconfig):
+    """``(path, dataset, index_tier)`` of the bundle under evaluation,
+    or ``None`` when the study runs on freshly built engines."""
+    path = pytestconfig.getoption("--eval-bundle", None)
+    if not path:
+        return None
+    return (
+        path,
+        pytestconfig.getoption("--eval-bundle-dataset", "dblp"),
+        pytestconfig.getoption("--eval-index-tier", "memory"),
+    )
 
 
 @pytest.fixture(scope="session")

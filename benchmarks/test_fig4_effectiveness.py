@@ -22,12 +22,21 @@ from repro.eval.effectiveness import evaluate_effectiveness
 COST_MODELS = ("c1", "c2", "c3")
 
 
-@pytest.fixture(scope="module")
-def dblp_engines(dblp_effectiveness_graph):
-    base = KeywordSearchEngine(dblp_effectiveness_graph, cost_model="c3", k=10)
+def _bundle_engines(path, index_tier):
+    """One engine per cost model, all serving the same loaded bundle."""
+    return {
+        name: KeywordSearchEngine.load(
+            path, attach_wal=False, index_tier=index_tier, cost_model=name, k=10
+        )
+        for name in COST_MODELS
+    }
+
+
+def _fresh_engines(graph):
+    base = KeywordSearchEngine(graph, cost_model="c3", k=10)
     return {
         name: KeywordSearchEngine(
-            dblp_effectiveness_graph,
+            graph,
             cost_model=name,
             k=10,
             summary=base.summary,
@@ -38,18 +47,19 @@ def dblp_engines(dblp_effectiveness_graph):
 
 
 @pytest.fixture(scope="module")
-def tap_engines(tap_graph):
-    base = KeywordSearchEngine(tap_graph, cost_model="c3", k=10)
-    return {
-        name: KeywordSearchEngine(
-            tap_graph,
-            cost_model=name,
-            k=10,
-            summary=base.summary,
-            keyword_index=base.keyword_index,
-        )
-        for name in COST_MODELS
-    }
+def dblp_engines(request, eval_bundle_config):
+    if eval_bundle_config and eval_bundle_config[1] == "dblp":
+        path, _, index_tier = eval_bundle_config
+        return _bundle_engines(path, index_tier)
+    return _fresh_engines(request.getfixturevalue("dblp_effectiveness_graph"))
+
+
+@pytest.fixture(scope="module")
+def tap_engines(request, eval_bundle_config):
+    if eval_bundle_config and eval_bundle_config[1] == "tap":
+        path, _, index_tier = eval_bundle_config
+        return _bundle_engines(path, index_tier)
+    return _fresh_engines(request.getfixturevalue("tap_graph"))
 
 
 @pytest.mark.parametrize("cost_model", COST_MODELS)

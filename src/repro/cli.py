@@ -7,6 +7,8 @@
     repro bench --dataset dblp --clients 4 --requests 20   # closed-loop QPS
     repro build --dataset dblp -o dblp.reprobundle         # offline artifact
     repro compact dblp.reprobundle                         # fold WAL into it
+    repro eval run --dataset tap                           # quality report
+    repro eval check --dataset example --bundle ex.reprobundle  # CI gate
 
 The original positional form (``repro "cimiano 2006" ...``) is kept as an
 alias for ``repro search`` — any first argument that is not a subcommand
@@ -40,7 +42,7 @@ from repro.core.engine import KeywordSearchEngine
 from repro.rdf.graph import DataGraph
 from repro.rdf.ntriples import parse_ntriples
 
-SUBCOMMANDS = ("search", "serve", "bench", "build", "compact")
+SUBCOMMANDS = ("search", "serve", "bench", "build", "compact", "eval")
 
 
 def _progress_lines(lines, every: int, label: str = "ingest"):
@@ -75,23 +77,12 @@ def _load_graph(args) -> DataGraph:
         with open(args.data) as fh:
             lines = _progress_lines(fh, getattr(args, "progress_every", 0) or 0)
             return DataGraph(parse_ntriples(lines))
-    if args.dataset == "example":
-        from repro.datasets.example import running_example_graph
+    from repro.datasets import graph_for
 
-        return running_example_graph()
-    if args.dataset == "dblp":
-        from repro.datasets import DblpConfig, generate_dblp
-
-        return generate_dblp(DblpConfig(publications=args.scale))
-    if args.dataset == "lubm":
-        from repro.datasets import LubmConfig, generate_lubm
-
-        return generate_lubm(LubmConfig(universities=max(1, args.scale // 1000)))
-    if args.dataset == "tap":
-        from repro.datasets import TapConfig, generate_tap
-
-        return generate_tap(TapConfig())
-    raise SystemExit(f"unknown dataset {args.dataset!r}")
+    try:
+        return graph_for(args.dataset, scale=args.scale)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _positive_int(text: str) -> int:
@@ -872,6 +863,370 @@ def compact_command(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# eval: the retrieval-quality harness (repro.quality)
+# ----------------------------------------------------------------------
+
+#: Conventional layout, relative to the working directory (the repo root
+#: in CI).  Goldens and baselines are committed; reports are not.
+_EVAL_GOLDENS = "eval/goldens/{dataset}.jsonl"
+_EVAL_BASELINE = "eval/baselines/{dataset}.json"
+_EVAL_REPORTS_DIR = "eval/reports"
+
+
+def _add_eval_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Engine-configuration flags shared by ``eval run/check/seed``.
+
+    Unlike ``repro search``, an eval invocation combines ``--dataset``
+    (selects goldens + intent workload) with an optional ``--bundle``
+    (supplies the offline structures), so it does not go through
+    ``_build_engine``'s mutual-exclusion checks.
+    """
+    parser.add_argument(
+        "--dataset",
+        required=True,
+        choices=("example", "dblp", "lubm", "tap"),
+        help="dataset name: selects the golden file, the intent workload, "
+        "and (without --bundle) the generated graph",
+    )
+    parser.add_argument(
+        "--bundle",
+        default=None,
+        help="evaluate an engine loaded from this .reprobundle instead of "
+        "building the offline layer fresh",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1000,
+        help="generator scale for fresh builds (same meaning as repro "
+        "build --scale; ignored with --bundle)",
+    )
+    parser.add_argument(
+        "--perturb-costs", action="store_true",
+        help="deliberately invert the cost model's ranking — proves the "
+        "regression gate fires (eval check must then exit nonzero)",
+    )
+    _add_engine_args(parser)
+
+
+def _add_eval_metric_args(parser: argparse.ArgumentParser) -> None:
+    from repro.quality.runner import DEFAULT_ANSWER_DEPTH, DEFAULT_EVAL_K
+
+    parser.add_argument(
+        "--eval-k", type=_positive_int, default=DEFAULT_EVAL_K,
+        help=f"candidate depth for query-level metrics (default "
+        f"{DEFAULT_EVAL_K})",
+    )
+    parser.add_argument(
+        "--answer-depth", type=_positive_int, default=DEFAULT_ANSWER_DEPTH,
+        help=f"answer depth for answer-level metrics (default "
+        f"{DEFAULT_ANSWER_DEPTH})",
+    )
+
+
+def build_eval_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro eval",
+        description="Retrieval-quality evaluation against golden cases: "
+        "Recall@k / MRR / nDCG at the query-candidate and executed-answer "
+        "level, versioned reports, and a baseline regression gate.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run = sub.add_parser(
+        "run", help="evaluate a configuration and write a versioned report"
+    )
+    _add_eval_engine_args(run)
+    _add_eval_metric_args(run)
+    run.add_argument(
+        "--goldens", default=None,
+        help=f"golden file (default {_EVAL_GOLDENS})",
+    )
+    run.add_argument(
+        "--reports-dir", default=_EVAL_REPORTS_DIR,
+        help=f"where reports go (default {_EVAL_REPORTS_DIR})",
+    )
+    run.add_argument(
+        "--baseline", default=None,
+        help=f"baseline to compare against (default {_EVAL_BASELINE})",
+    )
+    run.add_argument(
+        "--update-baseline", action="store_true",
+        help="bless this run's aggregates as the committed baseline",
+    )
+    run.add_argument(
+        "--include-unblessed", action="store_true",
+        help="also evaluate proposed (unblessed) golden cases",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the full report JSON to stdout",
+    )
+
+    seed = sub.add_parser(
+        "seed", help="propose golden cases from a trusted engine or endpoint"
+    )
+    _add_eval_engine_args(seed)
+    _add_eval_metric_args(seed)
+    seed.add_argument(
+        "--endpoint", default=None,
+        help="seed from a live `repro serve` URL instead of in-process "
+        "(intent grades then top out at 2: JSON does not round-trip "
+        "query objects)",
+    )
+    seed.add_argument(
+        "-o", "--output", default=None,
+        help="where to write the proposals (default: the golden path "
+        "with --bless, else <golden path>.proposed.jsonl)",
+    )
+    seed.add_argument(
+        "--bless", action="store_true",
+        help="mark the seeded cases blessed (trusted workflows only; the "
+        "default leaves them as proposals for human review)",
+    )
+
+    check = sub.add_parser(
+        "check", help="the regression gate: exit 1 if any metric regressed"
+    )
+    _add_eval_engine_args(check)
+    _add_eval_metric_args(check)
+    check.add_argument(
+        "--goldens", default=None,
+        help=f"golden file (default {_EVAL_GOLDENS})",
+    )
+    check.add_argument(
+        "--baseline", default=None,
+        help=f"baseline to gate against (default {_EVAL_BASELINE})",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=None,
+        help="slack below baseline before a metric fails (default 1e-9)",
+    )
+
+    diff = sub.add_parser("diff", help="compare two report files")
+    diff.add_argument("report_a", help="current report JSON")
+    diff.add_argument("report_b", help="reference report JSON")
+    return parser
+
+
+def _load_eval_goldens(args, include_unblessed: bool):
+    """Load + filter the golden file an eval action should score against."""
+    from repro.quality import GoldenFile, load_goldens
+
+    path = args.goldens or _EVAL_GOLDENS.format(dataset=args.dataset)
+    goldens = load_goldens(path)
+    if goldens.dataset != args.dataset:
+        raise SystemExit(
+            f"repro eval: {path} is for dataset {goldens.dataset!r}, "
+            f"not {args.dataset!r}"
+        )
+    if include_unblessed:
+        return goldens, path
+    blessed = [
+        c for c in goldens.cases if c.provenance.get("blessed", False)
+    ]
+    skipped = len(goldens.cases) - len(blessed)
+    if skipped:
+        print(
+            f"# skipping {skipped} unblessed case(s) — review and bless "
+            "them, or pass --include-unblessed",
+            file=sys.stderr,
+        )
+    if not blessed:
+        raise SystemExit(
+            f"repro eval: {path} has no blessed cases; nothing to score"
+        )
+    return GoldenFile(goldens.dataset, blessed, goldens.meta), path
+
+
+def _eval_engine_from_args(args):
+    from repro.quality import build_eval_engine
+
+    try:
+        return build_eval_engine(
+            args.dataset,
+            bundle=args.bundle,
+            index_tier=args.index_tier,
+            cost_model=args.cost_model,
+            k=args.k,
+            dmax=args.dmax,
+            guided=args.guided,
+            use_vectorized=args.use_vectorized,
+            scale=args.scale,
+            perturb_costs=args.perturb_costs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro eval: {exc}")
+
+
+def _print_aggregates(report, deltas=None) -> None:
+    for name, value in sorted(report["aggregates"].items()):
+        count = report["counts"].get(name, 0)
+        shown = "undefined" if value is None else f"{value:.4f}"
+        line = f"  {name:<20} {shown:>10}  ({count}/{report['num_cases']} cases)"
+        if deltas and deltas.get(name, {}).get("delta") is not None:
+            line += f"  Δ{deltas[name]['delta']:+.4f} vs previous"
+        print(line)
+
+
+def _eval_run(args) -> int:
+    from repro.quality import (
+        compare_to_baseline,
+        evaluate_quality,
+        load_baseline,
+        save_baseline,
+        write_report,
+    )
+
+    goldens, goldens_path = _load_eval_goldens(args, args.include_unblessed)
+    engine, config = _eval_engine_from_args(args)
+    report = evaluate_quality(
+        engine, goldens, eval_k=args.eval_k, answer_depth=args.answer_depth
+    )
+    paths = write_report(report, args.reports_dir, config=config)
+    print(f"# goldens: {goldens_path} ({report['num_cases']} cases)")
+    print(f"# config: {config}")
+    print(f"# report: {paths['latest']}")
+    _print_aggregates(report, report.get("deltas_vs_previous"))
+
+    baseline_path = args.baseline or _EVAL_BASELINE.format(dataset=args.dataset)
+    if args.update_baseline:
+        save_baseline(report, baseline_path)
+        print(f"# baseline updated: {baseline_path}")
+    else:
+        import os
+
+        if os.path.exists(baseline_path):
+            failures = compare_to_baseline(report, load_baseline(baseline_path))
+            if failures:
+                print(f"# NOTE: {len(failures)} metric(s) below the committed "
+                      f"baseline ({baseline_path}); `repro eval check` would fail")
+            else:
+                print(f"# at or above baseline: {baseline_path}")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _eval_seed(args) -> int:
+    from repro.quality import (
+        GoldenFile,
+        save_goldens,
+        seed_cases_from_endpoint,
+        seed_cases_in_process,
+    )
+    from repro.datasets import effectiveness_workload
+
+    workload = effectiveness_workload(args.dataset)
+    if args.endpoint:
+        cases = seed_cases_from_endpoint(
+            args.endpoint,
+            workload,
+            eval_k=args.eval_k,
+            answer_depth=args.answer_depth,
+            blessed=args.bless,
+        )
+        source = args.endpoint
+    else:
+        engine, config = _eval_engine_from_args(args)
+        cases = seed_cases_in_process(
+            engine,
+            workload,
+            eval_k=args.eval_k,
+            answer_depth=args.answer_depth,
+            blessed=args.bless,
+            engine_config=config,
+        )
+        source = "in-process"
+    golden_path = _EVAL_GOLDENS.format(dataset=args.dataset)
+    output = args.output or (
+        golden_path if args.bless else f"{golden_path}.proposed.jsonl"
+    )
+    meta = {
+        "golden_format": 1,
+        "dataset": args.dataset,
+        "eval_k": args.eval_k,
+        "answer_depth": args.answer_depth,
+    }
+    save_goldens(GoldenFile(args.dataset, cases, meta), output)
+    matched = sum(1 for c in cases if c.provenance.get("intent_matched"))
+    state = "blessed" if args.bless else "proposed (unblessed)"
+    print(
+        f"# seeded {len(cases)} {state} case(s) from {source} -> {output}"
+    )
+    print(f"# intent matched for {matched}/{len(cases)} queries")
+    if not args.bless:
+        print(
+            "# review the proposals, then re-run with --bless (or edit "
+            "provenance.blessed by hand) to admit them to the gate"
+        )
+    return 0
+
+
+def _eval_check(args) -> int:
+    from repro.quality import (
+        compare_to_baseline,
+        evaluate_quality,
+        load_baseline,
+    )
+
+    baseline_path = args.baseline or _EVAL_BASELINE.format(dataset=args.dataset)
+    try:
+        baseline = load_baseline(baseline_path)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"repro eval check: no baseline at {baseline_path} — run "
+            "`repro eval run --update-baseline` on a trusted build first"
+        )
+    goldens, goldens_path = _load_eval_goldens(args, include_unblessed=False)
+    engine, config = _eval_engine_from_args(args)
+    report = evaluate_quality(
+        engine, goldens, eval_k=args.eval_k, answer_depth=args.answer_depth
+    )
+    kwargs = {} if args.tolerance is None else {"tolerance": args.tolerance}
+    failures = compare_to_baseline(report, baseline, **kwargs)
+    print(f"# goldens: {goldens_path} ({report['num_cases']} cases)")
+    print(f"# config: {config}")
+    print(f"# baseline: {baseline_path}")
+    _print_aggregates(report)
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed vs baseline:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: all metrics at or above baseline")
+    return 0
+
+
+def _eval_diff(args) -> int:
+    import json as _json
+
+    from repro.quality import diff_reports, load_report
+
+    diff = diff_reports(load_report(args.report_a), load_report(args.report_b))
+    print(_json.dumps(diff, indent=2, sort_keys=True))
+    return 0
+
+
+def eval_command(argv) -> int:
+    from repro.quality import GoldenFormatError
+
+    args = build_eval_parser().parse_args(argv)
+    actions = {
+        "run": _eval_run,
+        "seed": _eval_seed,
+        "check": _eval_check,
+        "diff": _eval_diff,
+    }
+    try:
+        return actions[args.action](args)
+    except GoldenFormatError as exc:
+        raise SystemExit(f"repro eval: {exc}")
+    except FileNotFoundError as exc:
+        raise SystemExit(f"repro eval: {exc}")
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -898,6 +1253,8 @@ def main(argv: Optional[list] = None) -> int:
         return build_command(rest)
     if command == "compact":
         return compact_command(rest)
+    if command == "eval":
+        return eval_command(rest)
     return search_command(rest)
 
 

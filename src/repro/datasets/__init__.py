@@ -18,10 +18,36 @@ from repro.datasets.workloads import (
     OneOf,
     dblp_effectiveness_workload,
     tap_effectiveness_workload,
+    example_effectiveness_workload,
+    lubm_effectiveness_workload,
+    effectiveness_workload,
     dblp_performance_queries,
 )
 
+#: Datasets the CLI and the quality harness can generate by name.
+DATASET_NAMES = ("example", "dblp", "lubm", "tap")
+
+
+def graph_for(dataset: str, scale: int = 1000):
+    """Generate the named dataset at ``scale`` — the single source of
+    truth for how a dataset name maps to generator configuration, shared
+    by ``repro build``/``search`` and the quality harness so that a
+    bundle built via the CLI and a fresh eval build describe the same
+    graph."""
+    if dataset == "example":
+        return running_example_graph()
+    if dataset == "dblp":
+        return generate_dblp(DblpConfig(publications=scale))
+    if dataset == "lubm":
+        return generate_lubm(LubmConfig(universities=max(1, scale // 1000)))
+    if dataset == "tap":
+        return generate_tap(TapConfig())
+    raise ValueError(f"unknown dataset {dataset!r} (have: {DATASET_NAMES})")
+
+
 __all__ = [
+    "DATASET_NAMES",
+    "graph_for",
     "running_example_graph",
     "generate_dblp",
     "DblpConfig",
@@ -39,5 +65,8 @@ __all__ = [
     "OneOf",
     "dblp_effectiveness_workload",
     "tap_effectiveness_workload",
+    "example_effectiveness_workload",
+    "lubm_effectiveness_workload",
+    "effectiveness_workload",
     "dblp_performance_queries",
 ]

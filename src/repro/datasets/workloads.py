@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.datasets.dblp import DBLP
+from repro.datasets.example import EX
+from repro.datasets.lubm import UB
 from repro.datasets.tap import TAP
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.rdf.namespace import SUBCLASS_PREDICATES, TYPE_PREDICATES
@@ -550,3 +552,328 @@ def dblp_performance_queries() -> List[WorkloadQuery]:
         WorkloadQuery(qid, keywords, f"performance query {qid}")
         for qid, keywords in specs
     ]
+
+
+# ----------------------------------------------------------------------
+# Running-example effectiveness workload: 5 queries
+# ----------------------------------------------------------------------
+
+
+def example_effectiveness_workload() -> List[WorkloadQuery]:
+    """Intent-annotated queries over the Fig. 1a running example."""
+    return [
+        WorkloadQuery(
+            "E1",
+            ["2006", "cimiano", "aifb"],
+            "Publications from 2006 by Cimiano, who works at AIFB (Fig. 1c)",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(EX.Publication)),
+                    (EX.year, "?x", Literal("2006")),
+                    (EX.author, "?x", "?y"),
+                    (EX.name, "?y", Literal("P. Cimiano")),
+                    (EX.worksAt, "?y", "?z"),
+                    (EX.name, "?z", Literal("AIFB")),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "E2",
+            ["cimiano", "publication"],
+            "Publications authored by Cimiano",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(EX.Publication)),
+                    (EX.author, "?x", "?y"),
+                    (EX.name, "?y", Contains("cimiano")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "E3",
+            ["x-media", "project"],
+            "The project named X-Media",
+            IntentSpec(
+                [
+                    (_T, "?p", OneOf(EX.Project)),
+                    (EX.name, "?p", Contains("media")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "E4",
+            ["tran", "aifb"],
+            "Thanh Tran and the AIFB institute he works at",
+            IntentSpec(
+                [
+                    (EX.worksAt, "?x", "?z"),
+                    (EX.name, "?x", Contains("tran")),
+                    (EX.name, "?z", Literal("AIFB")),
+                ]
+            ),
+        ),
+        WorkloadQuery(
+            "E5",
+            ["researcher", "institute"],
+            "Researchers and the institutes they work at",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(EX.Researcher)),
+                    (EX.worksAt, "?x", "?z"),
+                    (_T, "?z", OneOf(EX.Institute)),
+                ],
+                exact=False,
+            ),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# LUBM effectiveness workload: 16 queries
+# ----------------------------------------------------------------------
+
+_PROFESSOR_CLASSES = OneOf(
+    UB.FullProfessor, UB.AssociateProfessor, UB.AssistantProfessor, UB.Professor
+)
+_STUDENT_CLASSES = OneOf(
+    UB.UndergraduateStudent, UB.GraduateStudent, UB.Student
+)
+_COURSE_CLASSES = OneOf(UB.Course, UB.GraduateCourse)
+
+
+def lubm_effectiveness_workload() -> List[WorkloadQuery]:
+    """Intent-annotated LUBM queries, so MRR is no longer a two-dataset
+    story — the scale sweeps and the mmap tier gate on LUBM bundles, and
+    this workload lets the quality harness score those same artifacts."""
+    return [
+        WorkloadQuery(
+            "L1",
+            ["professor", "department0"],
+            "Professors working for Department0",
+            IntentSpec(
+                [
+                    (_T, "?x", _PROFESSOR_CLASSES),
+                    (UB.worksFor, "?x", "?d"),
+                    (UB.name, "?d", Contains("department0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L2",
+            ["lecturer", "department0"],
+            "Lecturers working for Department0",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(UB.Lecturer)),
+                    (UB.worksFor, "?x", "?d"),
+                    (UB.name, "?d", Contains("department0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L3",
+            ["student", "course"],
+            "Students and the courses they take",
+            IntentSpec(
+                [
+                    (_T, "?x", _STUDENT_CLASSES),
+                    (UB.takesCourse, "?x", "?c"),
+                    (_T, "?c", _COURSE_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L4",
+            ["professor", "course"],
+            "Professors and the courses they teach",
+            IntentSpec(
+                [
+                    (_T, "?x", _PROFESSOR_CLASSES),
+                    (UB.teacherOf, "?x", "?c"),
+                    (_T, "?c", _COURSE_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L5",
+            ["graduate", "advisor"],
+            "Graduate students and their advisors",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(UB.GraduateStudent)),
+                    (UB.advisor, "?x", "?y"),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L6",
+            ["professor", "publication"],
+            "Publications authored by professors",
+            IntentSpec(
+                [
+                    (_T, "?p", OneOf(UB.Publication)),
+                    (UB.publicationAuthor, "?p", "?a"),
+                    (_T, "?a", _PROFESSOR_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L7",
+            ["university0", "department"],
+            "Departments of University0",
+            # Department names carry the university ("Department0 of
+            # University0"), so the correct interpretation is the name
+            # match, not a subOrganizationOf join.
+            IntentSpec(
+                [
+                    (_T, "?d", OneOf(UB.Department)),
+                    (UB.name, "?d", Contains("university0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L8",
+            ["head", "department0"],
+            "The head of Department0",
+            IntentSpec(
+                [
+                    (UB.headOf, "?x", "?d"),
+                    (UB.name, "?d", Contains("department0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L9",
+            ["undergraduate", "course"],
+            "Undergraduate students and their courses",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(UB.UndergraduateStudent)),
+                    (UB.takesCourse, "?x", "?c"),
+                    (_T, "?c", _COURSE_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L10",
+            ["research", "department0"],
+            "Research groups of Department0",
+            IntentSpec(
+                [
+                    (_T, "?g", OneOf(UB.ResearchGroup)),
+                    (UB.subOrganizationOf, "?g", "?d"),
+                    (UB.name, "?d", Contains("department0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L11",
+            ["lecturer", "course"],
+            "Lecturers and the courses they teach",
+            IntentSpec(
+                [
+                    (_T, "?x", OneOf(UB.Lecturer)),
+                    (UB.teacherOf, "?x", "?c"),
+                    (_T, "?c", _COURSE_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L12",
+            ["graduate", "course"],
+            "Graduate courses and their students",
+            IntentSpec(
+                [
+                    (_T, "?c", OneOf(UB.GraduateCourse)),
+                    (UB.takesCourse, "?x", "?c"),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L13",
+            ["doctoral", "university0"],
+            "People with a doctoral degree from University0",
+            IntentSpec(
+                [
+                    (UB.doctoralDegreeFrom, "?x", "?u"),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L14",
+            ["student", "publication"],
+            "Publications co-authored by students",
+            IntentSpec(
+                [
+                    (_T, "?p", OneOf(UB.Publication)),
+                    (UB.publicationAuthor, "?p", "?a"),
+                    (_T, "?a", _STUDENT_CLASSES),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L15",
+            ["student", "department0"],
+            "Students who are members of Department0",
+            IntentSpec(
+                [
+                    (_T, "?x", _STUDENT_CLASSES),
+                    (UB.memberOf, "?x", "?d"),
+                    (UB.name, "?d", Contains("department0")),
+                ],
+                exact=False,
+            ),
+        ),
+        WorkloadQuery(
+            "L16",
+            ["professor", "email"],
+            "Professors and their email addresses",
+            IntentSpec(
+                [
+                    (_T, "?x", _PROFESSOR_CLASSES),
+                    (UB.emailAddress, "?x", "?v"),
+                ],
+                exact=False,
+            ),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Registry: one intent-annotated workload per bundled dataset
+# ----------------------------------------------------------------------
+
+_EFFECTIVENESS_WORKLOADS = {
+    "example": example_effectiveness_workload,
+    "dblp": dblp_effectiveness_workload,
+    "tap": tap_effectiveness_workload,
+    "lubm": lubm_effectiveness_workload,
+}
+
+
+def effectiveness_workload(dataset: str) -> List[WorkloadQuery]:
+    """The intent-annotated workload for a bundled dataset name."""
+    try:
+        factory = _EFFECTIVENESS_WORKLOADS[dataset]
+    except KeyError:
+        raise ValueError(
+            f"no effectiveness workload for dataset {dataset!r} "
+            f"(have: {sorted(_EFFECTIVENESS_WORKLOADS)})"
+        ) from None
+    return factory()

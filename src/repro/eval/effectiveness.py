@@ -7,7 +7,8 @@ the paper's Section VII-A protocol.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import KeywordSearchEngine
 from repro.datasets.workloads import WorkloadQuery
@@ -48,12 +49,29 @@ class EffectivenessReport:
 
 
 def evaluate_effectiveness(
-    engine: KeywordSearchEngine,
+    engine: Union[KeywordSearchEngine, str, "os.PathLike"],
     workload: Sequence[WorkloadQuery],
     k: int = 10,
     dmax: Optional[int] = None,
+    index_tier: str = "memory",
+    cost_model: Optional[str] = None,
 ) -> EffectivenessReport:
-    """Run a workload through an engine and score every query's RR."""
+    """Run a workload through an engine and score every query's RR.
+
+    ``engine`` may be a live :class:`KeywordSearchEngine` or a path to a
+    ``.reprobundle`` — the bundle is then loaded read-only under
+    ``index_tier`` (``"memory"`` or ``"mmap"``) with ``cost_model``
+    optionally overriding the one it was built with, so the MRR study
+    can score exactly the artifact a deployment serves.
+    """
+    if isinstance(engine, (str, os.PathLike)):
+        engine = KeywordSearchEngine.load(
+            engine,
+            attach_wal=False,
+            index_tier=index_tier,
+            cost_model=cost_model,
+            k=k,
+        )
     per_query: Dict[str, float] = {}
     for entry in workload:
         result = engine.search(entry.keywords, k=k, dmax=dmax)

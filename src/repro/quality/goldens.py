@@ -1,0 +1,232 @@
+"""The versioned golden-case file format (``eval/goldens/*.jsonl``).
+
+Line 1 is a meta header::
+
+    {"golden_format": 1, "dataset": "tap", "eval_k": 10, ...}
+
+Every following line is one case::
+
+    {"qid": "T1",
+     "keywords": ["jordan", "team"],
+     "description": "The team Michael Jordan plays for",
+     "intent_qid": "T1",
+     "expected_queries": [{"signature": "cq:...", "relevance": 3}, ...],
+     "expected_answers": [{"signature": "?x=<...>", "relevance": 2}, ...],
+     "provenance": {"seeded_from": "in-process", "seeded_at": "...",
+                    "engine": {...}, "blessed": true}}
+
+``intent_qid`` names a :class:`~repro.datasets.workloads.WorkloadQuery`
+in the dataset's effectiveness workload, which carries the paper-protocol
+intent spec; the signature lists carry the graded answer-level ground
+truth this harness adds on top.  Relevance grades are positive numbers
+(higher = more relevant).  Seeding proposes cases with
+``provenance.blessed = false``; a human blesses them into the committed
+file (``repro eval seed --bless`` flips the flag for trusted workflows).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+#: Bump when the line schema changes incompatibly.
+GOLDEN_FORMAT = 1
+
+
+class GoldenFormatError(ValueError):
+    """A golden file violates the schema (loudly, with the line number)."""
+
+
+class GoldenCase:
+    """One golden case: a keyword query and its graded expectations."""
+
+    __slots__ = (
+        "qid",
+        "keywords",
+        "description",
+        "intent_qid",
+        "expected_queries",
+        "expected_answers",
+        "provenance",
+    )
+
+    def __init__(
+        self,
+        qid: str,
+        keywords: Sequence[str],
+        description: str = "",
+        intent_qid: Optional[str] = None,
+        expected_queries: Optional[List[Dict[str, object]]] = None,
+        expected_answers: Optional[List[Dict[str, object]]] = None,
+        provenance: Optional[Dict[str, object]] = None,
+    ):
+        self.qid = qid
+        self.keywords = list(keywords)
+        self.description = description
+        self.intent_qid = intent_qid
+        self.expected_queries = list(expected_queries or [])
+        self.expected_answers = list(expected_answers or [])
+        self.provenance = dict(provenance or {})
+
+    def query_relevance(self) -> Dict[str, float]:
+        return {
+            e["signature"]: float(e["relevance"]) for e in self.expected_queries
+        }
+
+    def answer_relevance(self) -> Dict[str, float]:
+        return {
+            e["signature"]: float(e["relevance"]) for e in self.expected_answers
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "qid": self.qid,
+            "keywords": self.keywords,
+            "description": self.description,
+            "intent_qid": self.intent_qid,
+            "expected_queries": self.expected_queries,
+            "expected_answers": self.expected_answers,
+            "provenance": self.provenance,
+        }
+
+    def __repr__(self):
+        return (
+            f"GoldenCase({self.qid}: {' '.join(self.keywords)!r}, "
+            f"{len(self.expected_queries)}q/{len(self.expected_answers)}a)"
+        )
+
+
+class GoldenFile:
+    """A parsed golden file: the meta header plus its cases."""
+
+    __slots__ = ("dataset", "meta", "cases")
+
+    def __init__(
+        self, dataset: str, cases: Sequence[GoldenCase], meta: Optional[dict] = None
+    ):
+        self.dataset = dataset
+        self.cases = list(cases)
+        self.meta = dict(meta or {})
+        self.meta.setdefault("golden_format", GOLDEN_FORMAT)
+        self.meta.setdefault("dataset", dataset)
+
+    def __len__(self):
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def __repr__(self):
+        return f"GoldenFile({self.dataset}, {len(self.cases)} cases)"
+
+
+def _check_expected(entries, qid: str, field: str, lineno: int) -> None:
+    if not isinstance(entries, list):
+        raise GoldenFormatError(f"line {lineno}: {qid}.{field} must be a list")
+    seen = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "signature" not in entry:
+            raise GoldenFormatError(
+                f"line {lineno}: {qid}.{field} entries need a 'signature'"
+            )
+        relevance = entry.get("relevance")
+        if not isinstance(relevance, (int, float)) or relevance <= 0:
+            raise GoldenFormatError(
+                f"line {lineno}: {qid}.{field} relevance must be a number > 0, "
+                f"got {relevance!r}"
+            )
+        if entry["signature"] in seen:
+            raise GoldenFormatError(
+                f"line {lineno}: duplicate signature in {qid}.{field}"
+            )
+        seen.add(entry["signature"])
+
+
+def load_goldens(path: str) -> GoldenFile:
+    """Parse and validate a golden JSONL file; loud errors, line-numbered."""
+    cases: List[GoldenCase] = []
+    meta: Optional[dict] = None
+    seen_qids = set()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GoldenFormatError(f"{path}: line {lineno}: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise GoldenFormatError(
+                    f"{path}: line {lineno}: expected a JSON object"
+                )
+            if meta is None:
+                if "golden_format" not in payload:
+                    raise GoldenFormatError(
+                        f"{path}: line 1 must be the meta header "
+                        "({'golden_format': ..., 'dataset': ...})"
+                    )
+                version = payload["golden_format"]
+                if version != GOLDEN_FORMAT:
+                    raise GoldenFormatError(
+                        f"{path}: golden_format {version} unsupported "
+                        f"(this build reads {GOLDEN_FORMAT})"
+                    )
+                if not payload.get("dataset"):
+                    raise GoldenFormatError(f"{path}: meta header needs 'dataset'")
+                meta = payload
+                continue
+            qid = payload.get("qid")
+            keywords = payload.get("keywords")
+            if not qid or not isinstance(qid, str):
+                raise GoldenFormatError(
+                    f"{path}: line {lineno}: case needs a string 'qid'"
+                )
+            if qid in seen_qids:
+                raise GoldenFormatError(
+                    f"{path}: line {lineno}: duplicate qid {qid!r}"
+                )
+            seen_qids.add(qid)
+            if (
+                not isinstance(keywords, list)
+                or not keywords
+                or not all(isinstance(kw, str) and kw.strip() for kw in keywords)
+            ):
+                raise GoldenFormatError(
+                    f"{path}: line {lineno}: {qid}: 'keywords' must be a "
+                    "non-empty list of non-empty strings"
+                )
+            _check_expected(
+                payload.get("expected_queries", []), qid, "expected_queries", lineno
+            )
+            _check_expected(
+                payload.get("expected_answers", []), qid, "expected_answers", lineno
+            )
+            cases.append(
+                GoldenCase(
+                    qid=qid,
+                    keywords=keywords,
+                    description=payload.get("description", ""),
+                    intent_qid=payload.get("intent_qid"),
+                    expected_queries=payload.get("expected_queries", []),
+                    expected_answers=payload.get("expected_answers", []),
+                    provenance=payload.get("provenance", {}),
+                )
+            )
+    if meta is None:
+        raise GoldenFormatError(f"{path}: empty golden file (no meta header)")
+    return GoldenFile(meta["dataset"], cases, meta)
+
+
+def save_goldens(golden_file: GoldenFile, path: str) -> str:
+    """Write a golden file atomically (tmp + rename); returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(golden_file.meta, sort_keys=True) + "\n")
+        for case in golden_file.cases:
+            fh.write(json.dumps(case.as_dict(), sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path

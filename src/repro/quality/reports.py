@@ -1,0 +1,228 @@
+"""Versioned evaluation reports, deltas, and the baseline gate logic.
+
+Reports are *artifacts*, not test output: every ``repro eval run``
+writes a timestamped JSON file under ``eval/reports/history/`` and
+refreshes ``eval/reports/{dataset}-latest.json``, embedding per-metric
+deltas against the previous run so drift is visible in the report
+itself, without archaeology.  Reports are machine-local (gitignored);
+what *is* committed is the baseline — a slim aggregates-only snapshot
+under ``eval/baselines/`` that :func:`compare_to_baseline` (and hence
+``repro eval check`` and the CI quality gate) measures against.
+
+The gate's contract: a metric fails when it is worse than the baseline
+beyond ``tolerance``, **or** when it became undefined / lost coverage
+(fewer cases contributed than at baseline time) — a metric that silently
+stops being measured is a regression too, not a pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+#: Bump when the report schema changes incompatibly.
+REPORT_FORMAT = 1
+
+#: Default slack when comparing against a committed baseline.  Metrics
+#: are means of exact rational values (1/rank, set ratios), so genuine
+#: equality survives float round-trips; the epsilon only absorbs
+#: serialization noise, never a real ranking change.
+DEFAULT_TOLERANCE = 1e-9
+
+
+def metric_deltas(
+    current: Dict[str, Optional[float]], previous: Dict[str, Optional[float]]
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-metric ``{current, previous, delta}`` across two aggregate maps.
+
+    ``delta`` is ``None`` when either side is undefined — an undefined
+    metric has no magnitude to subtract, and pretending it is 0.0 would
+    hide exactly the transitions the gate cares about.
+    """
+    deltas: Dict[str, Dict[str, Optional[float]]] = {}
+    for name in sorted(set(current) | set(previous)):
+        cur = current.get(name)
+        prev = previous.get(name)
+        deltas[name] = {
+            "current": cur,
+            "previous": prev,
+            "delta": (cur - prev) if cur is not None and prev is not None else None,
+        }
+    return deltas
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    version = report.get("report_format")
+    if version != REPORT_FORMAT:
+        raise ValueError(
+            f"{path}: report_format {version!r} unsupported "
+            f"(this build reads {REPORT_FORMAT})"
+        )
+    return report
+
+
+def _write_json(payload: Dict[str, object], path: str) -> str:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def write_report(
+    report: Dict[str, object], reports_dir: str, config: Optional[dict] = None
+) -> Dict[str, str]:
+    """Persist an evaluation report; returns the written paths.
+
+    Writes ``history/{dataset}-{timestamp}.json`` plus the
+    ``{dataset}-latest.json`` pointer, after folding in
+    ``deltas_vs_previous`` computed against the previous latest (if one
+    exists).  The report dict is mutated in place with the format tag,
+    timestamp, config, and deltas, so callers see what was written.
+    """
+    dataset = report["dataset"]
+    report["report_format"] = REPORT_FORMAT
+    report.setdefault(
+        "generated_at", time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    )
+    if config is not None:
+        report["config"] = config
+
+    latest_path = os.path.join(reports_dir, f"{dataset}-latest.json")
+    if os.path.exists(latest_path):
+        previous = load_report(latest_path)
+        report["deltas_vs_previous"] = metric_deltas(
+            report["aggregates"], previous.get("aggregates", {})
+        )
+        report["previous_generated_at"] = previous.get("generated_at")
+    else:
+        report["deltas_vs_previous"] = None
+        report["previous_generated_at"] = None
+
+    # Second-granularity timestamps collide under rapid runs (CI retries,
+    # tests); suffix rather than silently overwrite history.
+    stem = os.path.join(reports_dir, "history", f"{dataset}-{report['generated_at']}")
+    history_path = f"{stem}.json"
+    suffix = 1
+    while os.path.exists(history_path):
+        suffix += 1
+        history_path = f"{stem}-{suffix}.json"
+    _write_json(report, history_path)
+    _write_json(report, latest_path)
+    return {"history": history_path, "latest": latest_path}
+
+
+def save_baseline(report: Dict[str, object], path: str) -> str:
+    """Commit-worthy snapshot: aggregates + coverage counts, no cases."""
+    baseline = {
+        "baseline_format": REPORT_FORMAT,
+        "dataset": report["dataset"],
+        "eval_k": report["eval_k"],
+        "answer_depth": report["answer_depth"],
+        "num_cases": report["num_cases"],
+        "aggregates": report["aggregates"],
+        "counts": report["counts"],
+        "source": {
+            "generated_at": report.get("generated_at"),
+            "config": report.get("config"),
+        },
+    }
+    return _write_json(baseline, path)
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    version = baseline.get("baseline_format")
+    if version != REPORT_FORMAT:
+        raise ValueError(
+            f"{path}: baseline_format {version!r} unsupported "
+            f"(this build reads {REPORT_FORMAT})"
+        )
+    return baseline
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, object]]:
+    """The gate: every way the report is worse than the baseline.
+
+    Returns one failure record per regressed metric — value below
+    baseline beyond ``tolerance``, value gone undefined, or coverage
+    (count of defined cases) shrunk.  An empty list means the gate
+    passes; improvements never fail.
+    """
+    failures: List[Dict[str, object]] = []
+    aggregates = report.get("aggregates", {})
+    counts = report.get("counts", {})
+    for name, base_value in sorted(baseline.get("aggregates", {}).items()):
+        if base_value is None:
+            continue
+        current = aggregates.get(name)
+        if current is None:
+            failures.append(
+                {
+                    "metric": name,
+                    "baseline": base_value,
+                    "current": None,
+                    "reason": "metric undefined (was defined at baseline)",
+                }
+            )
+        elif current < base_value - tolerance:
+            failures.append(
+                {
+                    "metric": name,
+                    "baseline": base_value,
+                    "current": current,
+                    "delta": current - base_value,
+                    "reason": "below baseline",
+                }
+            )
+    for name, base_count in sorted(baseline.get("counts", {}).items()):
+        current_count = counts.get(name, 0)
+        if current_count < base_count:
+            failures.append(
+                {
+                    "metric": name,
+                    "baseline_count": base_count,
+                    "current_count": current_count,
+                    "reason": "coverage shrank (fewer cases contributed)",
+                }
+            )
+    return failures
+
+
+def diff_reports(
+    report_a: Dict[str, object], report_b: Dict[str, object]
+) -> Dict[str, object]:
+    """Compare two reports: aggregate deltas plus per-case metric deltas.
+
+    ``report_a`` is "current", ``report_b`` is the reference.  Cases are
+    matched by qid; qids present on only one side are listed, not
+    silently dropped.
+    """
+    cases_a = {c["qid"]: c for c in report_a.get("cases", [])}
+    cases_b = {c["qid"]: c for c in report_b.get("cases", [])}
+    shared = sorted(set(cases_a) & set(cases_b))
+    return {
+        "datasets": [report_a.get("dataset"), report_b.get("dataset")],
+        "aggregates": metric_deltas(
+            report_a.get("aggregates", {}), report_b.get("aggregates", {})
+        ),
+        "cases": {
+            qid: metric_deltas(
+                cases_a[qid].get("metrics", {}), cases_b[qid].get("metrics", {})
+            )
+            for qid in shared
+        },
+        "only_in_a": sorted(set(cases_a) - set(cases_b)),
+        "only_in_b": sorted(set(cases_b) - set(cases_a)),
+    }

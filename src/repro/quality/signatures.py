@@ -1,0 +1,94 @@
+"""Canonical signatures: stable ids for query candidates and answers.
+
+Golden files store *signatures*, not object dumps, so a golden seeded
+from one serving configuration can be evaluated against any other.  Two
+requirements drive the format:
+
+* **Determinism across tiers and hash seeds.**  Query candidates are
+  already canonical (interning + tie-breaks are property-tested), but
+  answers come off hash-set iteration — their order was never canonical,
+  so every answer-level signature list must be sorted before use.
+* **Computability from the JSON payloads.**  ``repro eval seed`` can
+  propose goldens from a live ``/search``/``/execute`` endpoint, so an
+  answer's signature must be derivable from the ``{var: n3}`` dict the
+  HTTP layer returns, and a candidate's signature travels in the payload
+  itself (``candidate_to_json`` includes it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.isomorphism import canonical_form
+from repro.rdf.terms import Term
+
+
+def answer_json_signature(payload: Mapping[str, str]) -> str:
+    """Signature of an answer given as the HTTP layer's ``{var: n3}`` dict."""
+    return "|".join(f"{var}={payload[var]}" for var in sorted(payload))
+
+
+def answer_signature(answer) -> str:
+    """Signature of a :class:`~repro.query.evaluator.Answer`.
+
+    Identical to :func:`answer_json_signature` applied to the answer's
+    JSON rendering, so goldens seeded over HTTP and goldens seeded
+    in-process agree byte for byte.
+    """
+    return answer_json_signature(
+        {str(var): term.n3() for var, term in zip(answer.variables, answer.values)}
+    )
+
+
+def sort_answers(answers: Iterable) -> List:
+    """Answers in canonical (signature) order.
+
+    Answer iteration order reflects store internals (hash sets, posting
+    runs, mmap ranges) and differs across index tiers and epochs even
+    though the answer *set* is identical; sorting by signature is the
+    canonical presentation every tier shares.
+    """
+    return sorted(answers, key=answer_signature)
+
+
+def _normalize(value):
+    """Make :func:`canonical_form`'s nested structure repr-stable.
+
+    The canonical form nests RDF terms (inside ``("const", term)`` keys)
+    whose ``repr`` is not guaranteed stable across releases; everything
+    else is tuples/strs/ints.  Terms become their N3 string, frozensets
+    become sorted tuples, so ``repr`` of the result is deterministic.
+    """
+    if isinstance(value, Term):
+        return ("term", value.n3())
+    if isinstance(value, (frozenset, set)):
+        return tuple(sorted(repr(_normalize(v)) for v in value))
+    if isinstance(value, tuple):
+        return tuple(_normalize(v) for v in value)
+    return value
+
+
+def query_signature(query: ConjunctiveQuery) -> str:
+    """A renaming-invariant, JSON-storable id for a conjunctive query.
+
+    Serializes :func:`repro.query.isomorphism.canonical_form` (the same
+    fingerprint the engine uses to deduplicate candidates) with sorted,
+    normalized atoms — so it is stable across variable naming, atom
+    order, index tiers, and Python hash seeds.
+    """
+    atoms = sorted(repr(_normalize(atom)) for atom in canonical_form(query))
+    return "cq:" + ";".join(atoms)
+
+
+def candidate_signatures(candidates) -> List[str]:
+    """Ranked candidate signatures, as the metrics layer consumes them."""
+    return [query_signature(c.query) for c in candidates]
+
+
+def answer_payloads(answers) -> List[Dict[str, str]]:
+    """The ``{var: n3}`` JSON rendering of each answer (unsorted)."""
+    return [
+        {str(var): term.n3() for var, term in zip(a.variables, a.values)}
+        for a in answers
+    ]

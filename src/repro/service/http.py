@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 from urllib.parse import parse_qs, urlparse
 
+from repro.quality.signatures import answer_json_signature, query_signature
 from repro.rdf.ntriples import parse_ntriples
 from repro.service.service import AdmissionError, EngineService
 
@@ -57,6 +58,10 @@ def candidate_to_json(candidate) -> Dict[str, object]:
         "rank": candidate.rank,
         "cost": candidate.cost,
         "query": str(candidate.query),
+        # Renaming-invariant id; lets clients (and the quality harness's
+        # endpoint seeding) refer to an interpretation stably across
+        # serving tiers and engine versions.
+        "signature": query_signature(candidate.query),
         "sparql": candidate.to_sparql(),
         "text": candidate.verbalize(),
     }
@@ -89,12 +94,19 @@ def _outcome_to_json(outcome) -> Dict[str, object]:
 
 
 def answers_to_json(answers) -> List[Dict[str, str]]:
+    # Canonical (signature-sorted) order: the evaluator enumerates hash
+    # sets, so raw answer order varies across index tiers, worker
+    # processes, and hash seeds even though the answer set is identical.
+    # Sorting here makes /execute payloads byte-comparable across tiers.
     if answers and isinstance(answers[0], dict):
-        return list(answers)
-    return [
-        {str(var): term.n3() for var, term in zip(a.variables, a.values)}
-        for a in answers
-    ]
+        return sorted(answers, key=answer_json_signature)
+    return sorted(
+        (
+            {str(var): term.n3() for var, term in zip(a.variables, a.values)}
+            for a in answers
+        ),
+        key=answer_json_signature,
+    )
 
 
 # ----------------------------------------------------------------------

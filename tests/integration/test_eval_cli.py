@@ -1,0 +1,224 @@
+"""End-to-end tests for `repro eval`: seed -> bless -> run -> check.
+
+Everything runs in a tmp working directory (the CLI's default
+``eval/goldens``, ``eval/reports``, ``eval/baselines`` layout is
+relative), over the running example so the whole loop stays fast.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.core.engine import KeywordSearchEngine
+from repro.datasets import example_effectiveness_workload, graph_for
+from repro.quality import load_goldens, load_report, seed_cases_in_process
+from repro.service import EngineService, ReproServer
+
+
+@pytest.fixture()
+def evaldir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def _latest_report(dataset="example"):
+    return load_report(os.path.join("eval", "reports", f"{dataset}-latest.json"))
+
+
+class TestSeedBlessRunCheck:
+    def test_full_loop(self, evaldir, capsys):
+        # 1. Seeding without --bless writes proposals, not goldens.
+        assert cli.main(["eval", "seed", "--dataset", "example"]) == 0
+        proposed = "eval/goldens/example.jsonl.proposed.jsonl"
+        assert os.path.exists(proposed)
+        assert not os.path.exists("eval/goldens/example.jsonl")
+        for case in load_goldens(proposed):
+            assert case.provenance["blessed"] is False
+
+        # 2. The gate refuses to score proposals.
+        with pytest.raises(SystemExit, match="no blessed"):
+            cli.main(
+                ["eval", "run", "--dataset", "example", "--goldens", proposed]
+            )
+
+        # 3. Blessed seeding (the trusted-workflow path) admits them.
+        assert cli.main(["eval", "seed", "--dataset", "example", "--bless"]) == 0
+        goldens = load_goldens("eval/goldens/example.jsonl")
+        assert len(goldens) == len(example_effectiveness_workload())
+        assert all(c.provenance["blessed"] for c in goldens)
+
+        # 4. First run writes the report and, on request, the baseline.
+        assert (
+            cli.main(["eval", "run", "--dataset", "example", "--update-baseline"])
+            == 0
+        )
+        report = _latest_report()
+        assert report["num_cases"] == len(goldens)
+        assert report["aggregates"]["intent_mrr"] == 1.0
+        assert os.path.exists("eval/baselines/example.json")
+
+        # 5. An unchanged engine passes the gate.
+        assert cli.main(["eval", "check", "--dataset", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "OK: all metrics at or above baseline" in out
+
+        # 6. A second run records deltas against the first.
+        assert cli.main(["eval", "run", "--dataset", "example"]) == 0
+        report = _latest_report()
+        assert report["deltas_vs_previous"]["query_mrr"]["delta"] == 0.0
+
+    def test_check_without_baseline_explains(self, evaldir):
+        cli.main(["eval", "seed", "--dataset", "example", "--bless"])
+        with pytest.raises(SystemExit, match="no baseline"):
+            cli.main(["eval", "check", "--dataset", "example"])
+
+
+class TestGateFires:
+    def test_perturbed_costs_fail_the_gate(self, evaldir, capsys):
+        """The self-test the gate earns its keep with: a deliberately
+        degraded ranking must exit nonzero."""
+        cli.main(["eval", "seed", "--dataset", "example", "--bless"])
+        cli.main(["eval", "run", "--dataset", "example", "--update-baseline"])
+        capsys.readouterr()
+        assert (
+            cli.main(
+                ["eval", "check", "--dataset", "example", "--perturb-costs"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "below baseline" in out
+
+
+class TestBundleTiers:
+    def test_bundle_and_mmap_metrics_identical(self, evaldir):
+        """Acceptance: --bundle and --bundle --index-tier mmap agree."""
+        engine = KeywordSearchEngine(graph_for("example"), cost_model="c3", k=10)
+        engine.save("example.reprobundle")
+        cli.main(
+            [
+                "eval", "seed", "--dataset", "example",
+                "--bundle", "example.reprobundle", "--bless",
+            ]
+        )
+        assert (
+            cli.main(
+                [
+                    "eval", "run", "--dataset", "example",
+                    "--bundle", "example.reprobundle", "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        memory = _latest_report()
+        assert (
+            cli.main(
+                [
+                    "eval", "run", "--dataset", "example",
+                    "--bundle", "example.reprobundle", "--index-tier", "mmap",
+                ]
+            )
+            == 0
+        )
+        mmap = _latest_report()
+        assert mmap["aggregates"] == memory["aggregates"]
+        assert [c["metrics"] for c in mmap["cases"]] == [
+            c["metrics"] for c in memory["cases"]
+        ]
+        assert all(
+            d["delta"] == 0.0 for d in mmap["deltas_vs_previous"].values()
+        )
+        # And the mmap-served configuration passes the memory baseline.
+        assert (
+            cli.main(
+                [
+                    "eval", "check", "--dataset", "example",
+                    "--bundle", "example.reprobundle", "--index-tier", "mmap",
+                ]
+            )
+            == 0
+        )
+
+
+class TestDiff:
+    def test_diff_two_reports(self, evaldir, capsys):
+        cli.main(["eval", "seed", "--dataset", "example", "--bless"])
+        cli.main(["eval", "run", "--dataset", "example"])
+        history = sorted(os.listdir("eval/reports/history"))
+        cli.main(["eval", "run", "--dataset", "example", "--perturb-costs"])
+        history_after = sorted(os.listdir("eval/reports/history"))
+        new = (set(history_after) - set(history)).pop()
+        capsys.readouterr()
+        assert (
+            cli.main(
+                [
+                    "eval", "diff",
+                    os.path.join("eval/reports/history", new),
+                    os.path.join("eval/reports/history", history[0]),
+                ]
+            )
+            == 0
+        )
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["datasets"] == ["example", "example"]
+        assert "query_mrr" in diff["aggregates"]
+        assert not diff["only_in_a"] and not diff["only_in_b"]
+
+
+class TestEndpointSeeding:
+    def test_seed_from_live_endpoint(self, evaldir, capsys):
+        """Endpoint-seeded goldens agree with in-process ones on the
+        signatures themselves (grades differ: HTTP cannot re-run intent
+        matching, so its ceiling is grade 2)."""
+        engine = KeywordSearchEngine(graph_for("example"), cost_model="c3", k=10)
+        service = EngineService(engine, workers=2)
+        try:
+            with ReproServer(service, port=0).start() as server:
+                assert (
+                    cli.main(
+                        [
+                            "eval", "seed", "--dataset", "example",
+                            "--endpoint", server.url,
+                        ]
+                    )
+                    == 0
+                )
+        finally:
+            service.close()
+        endpoint_cases = {
+            c.qid: c
+            for c in load_goldens("eval/goldens/example.jsonl.proposed.jsonl")
+        }
+        local_cases = {
+            c.qid: c
+            for c in seed_cases_in_process(
+                engine, example_effectiveness_workload()
+            )
+        }
+        assert endpoint_cases.keys() == local_cases.keys()
+        for qid, local in local_cases.items():
+            remote = endpoint_cases[qid]
+            assert set(remote.query_relevance()) == set(local.query_relevance())
+            assert remote.answer_relevance() == local.answer_relevance()
+            assert remote.provenance["seeded_from"].startswith("http")
+
+    def test_seed_survives_server_with_shallower_k(self, evaldir):
+        """A stock server (k=5) serves fewer /execute ranks than
+        /search?k=10 returns candidates; seeding must grade what the
+        endpoint can execute instead of crashing on the 404."""
+        from repro.quality.seeding import seed_cases_from_endpoint
+
+        engine = KeywordSearchEngine(graph_for("example"), cost_model="c3", k=2)
+        service = EngineService(engine)
+        try:
+            with ReproServer(service, port=0).start() as server:
+                cases = seed_cases_from_endpoint(
+                    server.url, example_effectiveness_workload(), eval_k=10
+                )
+        finally:
+            service.close()
+        assert len(cases) == len(example_effectiveness_workload())
+        assert all(c.expected_answers for c in cases)

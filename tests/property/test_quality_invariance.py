@@ -1,0 +1,126 @@
+"""Property: quality metrics are invariant under answer-order permutation.
+
+The evaluator enumerates hash sets, so raw answer order varies across
+index tiers, worker processes, and hash seeds while the answer *set* is
+identical.  The quality pipeline canonicalizes (sort by signature per
+candidate, dedupe at best rank) before any metric sees a ranking — these
+properties pin down that no permutation of the raw per-candidate answer
+order can change a reported metric.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality.metrics import (
+    dedupe_ranked,
+    ndcg_at_k,
+    recall_at_k,
+    reciprocal_rank_graded,
+)
+from repro.quality.signatures import answer_json_signature
+
+# Answer payloads over a small vocabulary so collisions (identical
+# answers from different candidates) actually happen.
+_payloads = st.dictionaries(
+    keys=st.sampled_from(["?x", "?y", "?z"]),
+    values=st.sampled_from(['"a"', '"b"', "<http://e/1>", "<http://e/2>"]),
+    min_size=1,
+    max_size=3,
+)
+
+#: A "search result": up to 4 candidates, each with an answer list.
+_results = st.lists(st.lists(_payloads, max_size=6), min_size=1, max_size=4)
+
+
+def _canonical_ranking(result, depth=10):
+    """The runner's merge: per-candidate canonical sort, global dedupe."""
+    ranked = []
+    for answers in result:
+        ranked.extend(sorted(answer_json_signature(a) for a in answers))
+    return dedupe_ranked(ranked)[:depth]
+
+
+def _shuffled(result, seed):
+    import random
+
+    rng = random.Random(seed)
+    shuffled = []
+    for answers in result:
+        answers = list(answers)
+        rng.shuffle(answers)
+        shuffled.append(answers)
+    return shuffled
+
+
+@st.composite
+def _result_and_relevance(draw):
+    result = draw(_results)
+    signatures = sorted(
+        {answer_json_signature(a) for answers in result for a in answers}
+    )
+    grades = draw(
+        st.lists(
+            st.sampled_from([0.0, 1.0, 2.0, 3.0]),
+            min_size=len(signatures),
+            max_size=len(signatures),
+        )
+    )
+    return result, dict(zip(signatures, grades))
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=_result_and_relevance(), seed=st.integers(0, 2**16))
+def test_metrics_invariant_under_answer_permutation(data, seed):
+    result, relevance = data
+    baseline = _canonical_ranking(result)
+    permuted = _canonical_ranking(_shuffled(result, seed))
+    # The canonical ranking itself is permutation-invariant...
+    assert permuted == baseline
+    # ...and so is every metric computed from it.
+    for k in (1, 3, 10):
+        assert recall_at_k(permuted, relevance, k) == recall_at_k(
+            baseline, relevance, k
+        )
+        assert ndcg_at_k(permuted, relevance, k) == ndcg_at_k(
+            baseline, relevance, k
+        )
+    assert reciprocal_rank_graded(permuted, relevance) == reciprocal_rank_graded(
+        baseline, relevance
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    signatures=st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=4),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ),
+    grade=st.sampled_from([1.0, 2.0]),
+    seed=st.integers(0, 2**16),
+)
+def test_ndcg_ties_are_order_free(signatures, grade, seed):
+    """Equal grades: any ordering of the tied items scores identically."""
+    import random
+
+    relevance = {sig: grade for sig in signatures}
+    shuffled = list(signatures)
+    random.Random(seed).shuffle(shuffled)
+    for k in (1, 5, 10):
+        assert ndcg_at_k(shuffled, relevance, k) == ndcg_at_k(
+            signatures, relevance, k
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(answers=st.lists(_payloads, max_size=8), seed=st.integers(0, 2**16))
+def test_answers_to_json_is_permutation_invariant(answers, seed):
+    """The HTTP layer's canonical serialization — same bytes, any order."""
+    import random
+
+    from repro.service.http import answers_to_json
+
+    shuffled = list(answers)
+    random.Random(seed).shuffle(shuffled)
+    assert answers_to_json(shuffled) == answers_to_json(answers)

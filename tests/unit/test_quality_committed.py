@@ -1,0 +1,60 @@
+"""The committed eval artifacts must stay loadable and internally sound.
+
+A golden file that no longer parses, or a baseline whose metrics the
+format cannot read, would disable the CI quality gate silently — these
+tests make that a tier-1 failure instead.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, effectiveness_workload
+from repro.quality import load_baseline, load_goldens
+
+EVAL_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "eval")
+DATASETS = sorted(DATASET_NAMES)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_committed_goldens_parse_and_are_blessed(dataset):
+    goldens = load_goldens(os.path.join(EVAL_DIR, "goldens", f"{dataset}.jsonl"))
+    assert goldens.dataset == dataset
+    assert len(goldens) > 0
+    assert all(c.provenance.get("blessed") for c in goldens)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_committed_goldens_reference_real_workload_queries(dataset):
+    goldens = load_goldens(os.path.join(EVAL_DIR, "goldens", f"{dataset}.jsonl"))
+    workload_qids = {wq.qid for wq in effectiveness_workload(dataset)}
+    for case in goldens:
+        if case.intent_qid is not None:
+            assert case.intent_qid in workload_qids, case.qid
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_committed_baselines_load(dataset):
+    baseline = load_baseline(
+        os.path.join(EVAL_DIR, "baselines", f"{dataset}.json")
+    )
+    assert baseline["dataset"] == dataset
+    defined = {
+        name: value
+        for name, value in baseline["aggregates"].items()
+        if value is not None
+    }
+    assert defined, "a baseline with no defined metrics gates nothing"
+    for name, value in defined.items():
+        assert 0.0 <= value <= 1.0, (name, value)
+        assert baseline["counts"][name] > 0, name
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_goldens_and_baseline_case_counts_agree(dataset):
+    goldens = load_goldens(os.path.join(EVAL_DIR, "goldens", f"{dataset}.jsonl"))
+    baseline = load_baseline(
+        os.path.join(EVAL_DIR, "baselines", f"{dataset}.json")
+    )
+    assert baseline["num_cases"] == len(goldens)

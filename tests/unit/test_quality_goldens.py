@@ -1,0 +1,255 @@
+"""Golden-file format, report deltas, and the baseline gate logic."""
+
+import json
+
+import pytest
+
+from repro.quality.goldens import (
+    GOLDEN_FORMAT,
+    GoldenCase,
+    GoldenFile,
+    GoldenFormatError,
+    load_goldens,
+    save_goldens,
+)
+from repro.quality.reports import (
+    REPORT_FORMAT,
+    compare_to_baseline,
+    diff_reports,
+    load_baseline,
+    load_report,
+    metric_deltas,
+    save_baseline,
+    write_report,
+)
+
+
+def _case(qid="Q1", **overrides):
+    payload = dict(
+        qid=qid,
+        keywords=["cimiano", "2006"],
+        description="test case",
+        intent_qid=qid,
+        expected_queries=[{"signature": "cq:x", "relevance": 3}],
+        expected_answers=[{"signature": "?x=<a>", "relevance": 2}],
+        provenance={"blessed": True},
+    )
+    payload.update(overrides)
+    return GoldenCase(**payload)
+
+
+class TestGoldenRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        path = str(tmp_path / "g.jsonl")
+        original = GoldenFile("example", [_case("Q1"), _case("Q2")], {"eval_k": 10})
+        save_goldens(original, path)
+        loaded = load_goldens(path)
+        assert loaded.dataset == "example"
+        assert loaded.meta["eval_k"] == 10
+        assert loaded.meta["golden_format"] == GOLDEN_FORMAT
+        assert [c.as_dict() for c in loaded] == [c.as_dict() for c in original]
+
+    def test_relevance_maps(self):
+        case = _case()
+        assert case.query_relevance() == {"cq:x": 3.0}
+        assert case.answer_relevance() == {"?x=<a>": 2.0}
+
+
+def _write_lines(tmp_path, *lines):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w") as fh:
+        fh.write("\n".join(json.dumps(l) if isinstance(l, dict) else l for l in lines))
+    return path
+
+
+META = {"golden_format": GOLDEN_FORMAT, "dataset": "example"}
+
+
+class TestGoldenValidation:
+    def test_missing_meta_header(self, tmp_path):
+        path = _write_lines(tmp_path, {"qid": "Q1", "keywords": ["a"]})
+        with pytest.raises(GoldenFormatError, match="meta header"):
+            load_goldens(path)
+
+    def test_empty_file(self, tmp_path):
+        path = _write_lines(tmp_path, "")
+        with pytest.raises(GoldenFormatError, match="empty"):
+            load_goldens(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = _write_lines(tmp_path, {"golden_format": 999, "dataset": "x"})
+        with pytest.raises(GoldenFormatError, match="999"):
+            load_goldens(path)
+
+    def test_meta_needs_dataset(self, tmp_path):
+        path = _write_lines(tmp_path, {"golden_format": GOLDEN_FORMAT})
+        with pytest.raises(GoldenFormatError, match="dataset"):
+            load_goldens(path)
+
+    def test_duplicate_qid(self, tmp_path):
+        case = {"qid": "Q1", "keywords": ["a"]}
+        path = _write_lines(tmp_path, META, case, case)
+        with pytest.raises(GoldenFormatError, match="duplicate qid"):
+            load_goldens(path)
+
+    def test_empty_keywords(self, tmp_path):
+        path = _write_lines(tmp_path, META, {"qid": "Q1", "keywords": []})
+        with pytest.raises(GoldenFormatError, match="keywords"):
+            load_goldens(path)
+
+    def test_nonpositive_relevance(self, tmp_path):
+        case = {
+            "qid": "Q1",
+            "keywords": ["a"],
+            "expected_queries": [{"signature": "s", "relevance": 0}],
+        }
+        path = _write_lines(tmp_path, META, case)
+        with pytest.raises(GoldenFormatError, match="relevance"):
+            load_goldens(path)
+
+    def test_duplicate_signature(self, tmp_path):
+        case = {
+            "qid": "Q1",
+            "keywords": ["a"],
+            "expected_answers": [
+                {"signature": "s", "relevance": 1},
+                {"signature": "s", "relevance": 2},
+            ],
+        }
+        path = _write_lines(tmp_path, META, case)
+        with pytest.raises(GoldenFormatError, match="duplicate signature"):
+            load_goldens(path)
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = _write_lines(tmp_path, META, "{not json")
+        with pytest.raises(GoldenFormatError, match="line 2"):
+            load_goldens(path)
+
+
+def _report(aggregates, counts=None, cases=(), dataset="example"):
+    return {
+        "dataset": dataset,
+        "eval_k": 10,
+        "answer_depth": 20,
+        "num_cases": len(cases) or 2,
+        "cases": list(cases),
+        "aggregates": aggregates,
+        "counts": counts or {name: 2 for name in aggregates},
+    }
+
+
+class TestMetricDeltas:
+    def test_deltas(self):
+        deltas = metric_deltas({"m": 0.75, "n": None}, {"m": 0.5, "n": 0.9})
+        assert deltas["m"]["delta"] == pytest.approx(0.25)
+        assert deltas["n"] == {"current": None, "previous": 0.9, "delta": None}
+
+    def test_one_sided_metrics_listed(self):
+        deltas = metric_deltas({"new": 1.0}, {"old": 1.0})
+        assert deltas["new"]["previous"] is None
+        assert deltas["old"]["current"] is None
+
+
+class TestReportLifecycle:
+    def test_first_write_then_deltas(self, tmp_path):
+        reports_dir = str(tmp_path / "reports")
+        first = _report({"m": 0.5})
+        first["generated_at"] = "20260101T000000"
+        paths = write_report(first, reports_dir)
+        assert first["deltas_vs_previous"] is None
+        assert load_report(paths["latest"])["report_format"] == REPORT_FORMAT
+
+        second = _report({"m": 0.75})
+        second["generated_at"] = "20260102T000000"
+        write_report(second, reports_dir)
+        assert second["deltas_vs_previous"]["m"]["delta"] == pytest.approx(0.25)
+        assert second["previous_generated_at"] == "20260101T000000"
+
+    def test_history_accumulates(self, tmp_path):
+        import os
+
+        reports_dir = str(tmp_path / "reports")
+        for stamp in ("20260101T000000", "20260102T000000"):
+            report = _report({"m": 0.5})
+            report["generated_at"] = stamp
+            write_report(report, reports_dir)
+        assert len(os.listdir(os.path.join(reports_dir, "history"))) == 2
+
+    def test_load_report_rejects_other_formats(self, tmp_path):
+        path = str(tmp_path / "r.json")
+        with open(path, "w") as fh:
+            json.dump({"report_format": 999}, fh)
+        with pytest.raises(ValueError, match="999"):
+            load_report(path)
+
+
+class TestBaselineGate:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}), path)
+        baseline = load_baseline(path)
+        assert baseline["aggregates"] == {"m": 0.5}
+        assert baseline["dataset"] == "example"
+
+    def test_passes_at_baseline_and_above(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}), path)
+        baseline = load_baseline(path)
+        assert compare_to_baseline(_report({"m": 0.5}), baseline) == []
+        assert compare_to_baseline(_report({"m": 0.9}), baseline) == []
+
+    def test_fails_below_baseline(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}), path)
+        failures = compare_to_baseline(_report({"m": 0.4}), load_baseline(path))
+        assert [f["metric"] for f in failures] == ["m"]
+        assert failures[0]["reason"] == "below baseline"
+
+    def test_fails_when_metric_goes_undefined(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}), path)
+        failures = compare_to_baseline(
+            _report({"m": None}, counts={"m": 0}), load_baseline(path)
+        )
+        reasons = {f["reason"] for f in failures}
+        assert "metric undefined (was defined at baseline)" in reasons
+
+    def test_fails_when_coverage_shrinks(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}, counts={"m": 2}), path)
+        failures = compare_to_baseline(
+            _report({"m": 0.5}, counts={"m": 1}), load_baseline(path)
+        )
+        assert any("coverage" in f["reason"] for f in failures)
+
+    def test_undefined_baseline_metrics_do_not_gate(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": None}, counts={"m": 0}), path)
+        assert (
+            compare_to_baseline(
+                _report({"m": None}, counts={"m": 0}), load_baseline(path)
+            )
+            == []
+        )
+
+    def test_tolerance(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        save_baseline(_report({"m": 0.5}), path)
+        baseline = load_baseline(path)
+        assert compare_to_baseline(_report({"m": 0.499}), baseline, tolerance=0.01) == []
+        assert compare_to_baseline(_report({"m": 0.4}), baseline, tolerance=0.01)
+
+
+class TestDiffReports:
+    def test_diff_shapes(self):
+        case_a = {"qid": "Q1", "metrics": {"m": 1.0}}
+        case_b = {"qid": "Q1", "metrics": {"m": 0.5}}
+        only_a = {"qid": "Q2", "metrics": {"m": 1.0}}
+        diff = diff_reports(
+            _report({"m": 1.0}, cases=[case_a, only_a]),
+            _report({"m": 0.5}, cases=[case_b]),
+        )
+        assert diff["aggregates"]["m"]["delta"] == pytest.approx(0.5)
+        assert diff["cases"]["Q1"]["m"]["delta"] == pytest.approx(0.5)
+        assert diff["only_in_a"] == ["Q2"]
+        assert diff["only_in_b"] == []

@@ -1,0 +1,137 @@
+"""Hand-computed values for the ranking metrics (repro.quality.metrics)."""
+
+import math
+
+import pytest
+
+from repro.quality.metrics import (
+    dcg_at_k,
+    dedupe_ranked,
+    mean_of,
+    ndcg_at_k,
+    recall_at_k,
+    reciprocal_rank_graded,
+)
+
+REL = {"a": 3.0, "b": 2.0, "c": 1.0}
+
+
+class TestRecallAtK:
+    def test_all_found_within_k(self):
+        assert recall_at_k(["a", "b", "c"], REL, 3) == 1.0
+
+    def test_partial(self):
+        # Only "a" of the three relevant items is in the top 1.
+        assert recall_at_k(["a", "x", "y"], REL, 1) == pytest.approx(1 / 3)
+
+    def test_cutoff_excludes_late_hits(self):
+        # "c" sits at rank 4 > k=3: two of three relevant found.
+        assert recall_at_k(["a", "x", "b", "c"], REL, 3) == pytest.approx(2 / 3)
+
+    def test_empty_results_score_zero(self):
+        assert recall_at_k([], REL, 5) == 0.0
+
+    def test_missing_goldens_undefined(self):
+        assert recall_at_k(["a", "b"], {}, 5) is None
+
+    def test_zero_grades_are_not_relevant(self):
+        assert recall_at_k(["a"], {"a": 0.0}, 5) is None
+
+    def test_duplicates_count_once(self):
+        # "a" repeated does not push "b" past the cutoff credit-wise:
+        # deduped ranking is [a, b], both relevant items in the top 2.
+        assert recall_at_k(["a", "a", "b"], {"a": 1.0, "b": 1.0}, 2) == 1.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], REL, 0)
+
+
+class TestReciprocalRank:
+    def test_hit_at_one(self):
+        assert reciprocal_rank_graded(["a", "x"], REL) == 1.0
+
+    def test_hit_at_three(self):
+        assert reciprocal_rank_graded(["x", "y", "c"], REL) == pytest.approx(1 / 3)
+
+    def test_grades_binarize(self):
+        # MRR is binary: the grade-1 "c" at rank 1 beats grade-3 "a" later.
+        assert reciprocal_rank_graded(["c", "a"], REL) == 1.0
+
+    def test_no_hit_scores_zero(self):
+        assert reciprocal_rank_graded(["x", "y"], REL) == 0.0
+
+    def test_empty_results_score_zero(self):
+        assert reciprocal_rank_graded([], REL) == 0.0
+
+    def test_missing_goldens_undefined(self):
+        assert reciprocal_rank_graded(["x"], {}) is None
+
+    def test_duplicates_keep_best_rank(self):
+        # Dedupe keeps first occurrences: ["x", "x", "a"] -> ["x", "a"],
+        # so "a" is at rank 2, not 3.
+        assert reciprocal_rank_graded(["x", "x", "a"], REL) == 0.5
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k(["a", "b", "c"], REL, 3) == pytest.approx(1.0)
+
+    def test_hand_computed_swap(self):
+        # Ranking [b, a]: DCG = (2^2-1)/log2(3) + (2^3-1)/log2(4)... wait,
+        # positions are 0-based: gain b at pos 0 -> /log2(2), a at pos 1
+        # -> /log2(3).  Ideal [a(3), b(2), c(1)].
+        dcg = (2**2 - 1) / math.log2(2) + (2**3 - 1) / math.log2(3)
+        ideal = (
+            (2**3 - 1) / math.log2(2)
+            + (2**2 - 1) / math.log2(3)
+            + (2**1 - 1) / math.log2(4)
+        )
+        assert ndcg_at_k(["b", "a"], REL, 3) == pytest.approx(dcg / ideal)
+
+    def test_graded_relevance_prefers_high_grades_first(self):
+        best_first = ndcg_at_k(["a", "b", "c"], REL, 3)
+        worst_first = ndcg_at_k(["c", "b", "a"], REL, 3)
+        assert best_first > worst_first > 0.0
+
+    def test_ties_cost_nothing(self):
+        rel = {"a": 2.0, "b": 2.0}
+        assert ndcg_at_k(["a", "b"], rel, 2) == pytest.approx(1.0)
+        assert ndcg_at_k(["b", "a"], rel, 2) == pytest.approx(1.0)
+
+    def test_empty_results_score_zero(self):
+        assert ndcg_at_k([], REL, 3) == 0.0
+
+    def test_missing_goldens_undefined(self):
+        assert ndcg_at_k(["a"], {}, 3) is None
+
+    def test_irrelevant_items_dilute(self):
+        # An irrelevant item at rank 1 pushes every gain one position out.
+        assert ndcg_at_k(["x", "a", "b", "c"], REL, 4) < 1.0
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], REL, 0)
+
+
+class TestDcg:
+    def test_hand_computed(self):
+        # gains [3, 1]: (2^3-1)/log2(2) + (2^1-1)/log2(3)
+        assert dcg_at_k([3.0, 1.0], 2) == pytest.approx(7.0 + 1.0 / math.log2(3))
+
+    def test_truncates_at_k(self):
+        assert dcg_at_k([1.0, 1.0, 99.0], 2) == dcg_at_k([1.0, 1.0], 2)
+
+
+class TestHelpers:
+    def test_dedupe_keeps_first(self):
+        assert dedupe_ranked(["b", "a", "b", "c", "a"]) == ["b", "a", "c"]
+
+    def test_mean_skips_undefined(self):
+        assert mean_of([1.0, None, 0.0]) == 0.5
+
+    def test_mean_of_all_undefined(self):
+        assert mean_of([None, None]) is None
+
+    def test_mean_of_empty(self):
+        assert mean_of([]) is None

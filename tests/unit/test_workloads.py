@@ -10,6 +10,9 @@ from repro.datasets.workloads import (
     WorkloadQuery,
     dblp_effectiveness_workload,
     dblp_performance_queries,
+    effectiveness_workload,
+    example_effectiveness_workload,
+    lubm_effectiveness_workload,
     tap_effectiveness_workload,
 )
 from repro.query.conjunctive import Atom, ConjunctiveQuery
@@ -147,3 +150,34 @@ class TestWorkloads:
     def test_workload_repr(self):
         wq = WorkloadQuery("X1", ["a", "b"], "desc")
         assert "X1" in repr(wq)
+
+    def test_example_workload(self):
+        workload = example_effectiveness_workload()
+        assert len(workload) == 5
+        assert len({w.qid for w in workload}) == 5
+        assert all(w.intent is not None for w in workload)
+
+    def test_lubm_workload_size_and_ids(self):
+        workload = lubm_effectiveness_workload()
+        assert len(workload) >= 15
+        assert len({w.qid for w in workload}) == len(workload)
+        assert all(w.intent is not None for w in workload)
+
+    def test_lubm_keywords_survive_analysis(self):
+        """Every keyword must produce at least one index token — a keyword
+        the analyzer reduces to nothing can never match anything."""
+        from repro.keyword.analysis import Analyzer
+
+        analyzer = Analyzer()
+        for wq in lubm_effectiveness_workload():
+            for keyword in wq.keywords:
+                assert analyzer.analyze(keyword), (wq.qid, keyword)
+
+    def test_registry_covers_every_dataset(self):
+        from repro.datasets import DATASET_NAMES
+
+        for dataset in DATASET_NAMES:
+            workload = effectiveness_workload(dataset)
+            assert workload, dataset
+        with pytest.raises(ValueError, match="unknown-ds"):
+            effectiveness_workload("unknown-ds")
